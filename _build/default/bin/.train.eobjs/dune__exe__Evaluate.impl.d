@@ -1,0 +1,1 @@
+bin/evaluate.ml: Arg Canopy Canopy_trace Cmd Cmdliner Format List Option Printf Term

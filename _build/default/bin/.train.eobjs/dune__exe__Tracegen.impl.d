@@ -1,0 +1,1 @@
+bin/tracegen.ml: Arg Canopy_trace Cmd Cmdliner Format Printf Term

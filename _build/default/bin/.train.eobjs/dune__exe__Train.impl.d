@@ -1,0 +1,1 @@
+bin/train.ml: Arg Canopy Cmd Cmdliner Format Logs Logs_fmt Printf Term

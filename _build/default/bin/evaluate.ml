@@ -1,0 +1,125 @@
+(* canopy-evaluate: run a trained checkpoint (and the TCP baselines) over
+   the 22-trace evaluation suite, reporting empirical and certified
+   metrics per trace and per category. *)
+
+open Cmdliner
+module Eval = Canopy.Eval
+
+let schemes_of checkpoint history =
+  let tcp =
+    [
+      ("cubic", `Tcp Eval.cubic_scheme);
+      ("vegas", `Tcp Eval.vegas_scheme);
+      ("bbr", `Tcp Eval.bbr_scheme);
+    ]
+  in
+  match checkpoint with
+  | None -> tcp
+  | Some path ->
+      let actor = Canopy.Trainer.load_actor path in
+      ignore history;
+      ("canopy", `Policy actor) :: tcp
+
+let run checkpoint history bdp min_rtt duration_ms n_components with_cert
+    property_name with_shield noise_mu =
+  let property =
+    match property_name with
+    | "performance" -> Canopy.Property.performance ()
+    | "robustness" -> Canopy.Property.robustness ()
+    | other -> failwith (Printf.sprintf "unknown property %S" other)
+  in
+  let traces = Canopy_trace.Suite.all ~duration_ms () in
+  let schemes = schemes_of checkpoint history in
+  let results =
+    List.concat_map
+      (fun (name, scheme) ->
+        List.map
+          (fun trace ->
+            let link = Eval.link ~min_rtt_ms:min_rtt ~bdp trace in
+            match scheme with
+            | `Tcp make -> Eval.eval_tcp ~name make link
+            | `Policy actor ->
+                let certificate =
+                  if with_cert then Some (property, n_components) else None
+                in
+                let shield =
+                  if with_shield then
+                    Some
+                      (Canopy.Shield.create
+                         ~property:(Canopy.Property.performance ()) ~history)
+                  else None
+                in
+                let noise = Option.map (fun mu -> (17, mu)) noise_mu in
+                fst
+                  (Eval.eval_policy ~name ?certificate ?shield ?noise ~actor
+                     ~history link))
+          traces)
+      schemes
+  in
+  List.iter (fun r -> Format.printf "%a@." Eval.pp_result r) results;
+  (* category means *)
+  Format.printf "@.-- category means --@.";
+  List.iter
+    (fun (name, _) ->
+      List.iter
+        (fun cat ->
+          let of_cat =
+            List.filter
+              (fun (r : Eval.result) ->
+                r.Eval.scheme = name
+                && List.exists
+                     (fun t ->
+                       Canopy_trace.Trace.name t = r.Eval.trace
+                       && Canopy_trace.Suite.category_of t = cat)
+                     traces)
+              results
+          in
+          if of_cat <> [] then
+            Format.printf "%a@." Eval.pp_result
+              (Eval.mean_results
+                 (Format.asprintf "%a-mean" Canopy_trace.Suite.pp_category cat)
+                 of_cat))
+        [ Canopy_trace.Suite.Synthetic; Canopy_trace.Suite.Real ])
+    schemes
+
+let checkpoint =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~doc:"Actor checkpoint to evaluate.")
+
+let history = Arg.(value & opt int 5 & info [ "history" ] ~doc:"State frames.")
+let bdp = Arg.(value & opt float 2. & info [ "bdp" ] ~doc:"Buffer in BDPs.")
+
+let min_rtt =
+  Arg.(value & opt int 40 & info [ "min-rtt" ] ~doc:"Propagation RTT (ms).")
+
+let duration_ms =
+  Arg.(value & opt int 15_000 & info [ "duration-ms" ] ~doc:"Trace length.")
+
+let n_components =
+  Arg.(value & opt int 50 & info [ "components" ] ~doc:"Certificate slices.")
+
+let with_cert =
+  Arg.(value & flag & info [ "certify" ] ~doc:"Compute FCC/FCS per step.")
+
+let property_name =
+  Arg.(value & opt string "performance"
+       & info [ "property" ] ~doc:"Property to certify against.")
+
+let with_shield =
+  Arg.(value & flag
+       & info [ "shield" ]
+           ~doc:"Deploy the policy behind a runtime performance shield.")
+
+let noise_mu =
+  Arg.(value & opt (some float) None
+       & info [ "noise" ] ~doc:"Add ±MU relative delay noise.")
+
+let cmd =
+  let doc = "evaluate controllers over the 22-trace suite" in
+  Cmd.v
+    (Cmd.info "canopy-evaluate" ~doc)
+    Term.(
+      const run $ checkpoint $ history $ bdp $ min_rtt $ duration_ms
+      $ n_components $ with_cert $ property_name $ with_shield $ noise_mu)
+
+let () = exit (Cmd.eval cmd)

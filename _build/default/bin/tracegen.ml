@@ -1,0 +1,55 @@
+(* canopy-tracegen: emit bandwidth traces (the Appendix-B families) in
+   Mahimahi's packet-delivery-opportunity format. *)
+
+open Cmdliner
+
+let run family duration_ms period_ms low high seed out =
+  let trace =
+    match family with
+    | "step" ->
+        Canopy_trace.Synthetic.step_fluctuation ~duration_ms
+          ~period_ms ~low_mbps:low ~high_mbps:high ()
+    | "rampdrop" ->
+        Canopy_trace.Synthetic.ramp_drop ~duration_ms ~cycle_ms:period_ms
+          ~floor_mbps:low ~peak_mbps:high ()
+    | "triangle" ->
+        Canopy_trace.Synthetic.triangle ~duration_ms ~cycle_ms:period_ms
+          ~floor_mbps:low ~peak_mbps:high ()
+    | "lte" -> Canopy_trace.Lte.generate ~name:"lte" ~seed ~duration_ms ()
+    | "constant" ->
+        Canopy_trace.Trace.constant ~name:"constant" ~duration_ms ~mbps:high
+    | other -> failwith (Printf.sprintf "unknown family %S" other)
+  in
+  Format.printf "%a@." Canopy_trace.Trace.pp trace;
+  match out with
+  | None -> print_string (Canopy_trace.Trace.to_mahimahi ~mtu_bytes:1500 trace)
+  | Some path ->
+      Canopy_trace.Trace.save ~mtu_bytes:1500 trace path;
+      Format.printf "wrote %s@." path
+
+let family =
+  Arg.(value & pos 0 string "step"
+       & info [] ~docv:"FAMILY"
+           ~doc:"step | rampdrop | triangle | lte | constant")
+
+let duration_ms =
+  Arg.(value & opt int 30_000 & info [ "duration-ms" ] ~doc:"Trace length.")
+
+let period_ms =
+  Arg.(value & opt int 2000 & info [ "period-ms" ] ~doc:"Cycle length.")
+
+let low = Arg.(value & opt float 12. & info [ "low" ] ~doc:"Low/floor Mbps.")
+let high = Arg.(value & opt float 48. & info [ "high" ] ~doc:"High/peak Mbps.")
+let seed = Arg.(value & opt int 101 & info [ "seed" ] ~doc:"LTE seed.")
+
+let out =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "out" ] ~doc:"Write to file instead of stdout.")
+
+let cmd =
+  let doc = "generate bandwidth traces in Mahimahi format" in
+  Cmd.v
+    (Cmd.info "canopy-tracegen" ~doc)
+    Term.(const run $ family $ duration_ms $ period_ms $ low $ high $ seed $ out)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,88 @@
+(* canopy-train: train an Orca (λ=0) or Canopy (λ>0) controller with
+   certificate-in-the-loop TD3 and save the actor checkpoint. *)
+
+open Cmdliner
+
+let run lambda property_name p q mu epsilon n_components total_steps n_envs
+    duration_ms seed hidden out quiet verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
+  let property =
+    match property_name with
+    | "performance" -> Canopy.Property.performance ~p ~q ()
+    | "robustness" -> Canopy.Property.robustness ~mu ~epsilon ()
+    | other -> failwith (Printf.sprintf "unknown property %S" other)
+  in
+  let envs =
+    Canopy.Trainer.env_pool ~n:n_envs ~duration_ms ~seed ()
+  in
+  let cfg =
+    {
+      (Canopy.Trainer.default_config ~seed ~lambda ~property ~n_components
+         ~total_steps ~envs ())
+      with
+      hidden;
+    }
+  in
+  let agent, _epochs =
+    Canopy.Trainer.train
+      ~on_epoch:(fun e ->
+        if not quiet then
+          Format.printf
+            "epoch %3d (step %5d): raw=%6.3f verifier=%6.3f combined=%6.3f \
+             fcc=%5.3f@."
+            e.Canopy.Trainer.epoch e.steps e.raw_reward e.verifier_reward
+            e.combined_reward e.fcc)
+      cfg
+  in
+  Canopy.Trainer.save_actor agent out;
+  Format.printf "saved actor checkpoint to %s@." out
+
+let lambda =
+  Arg.(value & opt float 0.25
+       & info [ "lambda" ] ~doc:"Verifier-reward weight (0 = plain Orca).")
+
+let property_name =
+  Arg.(value & opt string "performance"
+       & info [ "property" ] ~doc:"Property: performance or robustness.")
+
+let p = Arg.(value & opt float 0.75 & info [ "p" ] ~doc:"Large-delay threshold.")
+let q = Arg.(value & opt float 0.25 & info [ "q" ] ~doc:"Small-delay threshold.")
+let mu = Arg.(value & opt float 0.05 & info [ "mu" ] ~doc:"Noise amplitude.")
+
+let epsilon =
+  Arg.(value & opt float 0.01 & info [ "epsilon" ] ~doc:"Allowed CWND change.")
+
+let n_components =
+  Arg.(value & opt int 5 & info [ "components"; "N" ] ~doc:"Certificate slices.")
+
+let total_steps =
+  Arg.(value & opt int 4000 & info [ "steps" ] ~doc:"Environment steps.")
+
+let n_envs = Arg.(value & opt int 8 & info [ "envs" ] ~doc:"Training links.")
+
+let duration_ms =
+  Arg.(value & opt int 10_000 & info [ "episode-ms" ] ~doc:"Episode length.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+let hidden = Arg.(value & opt int 64 & info [ "hidden" ] ~doc:"Hidden width.")
+
+let out =
+  Arg.(value & opt string "actor.ckpt"
+       & info [ "o"; "out" ] ~doc:"Checkpoint output path.")
+
+let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress epoch logs.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug-level logging.")
+
+let cmd =
+  let doc = "train a certified congestion controller (Canopy/C3)" in
+  Cmd.v
+    (Cmd.info "canopy-train" ~doc)
+    Term.(
+      const run $ lambda $ property_name $ p $ q $ mu $ epsilon $ n_components
+      $ total_steps $ n_envs $ duration_ms $ seed $ hidden $ out $ quiet
+      $ verbose)
+
+let () = exit (Cmd.eval cmd)

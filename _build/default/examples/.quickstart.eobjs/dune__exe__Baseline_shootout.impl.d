@@ -1,0 +1,1 @@
+examples/baseline_shootout.ml: Canopy Canopy_cc Canopy_trace Format List

@@ -1,0 +1,1 @@
+examples/certified_deployment.ml: Canopy Canopy_nn Canopy_orca Canopy_trace Canopy_util Format List

@@ -1,0 +1,1 @@
+examples/certified_deployment.mli:

@@ -1,0 +1,1 @@
+examples/fairness_arena.ml: Array Canopy_cc Canopy_netsim Canopy_nn Canopy_orca Canopy_trace Canopy_util Float Format

@@ -1,0 +1,1 @@
+examples/fairness_arena.mli:

@@ -1,0 +1,1 @@
+examples/noise_robustness.ml: Canopy Canopy_rl Canopy_trace Format List

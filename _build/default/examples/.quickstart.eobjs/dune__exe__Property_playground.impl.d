@@ -1,0 +1,1 @@
+examples/property_playground.ml: Array Canopy Canopy_nn Canopy_orca Canopy_tensor Format Layer List Mat Mlp

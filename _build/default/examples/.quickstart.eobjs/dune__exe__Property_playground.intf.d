@@ -1,0 +1,1 @@
+examples/property_playground.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Canopy Canopy_orca Canopy_rl Canopy_trace Format List

@@ -1,0 +1,46 @@
+(* Baseline shootout: Cubic vs Reno vs Vegas vs BBR vs PCC-Vivace across the three
+   synthetic trace families of Appendix B and an LTE-like trace, at
+   shallow (1 BDP) and deep (5 BDP) buffers.
+
+   Reproduces the qualitative landscape the paper's evaluation is set
+   in: Cubic fills deep buffers (bufferbloat), Vegas keeps delay low at
+   some throughput cost, BBR sits in between.
+
+   Run with: dune exec examples/baseline_shootout.exe *)
+
+let schemes =
+  [
+    ("cubic", Canopy.Eval.cubic_scheme);
+    ("reno", fun () -> Canopy_cc.Reno.to_controller (Canopy_cc.Reno.create ()));
+    ("vegas", Canopy.Eval.vegas_scheme);
+    ("bbr", Canopy.Eval.bbr_scheme);
+    ("vivace", Canopy.Eval.vivace_scheme);
+  ]
+
+let traces =
+  [
+    Canopy_trace.Synthetic.step_fluctuation ~duration_ms:15_000
+      ~period_ms:2_000 ~low_mbps:12. ~high_mbps:48. ();
+    Canopy_trace.Synthetic.ramp_drop ~duration_ms:15_000 ~cycle_ms:5_000
+      ~floor_mbps:12. ~peak_mbps:96. ();
+    Canopy_trace.Synthetic.triangle ~duration_ms:15_000 ~cycle_ms:5_000
+      ~floor_mbps:12. ~peak_mbps:96. ();
+    Canopy_trace.Lte.generate ~name:"lte-sample" ~seed:101
+      ~duration_ms:15_000 ();
+  ]
+
+let () =
+  List.iter
+    (fun bdp ->
+      Format.printf "@.== buffer = %g BDP ==@." bdp;
+      List.iter
+        (fun trace ->
+          Format.printf "-- %a@." Canopy_trace.Trace.pp trace;
+          List.iter
+            (fun (name, make) ->
+              let link = Canopy.Eval.link ~min_rtt_ms:40 ~bdp trace in
+              let r = Canopy.Eval.eval_tcp ~name make link in
+              Format.printf "  %a@." Canopy.Eval.pp_result r)
+            schemes)
+        traces)
+    [ 1.; 5. ]

@@ -1,0 +1,75 @@
+(* Property playground: certify hand-built controllers against custom
+   properties, without any training — a tour of the verifier
+   (Sections 3.2, 4.3 and 4.4).
+
+   Three controllers are pushed through the abstract interpreter:
+   - a "polite" controller that shrinks the window under high delay and
+     grows it under low delay (provably satisfies the performance
+     property);
+   - a "greedy" controller that always grows the window (provably
+     violates the large-delay case);
+   - a high-gain controller that is provably not robust to ±5%
+     measurement noise, versus a saturated one that is.
+
+   Run with: dune exec examples/property_playground.exe *)
+
+open Canopy_nn
+open Canopy_tensor
+module Observation = Canopy_orca.Observation
+
+let history = 5
+let state_dim = history * Observation.feature_count
+let delay_indices = Canopy.Certify.delay_indices ~history
+
+(* a = tanh(w · x + b), built from the library's real layer types. *)
+let linear_actor ~bias weight_of =
+  Mlp.create ~in_dim:state_dim
+    [
+      Layer.Dense
+        {
+          w = Mat.init ~rows:1 ~cols:state_dim (fun _ j -> weight_of j);
+          b = [| bias |];
+          dw = Mat.create ~rows:1 ~cols:state_dim;
+          db = [| 0. |];
+        };
+      Layer.Tanh;
+    ]
+
+let polite =
+  (* strongly negative action when delays are high, positive when low *)
+  linear_actor ~bias:50. (fun j -> if List.mem j delay_indices then -20. else 0.)
+
+let greedy = linear_actor ~bias:5. (fun _ -> 0.)
+
+let jittery =
+  (* operating point at the steep part of tanh: tiny input noise flips
+     the decision *)
+  linear_actor ~bias:(-100.) (fun j -> if List.mem j delay_indices then 50. else 0.)
+
+let state = Array.make state_dim 0.4
+
+let report name property actor =
+  let cert =
+    Canopy.Certify.certify ~actor ~property ~n_components:5 ~history ~state
+      ~cwnd_tcp:100. ~prev_cwnd:100. ()
+  in
+  Format.printf "@.[%s] against %a@." name Canopy.Property.pp property;
+  Format.printf "%a@." Canopy.Certify.pp cert
+
+let () =
+  let performance = Canopy.Property.performance () in
+  report "polite" performance polite;
+  report "greedy" performance greedy;
+
+  (* A custom, stricter performance property: react already at
+     moderate delays (p = 0.6) and only grow below q = 0.15. *)
+  let strict = Canopy.Property.performance ~p:0.6 ~q:0.15 () in
+  report "polite vs strict thresholds" strict polite;
+
+  let robustness = Canopy.Property.robustness () in
+  report "jittery" robustness jittery;
+  report "polite (saturated => robust)" robustness polite;
+
+  (* A looser robustness property tolerating 50% window fluctuation. *)
+  let loose = Canopy.Property.robustness ~mu:0.05 ~epsilon:0.5 () in
+  report "jittery vs loose epsilon" loose jittery

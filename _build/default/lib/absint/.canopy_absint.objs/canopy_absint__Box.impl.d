@@ -1,0 +1,1 @@
+lib/absint/box.ml: Array Canopy_tensor Canopy_util Float Format Interval Mat Vec

@@ -1,0 +1,1 @@
+lib/absint/box.mli: Canopy_tensor Canopy_util Format Interval Mat Vec

@@ -1,0 +1,1 @@
+lib/absint/ibp.ml: Array Box Canopy_nn Canopy_tensor Float Layer List Mlp Vec

@@ -1,0 +1,1 @@
+lib/absint/ibp.mli: Box Canopy_nn Interval Layer Mlp

@@ -1,0 +1,1 @@
+lib/absint/interval.ml: Canopy_util Float Format List

@@ -1,0 +1,1 @@
+lib/absint/interval.mli: Canopy_util Format

@@ -1,0 +1,1 @@
+lib/absint/zonotope.ml: Array Box Canopy_nn Canopy_tensor Float Ibp Interval List Mat Vec

@@ -1,0 +1,1 @@
+lib/absint/zonotope.mli: Box Canopy_nn Canopy_tensor Interval Mat Vec

@@ -1,0 +1,1 @@
+lib/cc/bbr.ml: Array Canopy_netsim Controller Float List Option

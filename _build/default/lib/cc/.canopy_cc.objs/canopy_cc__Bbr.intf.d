@@ -1,0 +1,1 @@
+lib/cc/bbr.mli: Canopy_netsim Controller

@@ -1,0 +1,1 @@
+lib/cc/controller.ml: Canopy_netsim

@@ -1,0 +1,1 @@
+lib/cc/controller.mli: Canopy_netsim

@@ -1,0 +1,1 @@
+lib/cc/cubic.ml: Canopy_netsim Canopy_util Controller Float

@@ -1,0 +1,1 @@
+lib/cc/cubic.mli: Canopy_netsim Controller

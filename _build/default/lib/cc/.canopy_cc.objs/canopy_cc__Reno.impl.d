@@ -1,0 +1,1 @@
+lib/cc/reno.ml: Canopy_netsim Controller Float

@@ -1,0 +1,1 @@
+lib/cc/reno.mli: Canopy_netsim Controller

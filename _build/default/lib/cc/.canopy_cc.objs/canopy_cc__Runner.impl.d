@@ -1,0 +1,1 @@
+lib/cc/runner.ml: Array Canopy_netsim Canopy_trace Canopy_util Controller Float Format Option

@@ -1,0 +1,1 @@
+lib/cc/runner.mli: Canopy_netsim Canopy_trace Controller Format

@@ -1,0 +1,1 @@
+lib/cc/vegas.ml: Canopy_netsim Controller Float

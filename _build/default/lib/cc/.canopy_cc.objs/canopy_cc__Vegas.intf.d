@@ -1,0 +1,1 @@
+lib/cc/vegas.mli: Canopy_netsim Controller

@@ -1,0 +1,1 @@
+lib/cc/vivace.ml: Canopy_netsim Canopy_util Controller Float

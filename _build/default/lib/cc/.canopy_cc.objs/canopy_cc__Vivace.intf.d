@@ -1,0 +1,1 @@
+lib/cc/vivace.mli: Canopy_netsim Controller

@@ -1,0 +1,9 @@
+type t = {
+  name : string;
+  on_ack : Canopy_netsim.Env.ack -> unit;
+  on_loss : now_ms:int -> unit;
+  cwnd : unit -> float;
+}
+
+let handlers t =
+  { Canopy_netsim.Env.on_ack = t.on_ack; on_loss = t.on_loss }

@@ -1,0 +1,18 @@
+(** Uniform congestion-controller interface.
+
+    A controller reacts to per-packet ACK and loss feedback from
+    {!Canopy_netsim.Env} and exposes a congestion window. Concrete
+    algorithms (Cubic, Vegas, BBR, Reno) provide [to_controller] wrappers
+    producing this record; the Orca/Canopy agents compose with it by
+    overriding the window the simulator actually uses. *)
+
+type t = {
+  name : string;
+  on_ack : Canopy_netsim.Env.ack -> unit;
+  on_loss : now_ms:int -> unit;
+  cwnd : unit -> float;  (** current window suggestion, in packets *)
+}
+
+val handlers : t -> Canopy_netsim.Env.handlers
+(** The controller's feedback callbacks, for registration with the
+    simulator. *)

@@ -1,0 +1,40 @@
+type t = {
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable last_loss_ms : int;
+  mutable srtt_ms : float;
+}
+
+let create ?(initial_cwnd = 10.) () =
+  {
+    cwnd = initial_cwnd;
+    ssthresh = Float.infinity;
+    last_loss_ms = -1_000_000;
+    srtt_ms = 0.;
+  }
+
+let cwnd t = t.cwnd
+let in_slow_start t = t.cwnd < t.ssthresh
+
+let on_ack t (ack : Canopy_netsim.Env.ack) =
+  let rtt = float_of_int ack.rtt_ms in
+  t.srtt_ms <-
+    (if t.srtt_ms = 0. then rtt else (0.875 *. t.srtt_ms) +. (0.125 *. rtt));
+  if in_slow_start t then t.cwnd <- t.cwnd +. 1.
+  else t.cwnd <- t.cwnd +. (1. /. t.cwnd)
+
+let on_loss t ~now_ms =
+  let guard_ms = int_of_float (Float.max 5. t.srtt_ms) in
+  if now_ms - t.last_loss_ms >= guard_ms then begin
+    t.last_loss_ms <- now_ms;
+    t.cwnd <- Float.max 2. (t.cwnd /. 2.);
+    t.ssthresh <- t.cwnd
+  end
+
+let to_controller t =
+  {
+    Controller.name = "reno";
+    on_ack = on_ack t;
+    on_loss = (fun ~now_ms -> on_loss t ~now_ms);
+    cwnd = (fun () -> cwnd t);
+  }

@@ -1,0 +1,13 @@
+(** TCP Reno (NewReno-style AIMD): slow start, additive increase of one
+    packet per RTT, multiplicative decrease by half on loss. Included as
+    the simplest well-understood baseline and as a reference point for
+    tests of the simulator's ACK-clocking behaviour. *)
+
+type t
+
+val create : ?initial_cwnd:float -> unit -> t
+val on_ack : t -> Canopy_netsim.Env.ack -> unit
+val on_loss : t -> now_ms:int -> unit
+val cwnd : t -> float
+val in_slow_start : t -> bool
+val to_controller : t -> Controller.t

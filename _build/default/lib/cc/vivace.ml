@@ -1,0 +1,162 @@
+(* Rate clamps in packets per ms (1 pkt/ms = 12 Mbps at MTU 1500). *)
+let min_rate = 0.02
+let max_rate = 200.
+let probe_epsilon = 0.05
+
+type phase =
+  | Starting  (** multiplicative search while utility keeps improving *)
+  | Probe_up  (** monitor interval at rate·(1+ε) *)
+  | Probe_down  (** monitor interval at rate·(1−ε) *)
+
+type t = {
+  utility_exponent : float;
+  latency_weight : float;
+  loss_weight : float;
+  mutable rate : float; (* pkts per ms, the decision variable *)
+  mutable phase : phase;
+  mutable srtt_ms : float;
+  mutable min_rtt_ms : float;
+  (* current monitor interval *)
+  mutable mi_start_ms : int;
+  mutable mi_acks : int;
+  mutable mi_losses : int;
+  mutable mi_first_rtt : float;
+  mutable mi_last_rtt : float;
+  (* learning state *)
+  mutable last_utility : float;
+  mutable probe_up_utility : float;
+  mutable step_size : float; (* confidence-amplified gradient step *)
+  mutable last_gradient_sign : float;
+}
+
+let create ?(utility_exponent = 0.9) ?(latency_weight = 900.)
+    ?(loss_weight = 11.35) ?(initial_rate_pkts_per_ms = 1.) () =
+  if utility_exponent <= 0. || utility_exponent >= 1. then
+    invalid_arg "Vivace.create: utility exponent";
+  {
+    utility_exponent;
+    latency_weight;
+    loss_weight;
+    rate = Canopy_util.Mathx.clamp ~lo:min_rate ~hi:max_rate
+        initial_rate_pkts_per_ms;
+    phase = Starting;
+    srtt_ms = 0.;
+    min_rtt_ms = Float.infinity;
+    mi_start_ms = 0;
+    mi_acks = 0;
+    mi_losses = 0;
+    mi_first_rtt = 0.;
+    mi_last_rtt = 0.;
+    last_utility = 0.;
+    probe_up_utility = 0.;
+    step_size = 0.05;
+    last_gradient_sign = 0.;
+  }
+
+let rate_pkts_per_ms t = t.rate
+let utility t = t.last_utility
+
+let effective_rate t =
+  match t.phase with
+  | Starting -> t.rate
+  | Probe_up -> t.rate *. (1. +. probe_epsilon)
+  | Probe_down -> t.rate *. (1. -. probe_epsilon)
+
+let cwnd t =
+  (* Convert the target rate to a window using the propagation RTT, not
+     the smoothed one: sizing by an inflated sRTT would create a positive
+     feedback loop (queueing grows the window grows the queue). *)
+  let rtt = if t.min_rtt_ms = Float.infinity then 40. else t.min_rtt_ms in
+  Float.max 2. (effective_rate t *. rtt)
+
+let rtt_estimate t = Float.max 10. t.srtt_ms
+
+(* A rate change only manifests in the ACK stream one RTT later, so each
+   monitor interval starts with a one-RTT warmup whose ACKs are ignored
+   (PCC's MI alignment), followed by one RTT of measurement. *)
+let warmup_ms t = int_of_float (rtt_estimate t)
+let mi_duration_ms t = 2 * int_of_float (rtt_estimate t)
+
+let in_measurement t ~now_ms = now_ms - t.mi_start_ms >= warmup_ms t
+
+(* Utility of the just-finished monitor interval (Vivace's U). *)
+let interval_utility t ~duration_ms =
+  let measured_ms = max 1 (duration_ms - warmup_ms t) in
+  let x = float_of_int t.mi_acks /. float_of_int measured_ms in
+  if x <= 0. then 0.
+  else begin
+    let latency_gradient =
+      (t.mi_last_rtt -. t.mi_first_rtt) /. float_of_int (max 1 duration_ms)
+    in
+    let total = t.mi_acks + t.mi_losses in
+    let loss = float_of_int t.mi_losses /. float_of_int (max 1 total) in
+    (x ** t.utility_exponent)
+    -. (t.latency_weight *. x *. Float.max 0. latency_gradient)
+    -. (t.loss_weight *. x *. loss)
+  end
+
+let set_rate t r = t.rate <- Canopy_util.Mathx.clamp ~lo:min_rate ~hi:max_rate r
+
+let close_interval t ~now_ms =
+  let duration_ms = now_ms - t.mi_start_ms in
+  let u = interval_utility t ~duration_ms in
+  (match t.phase with
+  | Starting ->
+      (* Double while the utility keeps improving; otherwise settle and
+         start gradient probing. *)
+      if u >= t.last_utility && t.mi_losses = 0 then set_rate t (t.rate *. 2.)
+      else begin
+        set_rate t (t.rate /. 2.);
+        t.phase <- Probe_up
+      end;
+      t.last_utility <- u
+  | Probe_up ->
+      t.probe_up_utility <- u;
+      t.phase <- Probe_down
+  | Probe_down ->
+      (* Empirical utility gradient over the probe pair. *)
+      let gradient =
+        (t.probe_up_utility -. u) /. (2. *. probe_epsilon *. t.rate)
+      in
+      let sign = Canopy_util.Mathx.sign gradient in
+      (* Confidence amplification: consecutive same-direction moves take
+         larger steps; a direction flip resets the step size. *)
+      if sign <> 0. && sign = t.last_gradient_sign then
+        t.step_size <- Float.min 0.5 (t.step_size *. 1.5)
+      else t.step_size <- 0.05;
+      t.last_gradient_sign <- sign;
+      set_rate t (t.rate +. (sign *. t.step_size *. t.rate));
+      t.last_utility <- u;
+      t.phase <- Probe_up);
+  t.mi_start_ms <- now_ms;
+  t.mi_acks <- 0;
+  t.mi_losses <- 0;
+  t.mi_first_rtt <- 0.;
+  t.mi_last_rtt <- 0.
+
+let maybe_close t ~now_ms =
+  if now_ms - t.mi_start_ms >= mi_duration_ms t then close_interval t ~now_ms
+
+let on_ack t (ack : Canopy_netsim.Env.ack) =
+  let rtt = float_of_int ack.rtt_ms in
+  if rtt < t.min_rtt_ms then t.min_rtt_ms <- rtt;
+  t.srtt_ms <-
+    (if t.srtt_ms = 0. then rtt else (0.875 *. t.srtt_ms) +. (0.125 *. rtt));
+  if in_measurement t ~now_ms:ack.now_ms then begin
+    if t.mi_acks = 0 then t.mi_first_rtt <- rtt;
+    t.mi_last_rtt <- rtt;
+    t.mi_acks <- t.mi_acks + 1
+  end;
+  maybe_close t ~now_ms:ack.now_ms
+
+let on_loss t ~now_ms =
+  if in_measurement t ~now_ms then t.mi_losses <- t.mi_losses + 1;
+  maybe_close t ~now_ms
+
+let to_controller t =
+  {
+    Controller.name = "vivace";
+    on_ack = on_ack t;
+    on_loss = (fun ~now_ms -> on_loss t ~now_ms);
+    cwnd = (fun () -> cwnd t);
+  }

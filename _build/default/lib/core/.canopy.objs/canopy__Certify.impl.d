@@ -1,0 +1,1 @@
+lib/core/certify.ml: Array Box Canopy_absint Canopy_nn Canopy_orca Canopy_util Float Format Ibp Interval List Mlp Property Zonotope

@@ -1,0 +1,1 @@
+lib/core/certify.mli: Canopy_absint Canopy_nn Format Interval Mlp Property

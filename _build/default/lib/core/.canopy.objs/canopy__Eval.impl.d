@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Canopy_cc Canopy_netsim Canopy_nn Canopy_orca Canopy_trace Canopy_util Certify Float Format List Mlp Option Shield

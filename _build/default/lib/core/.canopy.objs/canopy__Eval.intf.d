@@ -1,0 +1,1 @@
+lib/core/eval.mli: Canopy_cc Canopy_nn Canopy_trace Certify Format Mlp Property Shield

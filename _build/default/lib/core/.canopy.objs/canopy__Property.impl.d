@@ -1,0 +1,1 @@
+lib/core/property.ml: Canopy_absint Format

@@ -1,0 +1,1 @@
+lib/core/property.mli: Canopy_absint Format

@@ -1,0 +1,1 @@
+lib/core/shield.ml: Array Canopy_orca Canopy_util Certify Float Format List Property

@@ -1,0 +1,1 @@
+lib/core/shield.mli: Format Property

@@ -1,0 +1,1 @@
+lib/core/temporal.mli: Canopy_absint Canopy_nn Certify Format Interval Mlp Property

@@ -1,0 +1,1 @@
+lib/core/trainer.ml: Array Canopy_cc Canopy_nn Canopy_orca Canopy_rl Canopy_trace Canopy_util Certify Filename Fun List Logs Printf Property String Sys

@@ -1,0 +1,1 @@
+lib/core/trainer.mli: Canopy_nn Canopy_orca Canopy_rl Property

@@ -1,0 +1,302 @@
+open Canopy_nn
+open Canopy_absint
+module Observation = Canopy_orca.Observation
+module Agent_env = Canopy_orca.Agent_env
+
+type domain = Box_domain | Zonotope_domain
+
+type component = {
+  case : Property.case;
+  index : int;
+  slice : Interval.t;
+  action : Interval.t;
+  output : Interval.t;
+  target : Interval.t;
+  distance : float;
+  certified : bool;
+}
+
+type t = {
+  property : Property.t;
+  components : component array;
+  per_case_distance : (Property.case * float) list;
+  r_verifier : float;
+  fcc : float;
+  fcs : bool;
+}
+
+let delay_indices ~history =
+  List.init history (fun frame ->
+      (frame * Observation.feature_count) + Observation.delay_index)
+
+(* Abstract image of the window under Eq. 1 for an abstract action: the
+   map a ↦ clamp(2^{2a}·CWND_TCP) is monotone non-decreasing in a. *)
+let cwnd_interval ~cwnd_tcp action =
+  Interval.monotone
+    (fun a -> Agent_env.cwnd_of_action ~action:a ~cwnd_tcp)
+    action
+
+let output_interval domain actor box =
+  match domain with
+  | Box_domain -> Ibp.output_interval actor box
+  | Zonotope_domain -> Zonotope.output_interval actor box
+
+(* Abstract action for one component: substitute [iv_of_observed] of each
+   delay dimension's concrete value into the state and propagate. *)
+let abstract_action ~domain ~actor ~history ~state iv_of_observed =
+  let box = ref (Box.of_point state) in
+  List.iter
+    (fun idx -> box := Box.with_dimension !box idx (iv_of_observed state.(idx)))
+    (delay_indices ~history);
+  output_interval domain actor !box
+
+let target_of_case property case =
+  match (property, case) with
+  | _, Property.Large_delay -> Interval.make Float.neg_infinity 0.
+  | _, Property.Small_delay -> Interval.make 0. Float.infinity
+  | Property.Robustness { epsilon; _ }, Property.Noise ->
+      Interval.make (-.epsilon) epsilon
+  | Property.Performance _, Property.Noise ->
+      invalid_arg "Certify.target_of_case"
+
+(* The full evaluation context of a step certificate. *)
+type ctx = {
+  domain : domain;
+  actor : Mlp.t;
+  property : Property.t;
+  history : int;
+  state : float array;
+  cwnd_tcp : float;
+  prev_cwnd : float;
+  cwnd_concrete : float; (* the unperturbed decision, for robustness *)
+}
+
+(* One component: [slice] is a sub-interval of the case's precondition
+   (the normalized-delay range for performance cases; the multiplicative
+   noise-factor range for robustness). *)
+let component_of_slice ctx case index slice =
+  let target = target_of_case ctx.property case in
+  let action, output =
+    match case with
+    | Property.Large_delay | Property.Small_delay ->
+        let action =
+          abstract_action ~domain:ctx.domain ~actor:ctx.actor
+            ~history:ctx.history ~state:ctx.state (fun _ -> slice)
+        in
+        let cwnd = cwnd_interval ~cwnd_tcp:ctx.cwnd_tcp action in
+        (action, Interval.add_scalar (-.ctx.prev_cwnd) cwnd)
+    | Property.Noise ->
+        let action =
+          abstract_action ~domain:ctx.domain ~actor:ctx.actor
+            ~history:ctx.history ~state:ctx.state (fun observed ->
+              Interval.scale observed slice)
+        in
+        let cwnd = cwnd_interval ~cwnd_tcp:ctx.cwnd_tcp action in
+        ( action,
+          Interval.div_scalar
+            (Interval.add_scalar (-.ctx.cwnd_concrete) cwnd)
+            ctx.cwnd_concrete )
+  in
+  let distance = Interval.overlap_fraction ~target output in
+  {
+    case;
+    index;
+    slice;
+    action;
+    output;
+    target;
+    distance;
+    certified = distance >= 1.;
+  }
+
+let make_ctx ~domain ~actor ~property ~history ~state ~cwnd_tcp ~prev_cwnd =
+  let concrete_action =
+    Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1. (Mlp.forward actor state).(0)
+  in
+  {
+    domain;
+    actor;
+    property;
+    history;
+    state;
+    cwnd_tcp;
+    prev_cwnd;
+    cwnd_concrete = Agent_env.cwnd_of_action ~action:concrete_action ~cwnd_tcp;
+  }
+
+let validate ~n_components ~history ~state ~actor =
+  if n_components <= 0 then invalid_arg "Certify.certify: n_components";
+  if history <= 0 then invalid_arg "Certify.certify: history";
+  if Array.length state <> history * Observation.feature_count then
+    invalid_arg "Certify.certify: state dimension";
+  if Mlp.in_dim actor <> Array.length state then
+    invalid_arg "Certify.certify: actor input dimension"
+
+let summarize property components =
+  let components = Array.of_list components in
+  let per_case_distance =
+    List.map
+      (fun case ->
+        let ds =
+          Array.to_list components
+          |> List.filter_map (fun c ->
+                 if c.case = case then Some c.distance else None)
+        in
+        let mean =
+          Canopy_util.Mathx.fsum_list ds /. float_of_int (List.length ds)
+        in
+        (case, mean))
+      (Property.cases property)
+  in
+  (* Eq. 8: average the per-case distances. *)
+  let r_verifier =
+    let ds = List.map snd per_case_distance in
+    Canopy_util.Mathx.fsum_list ds /. float_of_int (List.length ds)
+  in
+  let certified_count =
+    Array.fold_left (fun n c -> if c.certified then n + 1 else n) 0 components
+  in
+  {
+    property;
+    components;
+    per_case_distance;
+    r_verifier;
+    fcc =
+      float_of_int certified_count /. float_of_int (Array.length components);
+    fcs = certified_count = Array.length components;
+  }
+
+let certify ?(domain = Box_domain) ~actor ~property ~n_components ~history
+    ~state ~cwnd_tcp ~prev_cwnd () =
+  validate ~n_components ~history ~state ~actor;
+  let ctx =
+    make_ctx ~domain ~actor ~property ~history ~state ~cwnd_tcp ~prev_cwnd
+  in
+  let components =
+    List.concat_map
+      (fun case ->
+        let precondition = Property.precondition_delay property case in
+        List.mapi (component_of_slice ctx case)
+          (Interval.split precondition n_components))
+      (Property.cases property)
+  in
+  summarize property components
+
+(* Adaptive subdivision (Section 8, future work (ii)): start from a
+   coarse split and keep bisecting only the undecided components — the
+   ones whose distance is strictly between 0 and 1 and may therefore be
+   suffering from over-approximation. Components proved (D = 1) or
+   concretely refuted on their midpoint are left alone. *)
+let certify_adaptive ?(domain = Box_domain) ?(initial_components = 2)
+    ~actor ~property ~max_components ~history ~state ~cwnd_tcp ~prev_cwnd () =
+  validate ~n_components:initial_components ~history ~state ~actor;
+  if max_components < initial_components then
+    invalid_arg "Certify.certify_adaptive: max_components";
+  let ctx =
+    make_ctx ~domain ~actor ~property ~history ~state ~cwnd_tcp ~prev_cwnd
+  in
+  let components =
+    List.concat_map
+      (fun case ->
+        let precondition = Property.precondition_delay property case in
+        let budget = ref max_components in
+        let undecided c = c.distance > 0. && c.distance < 1. in
+        (* Worklist of slices to evaluate; splits consume budget. *)
+        let rec refine acc = function
+          | [] -> acc
+          | slice :: rest ->
+              let c = component_of_slice ctx case 0 slice in
+              if
+                undecided c && !budget > 0
+                && Interval.width slice > 1e-4
+              then begin
+                decr budget;
+                let halves = Interval.split slice 2 in
+                refine acc (halves @ rest)
+              end
+              else refine (c :: acc) rest
+        in
+        let slices = Interval.split precondition initial_components in
+        refine [] slices
+        |> List.rev
+        |> List.mapi (fun index c -> { c with index }))
+      (Property.cases property)
+  in
+  summarize property components
+
+let pp_component ppf c =
+  Format.fprintf ppf "%s[%d]: a=%a out=%a Y=%a D=%.3f%s"
+    (Property.case_name c.case) c.index Interval.pp c.action Interval.pp
+    c.output Interval.pp c.target c.distance
+    (if c.certified then " ✓" else "")
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "@[<v>%a: r_verifier=%.3f fcc=%.3f fcs=%b@,%a@]"
+    Property.pp t.property t.r_verifier t.fcc t.fcs
+    (Format.pp_print_array ~pp_sep:Format.pp_print_cut pp_component)
+    t.components
+
+type refutation =
+  | Violation of { state : float array; output : float }
+  | Unknown
+
+let refute ?(samples = 64) ?(seed = 7) ~actor ~property ~history ~state
+    ~cwnd_tcp ~prev_cwnd component =
+  if component.certified then Unknown
+  else begin
+    let rng = Canopy_util.Prng.create seed in
+    let indices = delay_indices ~history in
+    let concrete_output candidate_state =
+      let a =
+        Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
+          (Mlp.forward actor candidate_state).(0)
+      in
+      let w = Agent_env.cwnd_of_action ~action:a ~cwnd_tcp in
+      match component.case with
+      | Property.Large_delay | Property.Small_delay -> w -. prev_cwnd
+      | Property.Noise ->
+          let a0 =
+            Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
+              (Mlp.forward actor state).(0)
+          in
+          let w0 = Agent_env.cwnd_of_action ~action:a0 ~cwnd_tcp in
+          (w -. w0) /. w0
+    in
+    let candidate_of value =
+      let s = Array.copy state in
+      List.iter
+        (fun idx ->
+          s.(idx) <-
+            (match component.case with
+            | Property.Large_delay | Property.Small_delay -> value
+            | Property.Noise -> state.(idx) *. value))
+        indices;
+      s
+    in
+    (* Endpoints first (monotone policies violate at an extreme), then
+       uniform samples. Track the worst witness found. *)
+    let witness = ref Unknown in
+    let consider value =
+      let s = candidate_of value in
+      let out = concrete_output s in
+      if not (Interval.contains component.target out) then begin
+        match !witness with
+        | Violation { output; _ } ->
+            (* keep the more extreme violation *)
+            let dist iv x =
+              Float.max (Interval.lo iv -. x) (x -. Interval.hi iv)
+            in
+            if dist component.target out > dist component.target output then
+              witness := Violation { state = s; output = out }
+        | Unknown -> witness := Violation { state = s; output = out }
+      end
+    in
+    ignore property;
+    consider (Interval.lo component.slice);
+    consider (Interval.hi component.slice);
+    consider (Interval.midpoint component.slice);
+    for _ = 4 to samples do
+      consider (Interval.sample rng component.slice)
+    done;
+    !witness
+  end

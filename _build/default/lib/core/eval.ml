@@ -1,0 +1,215 @@
+open Canopy_nn
+module Agent_env = Canopy_orca.Agent_env
+module Observation = Canopy_orca.Observation
+module Stats = Canopy_util.Stats
+
+type result = {
+  scheme : string;
+  trace : string;
+  utilization : float;
+  avg_thr_mbps : float;
+  avg_qdelay_ms : float;
+  p95_qdelay_ms : float;
+  loss_rate : float;
+  fcc : float option;
+  fcs : float option;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-12s %-22s util=%5.1f%% thr=%6.2fMbps qdelay(avg/p95)=%6.1f/%6.1fms \
+     loss=%5.2f%%"
+    r.scheme r.trace (100. *. r.utilization) r.avg_thr_mbps r.avg_qdelay_ms
+    r.p95_qdelay_ms (100. *. r.loss_rate);
+  match (r.fcc, r.fcs) with
+  | Some fcc, Some fcs -> Format.fprintf ppf " fcc=%.3f fcs=%.3f" fcc fcs
+  | _ -> ()
+
+type step_record = {
+  t_ms : int;
+  action : float;
+  cwnd_tcp : float;
+  cwnd_enforced : float;
+  thr_mbps : float;
+  qdelay_ms : float;
+  delay_norm : float;
+  raw_reward : float;
+  certificate : Certify.t option;
+}
+
+type link = {
+  trace : Canopy_trace.Trace.t;
+  min_rtt_ms : int;
+  bdp_multiplier : float;
+  duration_ms : int;
+}
+
+let link ?(min_rtt_ms = 40) ?(bdp = 2.) ?duration_ms trace =
+  let duration_ms =
+    Option.value ~default:(Canopy_trace.Trace.duration_ms trace) duration_ms
+  in
+  { trace; min_rtt_ms; bdp_multiplier = bdp; duration_ms }
+
+let buffer_pkts link =
+  Canopy_cc.Runner.buffer_of_bdp ~bdp_multiplier:link.bdp_multiplier
+    ~trace:link.trace ~min_rtt_ms:link.min_rtt_ms
+
+let clamp_action = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
+
+let eval_policy ?(name = "canopy") ?noise ?certificate ?shield
+    ?(collect_steps = false) ~actor ~history link =
+  let delay_noise =
+    Option.map
+      (fun (seed, mu) -> (Canopy_util.Prng.create seed, mu))
+      noise
+  in
+  let cfg =
+    {
+      (Agent_env.default_config ~trace:link.trace ~min_rtt_ms:link.min_rtt_ms
+         ~buffer_pkts:(buffer_pkts link) ~duration_ms:link.duration_ms)
+      with
+      history;
+      delay_noise;
+    }
+  in
+  let env = Agent_env.create cfg in
+  let steps = ref [] in
+  let fcc_acc = ref 0. and fcs_acc = ref 0 and nsteps = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    let s = Agent_env.state env in
+    let action = clamp_action (Mlp.forward actor s).(0) in
+    let action =
+      match shield with
+      | None -> action
+      | Some sh ->
+          fst
+            (Shield.filter sh ~state:s ~cwnd_tcp:(Agent_env.cwnd_tcp env)
+               ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) ~action)
+    in
+    let cert =
+      Option.map
+        (fun (property, n) ->
+          Certify.certify ~actor ~property ~n_components:n ~history ~state:s
+            ~cwnd_tcp:(Agent_env.cwnd_tcp env)
+            ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) ())
+        certificate
+    in
+    (match cert with
+    | Some c ->
+        fcc_acc := !fcc_acc +. c.Certify.fcc;
+        if c.Certify.fcs then incr fcs_acc
+    | None -> ());
+    incr nsteps;
+    let res = Agent_env.step env ~action in
+    if collect_steps then
+      steps :=
+        {
+          t_ms = Agent_env.interval_ms env * !nsteps;
+          action;
+          cwnd_tcp = res.cwnd_tcp;
+          cwnd_enforced = res.cwnd_enforced;
+          thr_mbps = res.observation.Observation.thr_mbps;
+          qdelay_ms = res.observation.Observation.avg_qdelay_ms;
+          delay_norm = Observation.normalized_delay res.observation;
+          raw_reward = res.raw_reward;
+          certificate = cert;
+        }
+        :: !steps;
+    finished := res.finished
+  done;
+  let qdelays = Agent_env.qdelay_array_ms env in
+  let st = Agent_env.env_stats env in
+  let result =
+    {
+      scheme = name;
+      trace = Canopy_trace.Trace.name link.trace;
+      utilization = Agent_env.utilization env;
+      avg_thr_mbps =
+        float_of_int st.Canopy_netsim.Env.delivered
+        *. float_of_int Canopy_netsim.Env.default_mtu *. 8. /. 1e6
+        /. (float_of_int link.duration_ms /. 1000.);
+      avg_qdelay_ms = Stats.mean qdelays;
+      p95_qdelay_ms =
+        (if Array.length qdelays = 0 then 0. else Stats.percentile qdelays 95.);
+      loss_rate = Agent_env.loss_rate env;
+      fcc =
+        (if certificate = None || !nsteps = 0 then None
+         else Some (!fcc_acc /. float_of_int !nsteps));
+      fcs =
+        (if certificate = None || !nsteps = 0 then None
+         else Some (float_of_int !fcs_acc /. float_of_int !nsteps));
+    }
+  in
+  (result, List.rev !steps)
+
+let eval_tcp ~name make link =
+  let metrics, _ =
+    Canopy_cc.Runner.run ~trace:link.trace ~min_rtt_ms:link.min_rtt_ms
+      ~buffer_pkts:(buffer_pkts link) ~duration_ms:link.duration_ms make
+  in
+  {
+    scheme = name;
+    trace = metrics.Canopy_cc.Runner.trace;
+    utilization = metrics.utilization;
+    avg_thr_mbps = metrics.avg_throughput_mbps;
+    avg_qdelay_ms = metrics.avg_qdelay_ms;
+    p95_qdelay_ms = metrics.p95_qdelay_ms;
+    loss_rate = metrics.loss_rate;
+    fcc = None;
+    fcs = None;
+  }
+
+let cubic_scheme () = Canopy_cc.Cubic.to_controller (Canopy_cc.Cubic.create ())
+let vegas_scheme () = Canopy_cc.Vegas.to_controller (Canopy_cc.Vegas.create ())
+let bbr_scheme () = Canopy_cc.Bbr.to_controller (Canopy_cc.Bbr.create ())
+
+let vivace_scheme () =
+  Canopy_cc.Vivace.to_controller (Canopy_cc.Vivace.create ())
+
+let mean_results group results =
+  match results with
+  | [] -> invalid_arg "Eval.mean_results: empty"
+  | first :: _ ->
+      let n = float_of_int (List.length results) in
+      let mean f = Canopy_util.Mathx.fsum_list (List.map f results) /. n in
+      let mean_opt f =
+        let vals = List.filter_map f results in
+        if vals = [] then None
+        else
+          Some
+            (Canopy_util.Mathx.fsum_list vals
+            /. float_of_int (List.length vals))
+      in
+      {
+        scheme = first.scheme;
+        trace = group;
+        utilization = mean (fun r -> r.utilization);
+        avg_thr_mbps = mean (fun r -> r.avg_thr_mbps);
+        avg_qdelay_ms = mean (fun r -> r.avg_qdelay_ms);
+        p95_qdelay_ms = mean (fun r -> r.p95_qdelay_ms);
+        loss_rate = mean (fun r -> r.loss_rate);
+        fcc = mean_opt (fun r -> r.fcc);
+        fcs = mean_opt (fun r -> r.fcs);
+      }
+
+type noise_delta = {
+  scheme : string;
+  d_avg_qdelay_pct : float;
+  d_p95_qdelay_pct : float;
+  d_utilization_pct : float;
+}
+
+let pct_change ~from ~to_ =
+  if Float.abs from < 1e-9 then 0. else 100. *. (to_ -. from) /. from
+
+let noise_delta ~(clean : result) ~(noisy : result) =
+  {
+    scheme = clean.scheme;
+    d_avg_qdelay_pct =
+      pct_change ~from:clean.avg_qdelay_ms ~to_:noisy.avg_qdelay_ms;
+    d_p95_qdelay_pct =
+      pct_change ~from:clean.p95_qdelay_ms ~to_:noisy.p95_qdelay_ms;
+    d_utilization_pct =
+      pct_change ~from:clean.utilization ~to_:noisy.utilization;
+  }

@@ -1,0 +1,85 @@
+(** Evaluation harness for Section 6: run learned policies and TCP
+    baselines over the trace suite, computing both the certified metrics
+    (FCC, FCS — Section 6.1) and the empirical ones (utilization, average
+    and p95 queueing delay, loss). *)
+
+open Canopy_nn
+
+type result = {
+  scheme : string;
+  trace : string;
+  utilization : float;
+  avg_thr_mbps : float;
+  avg_qdelay_ms : float;
+  p95_qdelay_ms : float;
+  loss_rate : float;
+  fcc : float option;  (** mean fraction of certified components per step *)
+  fcs : float option;  (** fraction of steps with a fully-satisfied certificate *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+type step_record = {
+  t_ms : int;
+  action : float;
+  cwnd_tcp : float;
+  cwnd_enforced : float;
+  thr_mbps : float;
+  qdelay_ms : float;
+  delay_norm : float;  (** normalized delay of the newest frame (1−invRTT) *)
+  raw_reward : float;
+  certificate : Certify.t option;
+}
+(** Per-monitoring-step trajectory sample (Figs. 1, 2, 7, 9). *)
+
+type link = {
+  trace : Canopy_trace.Trace.t;
+  min_rtt_ms : int;
+  bdp_multiplier : float;  (** buffer size in BDPs *)
+  duration_ms : int;
+}
+
+val link : ?min_rtt_ms:int -> ?bdp:float -> ?duration_ms:int ->
+  Canopy_trace.Trace.t -> link
+(** Defaults: minRTT 40 ms, 2 BDP, trace duration. *)
+
+val eval_policy :
+  ?name:string ->
+  ?noise:int * float ->
+  ?certificate:Property.t * int ->
+  ?shield:Shield.t ->
+  ?collect_steps:bool ->
+  actor:Mlp.t ->
+  history:int ->
+  link ->
+  result * step_record list
+(** Run the deterministic policy over the link. [noise (seed, mu)]
+    perturbs the observed queueing delay as in Section 6.3;
+    [certificate (property, n)] computes an n-component certificate at
+    every step (the paper uses n = 50 for evaluation); [shield] projects
+    each action through a runtime {!Shield} before it is applied;
+    [collect_steps] returns the per-step trajectory (with certificates
+    when enabled). *)
+
+val eval_tcp :
+  name:string -> (unit -> Canopy_cc.Controller.t) -> link -> result
+
+val cubic_scheme : unit -> Canopy_cc.Controller.t
+val vegas_scheme : unit -> Canopy_cc.Controller.t
+val bbr_scheme : unit -> Canopy_cc.Controller.t
+val vivace_scheme : unit -> Canopy_cc.Controller.t
+
+val mean_results : string -> result list -> result
+(** Aggregate (arithmetic mean of every metric) over a list of per-trace
+    results, e.g. all synthetic traces. The [string] names the group.
+    Raises [Invalid_argument] on an empty list. *)
+
+type noise_delta = {
+  scheme : string;
+  d_avg_qdelay_pct : float;
+  d_p95_qdelay_pct : float;
+  d_utilization_pct : float;
+}
+(** Percentage change of each metric when noise is added (Fig. 12). *)
+
+val noise_delta : clean:result -> noisy:result -> noise_delta

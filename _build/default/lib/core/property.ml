@@ -1,0 +1,43 @@
+type performance_params = { p : float; q : float }
+type robustness_params = { mu : float; epsilon : float }
+
+type t =
+  | Performance of performance_params
+  | Robustness of robustness_params
+
+let performance ?(p = 0.75) ?(q = 0.25) () =
+  if not (p > 0. && p < 1. && q > 0. && q < 1.) then
+    invalid_arg "Property.performance: thresholds must be in (0,1)";
+  if q > p then invalid_arg "Property.performance: q > p";
+  Performance { p; q }
+
+let robustness ?(mu = 0.05) ?(epsilon = 0.01) () =
+  if mu <= 0. || mu >= 1. then invalid_arg "Property.robustness: mu";
+  if epsilon <= 0. then invalid_arg "Property.robustness: epsilon";
+  Robustness { mu; epsilon }
+
+type case = Large_delay | Small_delay | Noise
+
+let cases = function
+  | Performance _ -> [ Large_delay; Small_delay ]
+  | Robustness _ -> [ Noise ]
+
+let case_name = function
+  | Large_delay -> "large-delay"
+  | Small_delay -> "small-delay"
+  | Noise -> "noise"
+
+let precondition_delay t case =
+  match (t, case) with
+  | Performance { p; _ }, Large_delay -> Canopy_absint.Interval.make p 1.
+  | Performance { q; _ }, Small_delay -> Canopy_absint.Interval.make 0. q
+  | Robustness { mu; _ }, Noise ->
+      Canopy_absint.Interval.make (1. -. mu) (1. +. mu)
+  | Performance _, Noise | Robustness _, (Large_delay | Small_delay) ->
+      invalid_arg "Property.precondition_delay: case mismatch"
+
+let pp ppf = function
+  | Performance { p; q } ->
+      Format.fprintf ppf "performance(p=%.2f, q=%.2f)" p q
+  | Robustness { mu; epsilon } ->
+      Format.fprintf ppf "robustness(mu=%.3f, eps=%.3f)" mu epsilon

@@ -1,0 +1,49 @@
+(** The properties Canopy certifies (Section 4.2).
+
+    A property is a constraint φ(π, X, Y): for every state history in the
+    precondition X, the controller's action must land in the
+    postcondition Y.
+
+    - The {e performance} property has two cases: when the normalized
+      queueing delay of the past k steps stays in [\[p, 1\]] the window
+      must not grow (ΔCWND ≤ 0), and when it stays in [\[0, q\]] the
+      window must not shrink (ΔCWND ≥ 0).
+    - The {e robustness} property bounds the controller's sensitivity:
+      multiplying the observed state by any factor in [\[1−μ, 1+μ\]] must
+      change the window by at most a fraction ε. *)
+
+type performance_params = {
+  p : float;  (** large-delay threshold on normalized delay, in (0,1) *)
+  q : float;  (** small-delay threshold, in (0,1), q <= p *)
+}
+
+type robustness_params = {
+  mu : float;  (** relative noise amplitude on the observed delay *)
+  epsilon : float;  (** allowed relative CWND fluctuation *)
+}
+
+type t =
+  | Performance of performance_params
+  | Robustness of robustness_params
+
+val performance : ?p:float -> ?q:float -> unit -> t
+(** Defaults from Section 6.1: [p = 0.75], [q = 0.25]. Raises
+    [Invalid_argument] on thresholds outside (0,1) or [q > p]. *)
+
+val robustness : ?mu:float -> ?epsilon:float -> unit -> t
+(** Defaults from Section 6.1: [mu = 0.05], [epsilon = 0.01]. *)
+
+type case =
+  | Large_delay  (** performance case 1: delay in [p,1], ΔCWND ≤ 0 *)
+  | Small_delay  (** performance case 2: delay in [0,q], ΔCWND ≥ 0 *)
+  | Noise  (** robustness: CWNDCHANGE within ±ε *)
+
+val cases : t -> case list
+val case_name : case -> string
+
+val precondition_delay : t -> case -> Canopy_absint.Interval.t
+(** The interval substituted for the delay dimension(s) of the abstract
+    state under the given case. For [Noise] this is a relative factor
+    interval [\[1−μ, 1+μ\]], to be multiplied into the observed delay. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+module Observation = Canopy_orca.Observation
+module Agent_env = Canopy_orca.Agent_env
+
+type t = {
+  p : float;
+  q : float;
+  history : int;
+  mutable interventions : int;
+  mutable steps : int;
+}
+
+let create ~property ~history =
+  if history <= 0 then invalid_arg "Shield.create: history";
+  match property with
+  | Property.Performance { p; q } ->
+      { p; q; history; interventions = 0; steps = 0 }
+  | Property.Robustness _ ->
+      invalid_arg "Shield.create: robustness is not runtime-enforceable"
+
+type verdict =
+  | Unconstrained
+  | Clamped of { case : Property.case; original : float; enforced : float }
+
+(* The largest (resp. smallest) action whose Eq.-1 window stays at or
+   below (resp. above) the previous window. Because the window map is
+   clamped below at min_enforced, a bound outside [-1,1] simply clips. *)
+let boundary_action ~cwnd_tcp ~prev_cwnd =
+  Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
+    (0.5 *. Canopy_util.Mathx.log2 (prev_cwnd /. cwnd_tcp))
+
+let filter t ~state ~cwnd_tcp ~prev_cwnd ~action =
+  if Array.length state <> t.history * Observation.feature_count then
+    invalid_arg "Shield.filter: state dimension";
+  t.steps <- t.steps + 1;
+  let delays =
+    List.map (fun i -> state.(i)) (Certify.delay_indices ~history:t.history)
+  in
+  let matched =
+    if List.for_all (fun d -> d >= t.p) delays then Some Property.Large_delay
+    else if List.for_all (fun d -> d <= t.q) delays then
+      Some Property.Small_delay
+    else None
+  in
+  match matched with
+  | None -> (action, Unconstrained)
+  | Some case ->
+      let bound = boundary_action ~cwnd_tcp ~prev_cwnd in
+      let enforced =
+        match case with
+        | Property.Large_delay -> Float.min action bound
+        | Property.Small_delay -> Float.max action bound
+        | Property.Noise -> assert false
+      in
+      (* Due to the window clamp, an action at the bound can still land
+         exactly on prev_cwnd (ΔCWND = 0), which satisfies both cases. *)
+      if enforced = action then (action, Unconstrained)
+      else begin
+        t.interventions <- t.interventions + 1;
+        (enforced, Clamped { case; original = action; enforced })
+      end
+
+let interventions t = t.interventions
+let steps t = t.steps
+
+let pp_verdict ppf = function
+  | Unconstrained -> Format.fprintf ppf "unconstrained"
+  | Clamped { case; original; enforced } ->
+      Format.fprintf ppf "clamped[%s] %.3f -> %.3f"
+        (Property.case_name case) original enforced

@@ -1,0 +1,51 @@
+(** Runtime enforcement of the performance property — a "shield" in the
+    sense of the certified-learning literature the paper builds on
+    (Anderson et al.), derived directly from φ(π, X, Y).
+
+    Certification tells you how often a policy provably satisfies the
+    property; a shield makes the {e deployed} trajectory satisfy it
+    unconditionally, by projecting each action into the property's
+    admissible set whenever the observed state lies in a precondition:
+
+    - all [k] observed normalized delays ≥ p  ⇒  clamp the action so
+      [CWND ≤ CWND_{i−1}] (never grow the window under sustained high
+      delay);
+    - all [k] observed delays ≤ q  ⇒  clamp so [CWND ≥ CWND_{i−1}].
+
+    The robustness property constrains the policy's sensitivity to
+    unobserved perturbations, which cannot be enforced by projecting a
+    single action, so {!create} rejects it. *)
+
+type t
+
+val create : property:Property.t -> history:int -> t
+(** Raises [Invalid_argument] for a robustness property or a non-positive
+    history. *)
+
+type verdict =
+  | Unconstrained  (** no precondition matched, action passed through *)
+  | Clamped of {
+      case : Property.case;
+      original : float;
+      enforced : float;
+    }  (** the action was projected into the admissible set *)
+
+val filter :
+  t ->
+  state:float array ->
+  cwnd_tcp:float ->
+  prev_cwnd:float ->
+  action:float ->
+  float * verdict
+(** [filter t ~state ~cwnd_tcp ~prev_cwnd ~action] returns the action to
+    actually apply. The returned action always satisfies the matched
+    case's postcondition under Eq. 1 (up to the simulator's window
+    clamp). *)
+
+val interventions : t -> int
+(** Number of {!filter} calls so far that returned [Clamped]. *)
+
+val steps : t -> int
+(** Total {!filter} calls. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

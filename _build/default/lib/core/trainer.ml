@@ -1,0 +1,221 @@
+let log_src = Logs.Src.create "canopy.trainer" ~doc:"certificate-in-the-loop training"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Agent_env = Canopy_orca.Agent_env
+module Observation = Canopy_orca.Observation
+module Td3 = Canopy_rl.Td3
+module Prng = Canopy_util.Prng
+
+type config = {
+  seed : int;
+  lambda : float;
+  property : Property.t;
+  n_components : int;
+  history : int;
+  hidden : int;
+  total_steps : int;
+  updates_per_step : int;
+  envs : Agent_env.config list;
+  log_every : int;
+}
+
+let default_config ?(seed = 42) ?(lambda = 0.25)
+    ?(property = Property.performance ()) ?(n_components = 5)
+    ?(total_steps = 4000) ~envs () =
+  {
+    seed;
+    lambda;
+    property;
+    n_components;
+    history = 5;
+    hidden = 64;
+    total_steps;
+    updates_per_step = 1;
+    envs;
+    log_every = 100;
+  }
+
+let env_pool ?(n = 8) ?(bw_range_mbps = (6., 192.)) ?(rtt_range_ms = (10, 200))
+    ?(duration_ms = 10_000) ?(history = 5) ~seed () =
+  if n <= 0 then invalid_arg "Trainer.env_pool: n";
+  ignore seed;
+  let bw_lo, bw_hi = bw_range_mbps in
+  let rtt_lo, rtt_hi = rtt_range_ms in
+  List.init n (fun i ->
+      (* Uniformly spaced combinations, as in the paper's actor pool. *)
+      let frac = if n = 1 then 0.5 else float_of_int i /. float_of_int (n - 1) in
+      let bw = Canopy_util.Mathx.lerp bw_lo bw_hi frac in
+      let rtt =
+        rtt_lo
+        + int_of_float
+            (frac *. float_of_int (rtt_hi - rtt_lo))
+      in
+      let trace =
+        Canopy_trace.Trace.constant
+          ~name:(Printf.sprintf "train-%02d-%gmbps-%dms" i bw rtt)
+          ~duration_ms ~mbps:bw
+      in
+      let buffer_pkts =
+        Canopy_cc.Runner.buffer_of_bdp ~bdp_multiplier:2. ~trace
+          ~min_rtt_ms:rtt
+      in
+      {
+        (Agent_env.default_config ~trace ~min_rtt_ms:rtt ~buffer_pkts
+           ~duration_ms)
+        with
+        history;
+      })
+
+type epoch = {
+  epoch : int;
+  steps : int;
+  raw_reward : float;
+  verifier_reward : float;
+  combined_reward : float;
+  fcc : float;
+}
+
+let train ?on_epoch cfg =
+  if cfg.envs = [] then invalid_arg "Trainer.train: empty env pool";
+  Log.info (fun m ->
+      m "training: lambda=%.2f %a N=%d steps=%d envs=%d hidden=%d" cfg.lambda
+        Property.pp cfg.property cfg.n_components cfg.total_steps
+        (List.length cfg.envs) cfg.hidden);
+  if cfg.lambda < 0. || cfg.lambda > 1. then
+    invalid_arg "Trainer.train: lambda";
+  List.iter
+    (fun (e : Agent_env.config) ->
+      if e.history <> cfg.history then
+        invalid_arg "Trainer.train: env history mismatch")
+    cfg.envs;
+  let rng = Prng.create cfg.seed in
+  let state_dim = cfg.history * Observation.feature_count in
+  let td3_cfg =
+    { (Td3.default_config ~state_dim ~action_dim:1) with hidden = cfg.hidden }
+  in
+  let agent = Td3.create ~rng:(Prng.split rng) td3_cfg in
+  let envs = Array.of_list (List.map Agent_env.create cfg.envs) in
+  Array.iter (fun env -> ignore (Agent_env.reset env)) envs;
+  let epochs = ref [] in
+  let acc_raw = ref 0. and acc_ver = ref 0. and acc_comb = ref 0. in
+  let acc_fcc = ref 0. and acc_n = ref 0 in
+  let epoch_idx = ref 0 in
+  for step = 1 to cfg.total_steps do
+    let env = envs.(step mod Array.length envs) in
+    let s = Agent_env.state env in
+    let action_vec = Td3.select_action ~explore:true agent s in
+    let action = action_vec.(0) in
+    (* Certificate of the current policy in the current context,
+       computed before the action is applied (Section 4.3). *)
+    let cert =
+      Certify.certify ~actor:(Td3.actor agent) ~property:cfg.property
+        ~n_components:cfg.n_components ~history:cfg.history ~state:s
+        ~cwnd_tcp:(Agent_env.cwnd_tcp env)
+        ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) ()
+    in
+    let res = Agent_env.step env ~action in
+    let reward =
+      ((1. -. cfg.lambda) *. res.raw_reward)
+      +. (cfg.lambda *. cert.r_verifier)
+    in
+    Td3.observe agent
+      {
+        Canopy_rl.Replay_buffer.state = s;
+        action = action_vec;
+        reward;
+        next_state = res.state;
+        terminal = res.finished;
+      };
+    for _ = 1 to cfg.updates_per_step do
+      Td3.update agent
+    done;
+    if res.finished then ignore (Agent_env.reset env);
+    acc_raw := !acc_raw +. res.raw_reward;
+    acc_ver := !acc_ver +. cert.r_verifier;
+    acc_comb := !acc_comb +. reward;
+    acc_fcc := !acc_fcc +. cert.fcc;
+    incr acc_n;
+    if step mod cfg.log_every = 0 || step = cfg.total_steps then begin
+      let n = float_of_int !acc_n in
+      incr epoch_idx;
+      let e =
+        {
+          epoch = !epoch_idx;
+          steps = step;
+          raw_reward = !acc_raw /. n;
+          verifier_reward = !acc_ver /. n;
+          combined_reward = !acc_comb /. n;
+          fcc = !acc_fcc /. n;
+        }
+      in
+      epochs := e :: !epochs;
+      Log.debug (fun m ->
+          m "epoch %d (step %d): raw=%.3f verifier=%.3f combined=%.3f fcc=%.3f"
+            e.epoch e.steps e.raw_reward e.verifier_reward e.combined_reward
+            e.fcc);
+      (match on_epoch with Some f -> f e | None -> ());
+      acc_raw := 0.;
+      acc_ver := 0.;
+      acc_comb := 0.;
+      acc_fcc := 0.;
+      acc_n := 0
+    end
+  done;
+  (agent, List.rev !epochs)
+
+let save_actor agent path = Canopy_nn.Checkpoint.save (Td3.actor agent) path
+let load_actor path = Canopy_nn.Checkpoint.load path
+
+let save_curve epochs path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "epoch,steps,raw,verifier,combined,fcc\n";
+      List.iter
+        (fun e ->
+          Printf.fprintf oc "%d,%d,%h,%h,%h,%h\n" e.epoch e.steps
+            e.raw_reward e.verifier_reward e.combined_reward e.fcc)
+        epochs)
+
+let load_curve path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec read acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> (
+            match String.split_on_char ',' line with
+            | [ e; s; raw; ver; comb; fcc ] when e <> "epoch" ->
+                read
+                  ({
+                     epoch = int_of_string e;
+                     steps = int_of_string s;
+                     raw_reward = float_of_string raw;
+                     verifier_reward = float_of_string ver;
+                     combined_reward = float_of_string comb;
+                     fcc = float_of_string fcc;
+                   }
+                  :: acc)
+            | _ -> read acc)
+      in
+      read [])
+
+let load_or_train ?on_epoch ~cache_dir ~tag cfg =
+  let path = Filename.concat cache_dir (tag ^ ".actor.ckpt") in
+  let curve_path = Filename.concat cache_dir (tag ^ ".curve.csv") in
+  if Sys.file_exists path then begin
+    let epochs =
+      if Sys.file_exists curve_path then load_curve curve_path else []
+    in
+    (load_actor path, epochs)
+  end
+  else begin
+    let agent, epochs = train ?on_epoch cfg in
+    if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
+    save_actor agent path;
+    save_curve epochs curve_path;
+    (Canopy_rl.Td3.actor agent, epochs)
+  end

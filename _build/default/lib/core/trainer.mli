@@ -1,0 +1,83 @@
+(** Certificate-in-the-loop training (Sections 4.4–4.5 and 5).
+
+    Wraps the TD3 learner in a loop that, at every environment step,
+    builds a certificate for the current policy (Section 4.3) and mixes
+    the resulting verifier reward into the raw Orca reward per Eq. 11:
+    [r = (1−λ)·R + λ·R_verifier]. λ = 0 recovers plain Orca training
+    (the verifier still runs so its reward can be reported, as in the
+    paper's Fig. 14 comparison).
+
+    Training runs against a pool of stable-bandwidth links sampled from
+    the Table-2 ranges, stepping the environments round-robin — the
+    sequential stand-in for the paper's 256 distributed actors. *)
+
+type config = {
+  seed : int;
+  lambda : float;  (** verifier-reward weight, in [0,1] *)
+  property : Property.t;
+  n_components : int;  (** certificate slices during training (N) *)
+  history : int;  (** k observation frames per state *)
+  hidden : int;  (** actor/critic hidden width *)
+  total_steps : int;  (** environment interactions *)
+  updates_per_step : int;  (** TD3 gradient steps per interaction *)
+  envs : Canopy_orca.Agent_env.config list;  (** training pool *)
+  log_every : int;  (** steps per reported epoch *)
+}
+
+val default_config :
+  ?seed:int ->
+  ?lambda:float ->
+  ?property:Property.t ->
+  ?n_components:int ->
+  ?total_steps:int ->
+  envs:Canopy_orca.Agent_env.config list ->
+  unit ->
+  config
+(** λ = 0.25, performance property, N = 5, history 5, hidden 64,
+    1 update/step, 4000 steps, log every 100. *)
+
+val env_pool :
+  ?n:int ->
+  ?bw_range_mbps:float * float ->
+  ?rtt_range_ms:int * int ->
+  ?duration_ms:int ->
+  ?history:int ->
+  seed:int ->
+  unit ->
+  Canopy_orca.Agent_env.config list
+(** Stable-bandwidth training links per Table 2: [n] (default 8) links
+    with bandwidth and minRTT uniformly spaced across the given ranges
+    (defaults 6–192 Mbps, 10–200 ms) and buffers of 2 BDP. *)
+
+type epoch = {
+  epoch : int;
+  steps : int;  (** cumulative environment steps *)
+  raw_reward : float;  (** mean raw reward over the epoch *)
+  verifier_reward : float;  (** mean R_verifier over the epoch *)
+  combined_reward : float;  (** mean Eq. 11 reward *)
+  fcc : float;  (** mean fraction of certified components *)
+}
+
+val train :
+  ?on_epoch:(epoch -> unit) -> config -> Canopy_rl.Td3.t * epoch list
+(** Run the full loop; returns the trained agent and the per-epoch
+    training curve (Fig. 14). *)
+
+val save_actor : Canopy_rl.Td3.t -> string -> unit
+val load_actor : string -> Canopy_nn.Mlp.t
+
+val save_curve : epoch list -> string -> unit
+(** Write a training curve as CSV (epoch, steps, raw, verifier, combined,
+    fcc). *)
+
+val load_curve : string -> epoch list
+
+val load_or_train :
+  ?on_epoch:(epoch -> unit) ->
+  cache_dir:string ->
+  tag:string ->
+  config ->
+  Canopy_nn.Mlp.t * epoch list
+(** Train once and cache the resulting actor and training curve under
+    [cache_dir/tag]; subsequent calls with the same tag reload both
+    instead of retraining. *)

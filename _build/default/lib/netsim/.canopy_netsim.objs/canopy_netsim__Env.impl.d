@@ -1,0 +1,1 @@
+lib/netsim/env.ml: Array Canopy_trace Canopy_util Float List Queue

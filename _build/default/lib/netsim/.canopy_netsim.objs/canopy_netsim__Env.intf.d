@@ -1,0 +1,1 @@
+lib/netsim/env.mli: Canopy_trace Canopy_util

@@ -1,0 +1,1 @@
+lib/netsim/multiflow.ml: Array Canopy_trace Env Float List Queue

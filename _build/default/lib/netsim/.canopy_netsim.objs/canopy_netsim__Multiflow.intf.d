@@ -1,0 +1,1 @@
+lib/netsim/multiflow.mli: Canopy_trace Env

@@ -1,0 +1,100 @@
+(** Millisecond-granularity bottleneck-link emulator.
+
+    Reproduces the Mahimahi link model the paper evaluates on: a
+    trace-driven bottleneck where each millisecond offers a number of
+    MTU-sized packet delivery opportunities (wasted when the queue is
+    empty), a droptail FIFO buffer in front of it, and a fixed propagation
+    delay so that [RTT = minRTT + queueing delay]. The reverse (ACK) path
+    is uncongested.
+
+    The sender transmits whenever fewer packets are in flight than the
+    current congestion window; the window itself is set from outside each
+    tick, which is what lets a learned controller override its TCP
+    backbone's suggestion (Eq. 1). Packets dropped at the queue surface to
+    the sender as a loss event one minRTT later, approximating dup-ACK
+    detection. *)
+
+type ack = {
+  now_ms : int;  (** time the ACK reaches the sender *)
+  seq : int;
+  rtt_ms : int;  (** minRTT + queueing delay for this packet *)
+  delivered : int;  (** cumulative delivered count including this packet *)
+}
+(** Feedback for one acknowledged packet. *)
+
+type handlers = {
+  on_ack : ack -> unit;
+  on_loss : now_ms:int -> unit;  (** one call per lost packet *)
+}
+
+val null_handlers : handlers
+
+val chain : handlers -> handlers -> handlers
+(** Invoke both, first argument first. *)
+
+type impairments = {
+  random_loss : float;  (** probability of non-congestive packet loss *)
+  ack_jitter_ms : int;  (** max extra delay added to each ACK's return *)
+  seed : int;  (** PRNG seed for the impairment processes *)
+}
+(** Optional link pathologies beyond droptail congestion: wireless-style
+    random loss and return-path jitter. Both feed the measurement noise
+    the robustness property is about. *)
+
+val no_impairments : impairments
+
+type config = {
+  trace : Canopy_trace.Trace.t;
+  min_rtt_ms : int;  (** two-way propagation delay, >= 2 *)
+  buffer_pkts : int;  (** droptail queue capacity, >= 1 *)
+  mtu_bytes : int;
+  initial_cwnd : float;
+  impairments : impairments;
+}
+
+val default_mtu : int
+(** 1500 bytes. *)
+
+val bdp_pkts : mbps:float -> min_rtt_ms:int -> mtu_bytes:int -> int
+(** Bandwidth-delay product in packets, at least 1. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+val now_ms : t -> int
+
+val cwnd : t -> float
+val set_cwnd : t -> float -> unit
+(** Clamped below at 1 packet. *)
+
+val inflight : t -> int
+val queue_len : t -> int
+
+val tick : t -> handlers -> unit
+(** Advance the simulation by one millisecond: deliver due ACKs and loss
+    notifications (invoking the handlers), drain the bottleneck according
+    to the trace, then let the sender fill the window. *)
+
+val run : t -> handlers -> ms:int -> unit
+(** [tick] repeated [ms] times. *)
+
+(** Cumulative counters since creation. *)
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  capacity_pkts : float;  (** delivery opportunities offered by the trace *)
+  rtt_samples : Canopy_util.Fbuf.t;  (** per-ACK RTT in ms *)
+}
+
+val stats : t -> stats
+val utilization : t -> float
+(** Delivered packets over offered capacity so far; 0 before any tick. *)
+
+val loss_rate : t -> float
+(** Dropped over sent; 0 before any send. *)
+
+val avg_qdelay_ms : t -> float
+val qdelay_array_ms : t -> float array
+(** Per-ACK queueing delay samples (RTT − minRTT). *)

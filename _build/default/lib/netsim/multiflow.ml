@@ -1,0 +1,211 @@
+type config = {
+  trace : Canopy_trace.Trace.t;
+  min_rtt_ms : int array;
+  buffer_pkts : int;
+  mtu_bytes : int;
+  initial_cwnd : float;
+}
+
+type return_event =
+  | Ev_ack of { flow : int; seq : int; sent_ms : int }
+  | Ev_loss of { flow : int }
+
+type flow_state = {
+  min_rtt_ms : int;
+  mutable cwnd : float;
+  mutable inflight : int;
+  mutable next_seq : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+type t = {
+  cfg : config;
+  mutable now_ms : int;
+  flows : flow_state array;
+  queue : (int * int * int) Queue.t; (* (flow, seq, sent_ms) *)
+  mutable queue_len : int;
+  mutable credit : float;
+  return_path : (int * return_event) Queue.t;
+  mutable capacity_pkts : float;
+  mutable last_scheduled_ms : int;
+}
+
+let create (cfg : config) =
+  let n = Array.length cfg.min_rtt_ms in
+  if n = 0 then invalid_arg "Multiflow.create: no flows";
+  Array.iter
+    (fun r -> if r < 2 then invalid_arg "Multiflow.create: min_rtt_ms")
+    cfg.min_rtt_ms;
+  if cfg.buffer_pkts < 1 then invalid_arg "Multiflow.create: buffer_pkts";
+  if cfg.initial_cwnd < 1. then invalid_arg "Multiflow.create: initial_cwnd";
+  {
+    cfg;
+    now_ms = 0;
+    flows =
+      Array.map
+        (fun min_rtt_ms ->
+          {
+            min_rtt_ms;
+            cwnd = cfg.initial_cwnd;
+            inflight = 0;
+            next_seq = 0;
+            sent = 0;
+            delivered = 0;
+            dropped = 0;
+          })
+        cfg.min_rtt_ms;
+    queue = Queue.create ();
+    queue_len = 0;
+    credit = 0.;
+    return_path = Queue.create ();
+    capacity_pkts = 0.;
+    last_scheduled_ms = 0;
+  }
+
+let flows t = Array.length t.flows
+let now_ms t = t.now_ms
+let cwnd t ~flow = t.flows.(flow).cwnd
+let set_cwnd t ~flow w = t.flows.(flow).cwnd <- Float.max 1. w
+let inflight t ~flow = t.flows.(flow).inflight
+let queue_len t = t.queue_len
+
+let process_return_path t handlers =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.return_path) do
+    let arrival, ev = Queue.peek t.return_path in
+    if arrival > t.now_ms then continue := false
+    else begin
+      ignore (Queue.pop t.return_path);
+      match ev with
+      | Ev_ack { flow; seq; sent_ms } ->
+          let f = t.flows.(flow) in
+          f.inflight <- max 0 (f.inflight - 1);
+          f.delivered <- f.delivered + 1;
+          handlers.(flow).Env.on_ack
+            {
+              Env.now_ms = t.now_ms;
+              seq;
+              rtt_ms = t.now_ms - sent_ms;
+              delivered = f.delivered;
+            }
+      | Ev_loss { flow } ->
+          let f = t.flows.(flow) in
+          f.inflight <- max 0 (f.inflight - 1);
+          handlers.(flow).Env.on_loss ~now_ms:t.now_ms
+    end
+  done
+
+(* Return-path events are scheduled at sent/dequeue time plus each
+   flow's own minRTT, so arrival order is not globally monotone when
+   flows have different delays. The O(1) watermark fast-path covers the
+   homogeneous-RTT case; heterogeneous mixes trigger an ordered rebuild. *)
+let schedule t arrival ev =
+  if arrival >= t.last_scheduled_ms then begin
+    t.last_scheduled_ms <- arrival;
+    Queue.push (arrival, ev) t.return_path
+  end
+  else begin
+    let items = Queue.fold (fun acc x -> x :: acc) [] t.return_path in
+    Queue.clear t.return_path;
+    List.stable_sort
+      (fun (a, _) (b, _) -> compare a b)
+      ((arrival, ev) :: List.rev items)
+    |> List.iter (fun x -> Queue.push x t.return_path)
+  end
+
+let drain_bottleneck t =
+  let ppms =
+    Canopy_trace.Trace.packets_per_ms ~mtu_bytes:t.cfg.mtu_bytes t.cfg.trace
+      t.now_ms
+  in
+  t.capacity_pkts <- t.capacity_pkts +. ppms;
+  t.credit <- t.credit +. ppms;
+  let opportunities = int_of_float (Float.floor t.credit) in
+  t.credit <- t.credit -. float_of_int opportunities;
+  let used = min opportunities t.queue_len in
+  for _ = 1 to used do
+    let flow, seq, sent_ms = Queue.pop t.queue in
+    t.queue_len <- t.queue_len - 1;
+    schedule t
+      (t.now_ms + t.flows.(flow).min_rtt_ms)
+      (Ev_ack { flow; seq; sent_ms })
+  done
+
+let sender_fill t =
+  (* Round-robin across flows so no flow systematically grabs the last
+     buffer slots within a tick. *)
+  let n = Array.length t.flows in
+  let blocked = Array.make n false in
+  let remaining = ref n in
+  let i = ref (t.now_ms mod n) in
+  while !remaining > 0 do
+    let flow = !i mod n in
+    let f = t.flows.(flow) in
+    if blocked.(flow) then ()
+    else if f.inflight >= max 1 (int_of_float (Float.floor f.cwnd)) then begin
+      blocked.(flow) <- true;
+      decr remaining
+    end
+    else begin
+      let seq = f.next_seq in
+      f.next_seq <- f.next_seq + 1;
+      f.sent <- f.sent + 1;
+      f.inflight <- f.inflight + 1;
+      if t.queue_len < t.cfg.buffer_pkts then begin
+        Queue.push (flow, seq, t.now_ms) t.queue;
+        t.queue_len <- t.queue_len + 1
+      end
+      else begin
+        f.dropped <- f.dropped + 1;
+        schedule t (t.now_ms + f.min_rtt_ms) (Ev_loss { flow })
+      end
+    end;
+    incr i
+  done
+
+let tick t handlers =
+  if Array.length handlers <> Array.length t.flows then
+    invalid_arg "Multiflow.tick: handlers";
+  t.now_ms <- t.now_ms + 1;
+  process_return_path t handlers;
+  sender_fill t;
+  drain_bottleneck t
+
+let run t handlers ~ms =
+  if ms < 0 then invalid_arg "Multiflow.run: ms";
+  for _ = 1 to ms do
+    tick t handlers
+  done
+
+let delivered t ~flow = t.flows.(flow).delivered
+let dropped t ~flow = t.flows.(flow).dropped
+let sent t ~flow = t.flows.(flow).sent
+
+let throughput_mbps t ~flow =
+  if t.now_ms = 0 then 0.
+  else
+    float_of_int t.flows.(flow).delivered
+    *. float_of_int t.cfg.mtu_bytes *. 8. /. 1e6
+    /. (float_of_int t.now_ms /. 1000.)
+
+let jain_index t =
+  let n = Array.length t.flows in
+  if n < 2 then 1.
+  else begin
+    let xs = Array.map (fun f -> float_of_int f.delivered) t.flows in
+    let sum = Array.fold_left ( +. ) 0. xs in
+    let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if sum_sq <= 0. then 1.
+    else sum *. sum /. (float_of_int n *. sum_sq)
+  end
+
+let utilization t =
+  if t.capacity_pkts <= 0. then 0.
+  else begin
+    let total =
+      Array.fold_left (fun acc f -> acc + f.delivered) 0 t.flows
+    in
+    Float.min 1. (float_of_int total /. t.capacity_pkts)
+  end

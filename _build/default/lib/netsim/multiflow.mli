@@ -1,0 +1,50 @@
+(** Multiple senders sharing one bottleneck link.
+
+    Extends the single-flow {!Env} model to [n] competing flows: one
+    trace-driven bottleneck with a shared droptail queue, per-flow
+    propagation delays and congestion windows, and per-flow ACK/loss
+    feedback. Enables fairness studies (Jain's index, bandwidth shares)
+    that a learned controller must not regress — a deployment concern
+    adjacent to the paper's single-flow evaluation. *)
+
+type config = {
+  trace : Canopy_trace.Trace.t;
+  min_rtt_ms : int array;  (** per-flow two-way propagation delay, each >= 2 *)
+  buffer_pkts : int;  (** shared droptail queue capacity *)
+  mtu_bytes : int;
+  initial_cwnd : float;
+}
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] on an empty flow list or invalid sizes. *)
+
+val flows : t -> int
+val now_ms : t -> int
+val cwnd : t -> flow:int -> float
+val set_cwnd : t -> flow:int -> float -> unit
+val inflight : t -> flow:int -> int
+val queue_len : t -> int
+
+val tick : t -> Env.handlers array -> unit
+(** Advance one millisecond; [handlers.(i)] receives flow [i]'s feedback.
+    Raises [Invalid_argument] when the array length differs from the flow
+    count. *)
+
+val run : t -> Env.handlers array -> ms:int -> unit
+
+val delivered : t -> flow:int -> int
+val dropped : t -> flow:int -> int
+val sent : t -> flow:int -> int
+
+val throughput_mbps : t -> flow:int -> float
+(** Average delivered rate of the flow since creation. *)
+
+val jain_index : t -> float
+(** Jain's fairness index over per-flow delivered counts; 1 when all
+    flows received identical shares, [1/n] in the most unfair case.
+    Returns 1 for fewer than two flows or before any delivery. *)
+
+val utilization : t -> float
+(** Aggregate delivered packets over offered capacity. *)

@@ -1,0 +1,1 @@
+lib/nn/checkpoint.ml: Array Buffer Canopy_tensor Fun Layer List Mat Mlp Printf String Vec

@@ -1,0 +1,1 @@
+lib/nn/checkpoint.mli: Mlp

@@ -1,0 +1,1 @@
+lib/nn/layer.ml: Array Canopy_tensor Canopy_util Float Mat Vec

@@ -1,0 +1,1 @@
+lib/nn/layer.mli: Canopy_tensor Canopy_util Mat Vec

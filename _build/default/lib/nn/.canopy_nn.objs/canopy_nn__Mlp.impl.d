@@ -1,0 +1,1 @@
+lib/nn/mlp.ml: Array Canopy_tensor Layer List Mat Printf Vec

@@ -1,0 +1,1 @@
+lib/nn/mlp.mli: Canopy_tensor Canopy_util Layer Vec

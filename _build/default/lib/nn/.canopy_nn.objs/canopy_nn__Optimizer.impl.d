@@ -1,0 +1,1 @@
+lib/nn/optimizer.ml: Array Hashtbl List

@@ -1,0 +1,133 @@
+open Canopy_tensor
+
+let magic = "canopy-mlp v1"
+
+let write_vec buf v =
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%h" x))
+    v;
+  Buffer.add_char buf '\n'
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "in_dim %d\n" (Mlp.in_dim net));
+  let layers = Mlp.layers net in
+  Buffer.add_string buf (Printf.sprintf "layers %d\n" (List.length layers));
+  List.iter
+    (fun layer ->
+      match layer with
+      | Layer.Dense d ->
+          Buffer.add_string buf
+            (Printf.sprintf "dense %d %d\n" (Mat.rows d.w) (Mat.cols d.w));
+          write_vec buf (Mat.raw d.w);
+          write_vec buf d.b
+      | Layer.Batch_norm bn ->
+          Buffer.add_string buf
+            (Printf.sprintf "batch_norm %d %h %h\n" (Vec.dim bn.gamma)
+               bn.momentum bn.eps);
+          write_vec buf bn.gamma;
+          write_vec buf bn.beta;
+          write_vec buf bn.running_mean;
+          write_vec buf bn.running_var
+      | Layer.Leaky_relu slope ->
+          Buffer.add_string buf (Printf.sprintf "leaky_relu %h\n" slope)
+      | Layer.Relu -> Buffer.add_string buf "relu\n"
+      | Layer.Tanh -> Buffer.add_string buf "tanh\n")
+    layers;
+  Buffer.contents buf
+
+let parse_floats line expected =
+  let parts =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  if List.length parts <> expected then
+    failwith
+      (Printf.sprintf "Checkpoint: expected %d floats, found %d" expected
+         (List.length parts));
+  Array.of_list (List.map float_of_string parts)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines = ref lines in
+  let next () =
+    match !lines with
+    | [] -> failwith "Checkpoint: unexpected end of file"
+    | l :: rest ->
+        lines := rest;
+        l
+  in
+  if String.trim (next ()) <> magic then failwith "Checkpoint: bad magic";
+  let in_dim =
+    match String.split_on_char ' ' (String.trim (next ())) with
+    | [ "in_dim"; n ] -> int_of_string n
+    | _ -> failwith "Checkpoint: expected in_dim"
+  in
+  let count =
+    match String.split_on_char ' ' (String.trim (next ())) with
+    | [ "layers"; n ] -> int_of_string n
+    | _ -> failwith "Checkpoint: expected layers"
+  in
+  let read_layer () =
+    let header =
+      String.split_on_char ' ' (String.trim (next ()))
+      |> List.filter (fun x -> x <> "")
+    in
+    match header with
+    | [ "dense"; rows; cols ] ->
+        let rows = int_of_string rows and cols = int_of_string cols in
+        (* Sequence the reads explicitly: evaluation order inside record
+           and tuple literals is unspecified. *)
+        let wdata = parse_floats (next ()) (rows * cols) in
+        let b = parse_floats (next ()) rows in
+        let w = Mat.init ~rows ~cols (fun i j -> wdata.((i * cols) + j)) in
+        Layer.Dense
+          { w; b; dw = Mat.create ~rows ~cols; db = Vec.create rows }
+    | [ "batch_norm"; dim; momentum; eps ] ->
+        let dim = int_of_string dim in
+        let gamma = parse_floats (next ()) dim in
+        let beta = parse_floats (next ()) dim in
+        let running_mean = parse_floats (next ()) dim in
+        let running_var = parse_floats (next ()) dim in
+        Layer.Batch_norm
+          {
+            gamma;
+            beta;
+            running_mean;
+            running_var;
+            dgamma = Vec.create dim;
+            dbeta = Vec.create dim;
+            momentum = float_of_string momentum;
+            eps = float_of_string eps;
+          }
+    | [ "leaky_relu"; slope ] -> Layer.Leaky_relu (float_of_string slope)
+    | [ "relu" ] -> Layer.Relu
+    | [ "tanh" ] -> Layer.Tanh
+    | _ -> failwith "Checkpoint: unknown layer header"
+  in
+  (* Read sequentially; List.init gives no order guarantee for the
+     side-effecting reader. *)
+  let layers = ref [] in
+  for _ = 1 to count do
+    layers := read_layer () :: !layers
+  done;
+  Mlp.create ~in_dim (List.rev !layers)
+
+let save net path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string net))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_string s)

@@ -1,0 +1,16 @@
+(** Plain-text checkpointing of networks.
+
+    A checkpoint stores the full layer stack — weights, biases, batch-norm
+    parameters and running statistics — so a restored network certifies and
+    acts identically to the saved one. The format is a line-oriented text
+    file, dependency-free and stable across sessions. *)
+
+val save : Mlp.t -> string -> unit
+(** [save net path] writes [net] to [path], overwriting any existing
+    file. *)
+
+val load : string -> Mlp.t
+(** Raises [Failure] with a descriptive message on malformed input. *)
+
+val to_string : Mlp.t -> string
+val of_string : string -> Mlp.t

@@ -1,0 +1,290 @@
+open Canopy_tensor
+
+type dense = { w : Mat.t; b : Vec.t; dw : Mat.t; db : Vec.t }
+
+type batch_norm = {
+  gamma : Vec.t;
+  beta : Vec.t;
+  dgamma : Vec.t;
+  dbeta : Vec.t;
+  running_mean : Vec.t;
+  running_var : Vec.t;
+  momentum : float;
+  eps : float;
+}
+
+type t =
+  | Dense of dense
+  | Batch_norm of batch_norm
+  | Leaky_relu of float
+  | Relu
+  | Tanh
+
+type mode = Train | Eval
+
+type cache =
+  | C_dense of Vec.t array
+  | C_bn of {
+      x : Vec.t array;
+      xhat : Vec.t array;
+      inv_std : Vec.t;
+      mu : Vec.t;
+      batch_stats : bool;
+    }
+  | C_leaky of float * Vec.t array
+  | C_relu of Vec.t array
+  | C_tanh of Vec.t array (* outputs *)
+
+let dense ~rng ~in_dim ~out_dim =
+  if in_dim <= 0 || out_dim <= 0 then invalid_arg "Layer.dense: dims";
+  (* He initialization suits the (leaky-)ReLU activations used here. *)
+  let scale = sqrt (2. /. float_of_int in_dim) in
+  let w =
+    Mat.init ~rows:out_dim ~cols:in_dim (fun _ _ ->
+        Canopy_util.Prng.gaussian_scaled rng ~mu:0. ~sigma:scale)
+  in
+  Dense
+    {
+      w;
+      b = Vec.create out_dim;
+      dw = Mat.create ~rows:out_dim ~cols:in_dim;
+      db = Vec.create out_dim;
+    }
+
+let batch_norm ?(momentum = 0.1) ?(eps = 1e-5) ~dim () =
+  if dim <= 0 then invalid_arg "Layer.batch_norm: dim";
+  let ones = Vec.init dim (fun _ -> 1.) in
+  Batch_norm
+    {
+      gamma = Vec.copy ones;
+      beta = Vec.create dim;
+      dgamma = Vec.create dim;
+      dbeta = Vec.create dim;
+      running_mean = Vec.create dim;
+      running_var = Vec.copy ones;
+      momentum;
+      eps;
+    }
+
+let leaky_relu ?(slope = 0.01) () = Leaky_relu slope
+let relu = Relu
+let tanh = Tanh
+
+let out_dim ~in_dim = function
+  | Dense d -> Mat.rows d.w
+  | Batch_norm _ | Leaky_relu _ | Relu | Tanh -> in_dim
+
+let leaky_fwd slope x = Array.map (fun v -> if v >= 0. then v else slope *. v) x
+
+let bn_affine bn x =
+  Array.mapi
+    (fun i v ->
+      let inv = 1. /. sqrt (bn.running_var.(i) +. bn.eps) in
+      (bn.gamma.(i) *. (v -. bn.running_mean.(i)) *. inv) +. bn.beta.(i))
+    x
+
+let forward1 mode layer x =
+  match layer with
+  | Dense d ->
+      let y = Mat.mat_vec d.w x in
+      Vec.axpy ~alpha:1. ~x:d.b ~y;
+      y
+  | Batch_norm bn ->
+      (* A single sample has no batch statistics: use the running ones in
+         both modes (this is also what the verifier certifies against). *)
+      ignore mode;
+      bn_affine bn x
+  | Leaky_relu slope -> leaky_fwd slope x
+  | Relu -> Array.map (fun v -> Float.max 0. v) x
+  | Tanh -> Array.map Float.tanh x
+
+let forward mode layer batch =
+  let n = Array.length batch in
+  if n = 0 then invalid_arg "Layer.forward: empty batch";
+  match layer with
+  | Dense d ->
+      let out =
+        Array.map
+          (fun x ->
+            let y = Mat.mat_vec d.w x in
+            Vec.axpy ~alpha:1. ~x:d.b ~y;
+            y)
+          batch
+      in
+      (out, C_dense batch)
+  | Batch_norm bn ->
+      let dim = Vec.dim bn.gamma in
+      let use_batch_stats = mode = Train && n > 1 in
+      if use_batch_stats then begin
+        let mu = Vec.create dim and var = Vec.create dim in
+        Array.iter (fun x -> Vec.axpy ~alpha:(1. /. float_of_int n) ~x ~y:mu)
+          batch;
+        Array.iter
+          (fun x ->
+            for i = 0 to dim - 1 do
+              let d = x.(i) -. mu.(i) in
+              var.(i) <- var.(i) +. (d *. d /. float_of_int n)
+            done)
+          batch;
+        let inv_std = Vec.init dim (fun i -> 1. /. sqrt (var.(i) +. bn.eps)) in
+        let xhat =
+          Array.map
+            (fun x -> Vec.init dim (fun i -> (x.(i) -. mu.(i)) *. inv_std.(i)))
+            batch
+        in
+        let out =
+          Array.map
+            (fun xh ->
+              Vec.init dim (fun i -> (bn.gamma.(i) *. xh.(i)) +. bn.beta.(i)))
+            xhat
+        in
+        (* Fold the batch statistics into the running estimates. *)
+        for i = 0 to dim - 1 do
+          bn.running_mean.(i) <-
+            ((1. -. bn.momentum) *. bn.running_mean.(i))
+            +. (bn.momentum *. mu.(i));
+          bn.running_var.(i) <-
+            ((1. -. bn.momentum) *. bn.running_var.(i))
+            +. (bn.momentum *. var.(i))
+        done;
+        (out, C_bn { x = batch; xhat; inv_std; mu; batch_stats = true })
+      end
+      else begin
+        let inv_std =
+          Vec.init dim (fun i -> 1. /. sqrt (bn.running_var.(i) +. bn.eps))
+        in
+        let xhat =
+          Array.map
+            (fun x ->
+              Vec.init dim (fun i ->
+                  (x.(i) -. bn.running_mean.(i)) *. inv_std.(i)))
+            batch
+        in
+        let out =
+          Array.map
+            (fun xh ->
+              Vec.init dim (fun i -> (bn.gamma.(i) *. xh.(i)) +. bn.beta.(i)))
+            xhat
+        in
+        ( out,
+          C_bn
+            {
+              x = batch;
+              xhat;
+              inv_std;
+              mu = Vec.copy bn.running_mean;
+              batch_stats = false;
+            } )
+      end
+  | Leaky_relu slope ->
+      (Array.map (leaky_fwd slope) batch, C_leaky (slope, batch))
+  | Relu -> (Array.map (Array.map (fun v -> Float.max 0. v)) batch, C_relu batch)
+  | Tanh ->
+      let out = Array.map (Array.map Float.tanh) batch in
+      (out, C_tanh out)
+
+let backward layer cache dout =
+  match (layer, cache) with
+  | Dense d, C_dense xs ->
+      let n = Array.length xs in
+      if Array.length dout <> n then invalid_arg "Layer.backward: batch size";
+      let dx = Array.make n [||] in
+      for b = 0 to n - 1 do
+        Mat.outer_acc d.dw dout.(b) xs.(b);
+        Vec.axpy ~alpha:1. ~x:dout.(b) ~y:d.db;
+        dx.(b) <- Mat.mat_tvec d.w dout.(b)
+      done;
+      dx
+  | Batch_norm bn, C_bn c ->
+      let n = Array.length c.x in
+      let dim = Vec.dim bn.gamma in
+      if Array.length dout <> n then invalid_arg "Layer.backward: batch size";
+      (* Parameter gradients are identical in both statistic regimes. *)
+      for b = 0 to n - 1 do
+        for i = 0 to dim - 1 do
+          bn.dgamma.(i) <- bn.dgamma.(i) +. (dout.(b).(i) *. c.xhat.(b).(i));
+          bn.dbeta.(i) <- bn.dbeta.(i) +. dout.(b).(i)
+        done
+      done;
+      if not c.batch_stats then
+        (* Running statistics are constants: the map is affine. *)
+        Array.map
+          (fun dy ->
+            Vec.init dim (fun i -> dy.(i) *. bn.gamma.(i) *. c.inv_std.(i)))
+          dout
+      else begin
+        (* Full batch-norm backward through the batch mean and variance. *)
+        let nf = float_of_int n in
+        let sum_dxhat = Vec.create dim in
+        let sum_dxhat_xhat = Vec.create dim in
+        let dxhat =
+          Array.map
+            (fun dy -> Vec.init dim (fun i -> dy.(i) *. bn.gamma.(i)))
+            dout
+        in
+        for b = 0 to n - 1 do
+          for i = 0 to dim - 1 do
+            sum_dxhat.(i) <- sum_dxhat.(i) +. dxhat.(b).(i);
+            sum_dxhat_xhat.(i) <-
+              sum_dxhat_xhat.(i) +. (dxhat.(b).(i) *. c.xhat.(b).(i))
+          done
+        done;
+        Array.mapi
+          (fun b _ ->
+            Vec.init dim (fun i ->
+                c.inv_std.(i) /. nf
+                *. ((nf *. dxhat.(b).(i))
+                    -. sum_dxhat.(i)
+                    -. (c.xhat.(b).(i) *. sum_dxhat_xhat.(i)))))
+          dout
+      end
+  | Leaky_relu slope, C_leaky (slope', xs) ->
+      assert (slope = slope');
+      Array.mapi
+        (fun b dy ->
+          Array.mapi (fun i g -> if xs.(b).(i) >= 0. then g else slope *. g) dy)
+        dout
+  | Relu, C_relu xs ->
+      Array.mapi
+        (fun b dy ->
+          Array.mapi (fun i g -> if xs.(b).(i) > 0. then g else 0.) dy)
+        dout
+  | Tanh, C_tanh ys ->
+      Array.mapi
+        (fun b dy ->
+          Array.mapi (fun i g -> g *. (1. -. (ys.(b).(i) *. ys.(b).(i)))) dy)
+        dout
+  | (Dense _ | Batch_norm _ | Leaky_relu _ | Relu | Tanh), _ ->
+      invalid_arg "Layer.backward: cache does not match layer"
+
+let zero_grad = function
+  | Dense d ->
+      Mat.fill d.dw 0.;
+      Vec.fill d.db 0.
+  | Batch_norm bn ->
+      Vec.fill bn.dgamma 0.;
+      Vec.fill bn.dbeta 0.
+  | Leaky_relu _ | Relu | Tanh -> ()
+
+let params = function
+  | Dense d -> [ (Mat.raw d.w, Mat.raw d.dw); (d.b, d.db) ]
+  | Batch_norm bn -> [ (bn.gamma, bn.dgamma); (bn.beta, bn.dbeta) ]
+  | Leaky_relu _ | Relu | Tanh -> []
+
+let copy = function
+  | Dense d ->
+      Dense
+        { w = Mat.copy d.w; b = Vec.copy d.b; dw = Mat.copy d.dw;
+          db = Vec.copy d.db }
+  | Batch_norm bn ->
+      Batch_norm
+        {
+          bn with
+          gamma = Vec.copy bn.gamma;
+          beta = Vec.copy bn.beta;
+          dgamma = Vec.copy bn.dgamma;
+          dbeta = Vec.copy bn.dbeta;
+          running_mean = Vec.copy bn.running_mean;
+          running_var = Vec.copy bn.running_var;
+        }
+  | (Leaky_relu _ | Relu | Tanh) as l -> l

@@ -1,0 +1,79 @@
+(** Neural-network layers with explicit forward/backward passes.
+
+    Implements exactly the pieces the paper's controller needs
+    (Section 5): fully-connected layers, batch normalization, LeakyReLU,
+    plus ReLU and a tanh output head for the bounded action space
+    [a ∈ \[-1,1\]]. Layers are mutable records carrying both parameters and
+    their gradient accumulators so that an optimizer can update them in
+    place. *)
+
+open Canopy_tensor
+
+type dense = {
+  w : Mat.t;  (** [out_dim × in_dim] weight matrix *)
+  b : Vec.t;  (** bias, length [out_dim] *)
+  dw : Mat.t;  (** gradient accumulator for [w] *)
+  db : Vec.t;  (** gradient accumulator for [b] *)
+}
+
+type batch_norm = {
+  gamma : Vec.t;
+  beta : Vec.t;
+  dgamma : Vec.t;
+  dbeta : Vec.t;
+  running_mean : Vec.t;
+  running_var : Vec.t;
+  momentum : float;  (** update rate for the running statistics *)
+  eps : float;
+}
+
+type t =
+  | Dense of dense
+  | Batch_norm of batch_norm
+  | Leaky_relu of float  (** negative-side slope *)
+  | Relu
+  | Tanh
+
+type mode =
+  | Train  (** batch statistics for BN, running stats updated *)
+  | Eval  (** running statistics for BN (also used by the verifier) *)
+
+type cache
+(** Opaque per-layer activation cache produced by {!forward} and consumed
+    by {!backward}. *)
+
+val dense : rng:Canopy_util.Prng.t -> in_dim:int -> out_dim:int -> t
+(** He-initialized fully-connected layer. *)
+
+val batch_norm : ?momentum:float -> ?eps:float -> dim:int -> unit -> t
+(** Batch normalization initialized to the identity transform
+    (gamma = 1, beta = 0, running mean 0, running variance 1). *)
+
+val leaky_relu : ?slope:float -> unit -> t
+(** Default slope 0.01. *)
+
+val relu : t
+val tanh : t
+
+val out_dim : in_dim:int -> t -> int
+(** Output dimension of the layer given its input dimension. *)
+
+val forward : mode -> t -> Vec.t array -> Vec.t array * cache
+(** Batched forward pass. In [Train] mode, a batch-norm layer uses the
+    batch statistics and folds them into its running statistics. *)
+
+val forward1 : mode -> t -> Vec.t -> Vec.t
+(** Single-sample forward without a cache (no running-stat update even in
+    [Train] mode); convenient for action selection. *)
+
+val backward : t -> cache -> Vec.t array -> Vec.t array
+(** [backward layer cache dout] accumulates parameter gradients into the
+    layer and returns the gradient with respect to the layer input. Must be
+    called with the cache of the matching {!forward} invocation. *)
+
+val zero_grad : t -> unit
+val params : t -> (float array * float array) list
+(** [(value, gradient)] pairs viewed as flat arrays, in a stable order. *)
+
+val copy : t -> t
+(** Deep copy (used to instantiate target networks). *)

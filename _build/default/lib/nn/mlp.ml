@@ -1,0 +1,113 @@
+open Canopy_tensor
+
+type t = { in_dim : int; out_dim : int; layers : Layer.t list }
+
+let infer_out_dim in_dim layers =
+  List.fold_left
+    (fun dim layer ->
+      (match layer with
+      | Layer.Dense d ->
+          if Mat.cols d.w <> dim then
+            invalid_arg
+              (Printf.sprintf "Mlp.create: dense expects %d inputs, got %d"
+                 (Mat.cols d.w) dim)
+      | Layer.Batch_norm bn ->
+          if Vec.dim bn.gamma <> dim then
+            invalid_arg "Mlp.create: batch-norm dimension mismatch"
+      | Layer.Leaky_relu _ | Layer.Relu | Layer.Tanh -> ());
+      Layer.out_dim ~in_dim:dim layer)
+    in_dim layers
+
+let create ~in_dim layers =
+  if in_dim <= 0 then invalid_arg "Mlp.create: in_dim";
+  { in_dim; out_dim = infer_out_dim in_dim layers; layers }
+
+let actor ~rng ~in_dim ~hidden ~out_dim =
+  create ~in_dim
+    [
+      Layer.dense ~rng ~in_dim ~out_dim:hidden;
+      Layer.batch_norm ~dim:hidden ();
+      Layer.leaky_relu ();
+      Layer.dense ~rng ~in_dim:hidden ~out_dim:hidden;
+      Layer.batch_norm ~dim:hidden ();
+      Layer.leaky_relu ();
+      Layer.dense ~rng ~in_dim:hidden ~out_dim;
+      Layer.tanh;
+    ]
+
+let critic ~rng ~state_dim ~action_dim ~hidden =
+  let in_dim = state_dim + action_dim in
+  create ~in_dim
+    [
+      Layer.dense ~rng ~in_dim ~out_dim:hidden;
+      Layer.leaky_relu ();
+      Layer.dense ~rng ~in_dim:hidden ~out_dim:hidden;
+      Layer.leaky_relu ();
+      Layer.dense ~rng ~in_dim:hidden ~out_dim:1;
+    ]
+
+let in_dim t = t.in_dim
+let out_dim t = t.out_dim
+let layers t = t.layers
+
+let forward t x =
+  if Vec.dim x <> t.in_dim then invalid_arg "Mlp.forward: input dim";
+  List.fold_left (fun acc layer -> Layer.forward1 Layer.Eval layer acc) x
+    t.layers
+
+type tape = Layer.cache list (* in layer order *)
+
+let forward_train t batch =
+  Array.iter
+    (fun x ->
+      if Vec.dim x <> t.in_dim then invalid_arg "Mlp.forward_train: input dim")
+    batch;
+  let out, rev_caches =
+    List.fold_left
+      (fun (acc, caches) layer ->
+        let out, cache = Layer.forward Layer.Train layer acc in
+        (out, cache :: caches))
+      (batch, []) t.layers
+  in
+  (out, List.rev rev_caches)
+
+let backward t tape dout =
+  let rev_layers = List.rev t.layers in
+  let rev_caches = List.rev tape in
+  List.fold_left2
+    (fun grad layer cache -> Layer.backward layer cache grad)
+    dout rev_layers rev_caches
+
+let zero_grad t = List.iter Layer.zero_grad t.layers
+let params t = List.concat_map Layer.params t.layers
+
+let param_count t =
+  List.fold_left (fun acc (v, _) -> acc + Array.length v) 0 (params t)
+
+let copy t = { t with layers = List.map Layer.copy t.layers }
+
+(* All mutable state of a layer that a target network must track: the
+   learned parameters plus batch-norm running statistics. *)
+let state_arrays layer =
+  match layer with
+  | Layer.Dense d -> [ Mat.raw d.w; d.b ]
+  | Layer.Batch_norm bn -> [ bn.gamma; bn.beta; bn.running_mean; bn.running_var ]
+  | Layer.Leaky_relu _ | Layer.Relu | Layer.Tanh -> []
+
+let soft_update ~tau ~src ~dst =
+  if List.length src.layers <> List.length dst.layers then
+    invalid_arg "Mlp.soft_update: shape mismatch";
+  List.iter2
+    (fun ls ld ->
+      let ss = state_arrays ls and ds = state_arrays ld in
+      if List.length ss <> List.length ds then
+        invalid_arg "Mlp.soft_update: layer mismatch";
+      List.iter2
+        (fun s d ->
+          if Array.length s <> Array.length d then
+            invalid_arg "Mlp.soft_update: parameter size mismatch";
+          for i = 0 to Array.length s - 1 do
+            d.(i) <- ((1. -. tau) *. d.(i)) +. (tau *. s.(i))
+          done)
+        ss ds)
+    src.layers dst.layers

@@ -1,0 +1,49 @@
+(** Multi-layer perceptron container.
+
+    Composes {!Layer.t} values into the feed-forward networks used for the
+    actor (policy) and the twin critics. The paper's actor architecture
+    (Section 5) is [FC → BN → LeakyReLU → FC → BN → LeakyReLU → FC] with a
+    tanh head mapping to the action range [\[-1,1\]]; {!actor} builds exactly
+    that shape. *)
+
+open Canopy_tensor
+
+type t
+
+val create : in_dim:int -> Layer.t list -> t
+(** Wrap a layer stack, recording the input dimension. Raises
+    [Invalid_argument] if a dense layer's input size is inconsistent with
+    the running dimension. *)
+
+val actor :
+  rng:Canopy_util.Prng.t -> in_dim:int -> hidden:int -> out_dim:int -> t
+(** The paper's actor shape with a tanh output head. *)
+
+val critic :
+  rng:Canopy_util.Prng.t -> state_dim:int -> action_dim:int -> hidden:int -> t
+(** Q-network over concatenated (state, action), scalar output, no head. *)
+
+val in_dim : t -> int
+val out_dim : t -> int
+val layers : t -> Layer.t list
+
+val forward : t -> Vec.t -> Vec.t
+(** Single-sample inference ([Eval] mode; batch-norm uses running stats). *)
+
+type tape
+(** Activation record from a batched training-mode pass. *)
+
+val forward_train : t -> Vec.t array -> Vec.t array * tape
+val backward : t -> tape -> Vec.t array -> Vec.t array
+(** Accumulates parameter gradients and returns input gradients. *)
+
+val zero_grad : t -> unit
+val params : t -> (float array * float array) list
+val param_count : t -> int
+
+val copy : t -> t
+(** Deep copy, e.g. for target networks. *)
+
+val soft_update : tau:float -> src:t -> dst:t -> unit
+(** Polyak averaging of all parameters and batch-norm running statistics:
+    [dst <- (1-tau)*dst + tau*src]. The networks must share a shape. *)

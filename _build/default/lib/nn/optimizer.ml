@@ -1,0 +1,83 @@
+type slot = { mutable m : float array; mutable v : float array }
+
+type kind =
+  | Sgd of { momentum : float }
+  | Adam of { beta1 : float; beta2 : float; eps : float }
+
+type t = {
+  kind : kind;
+  mutable lr : float;
+  mutable t_step : int;
+  slots : (int, slot) Hashtbl.t;
+}
+
+let sgd ?(momentum = 0.) ~lr () =
+  { kind = Sgd { momentum }; lr; t_step = 0; slots = Hashtbl.create 16 }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr () =
+  { kind = Adam { beta1; beta2; eps }; lr; t_step = 0; slots = Hashtbl.create 16 }
+
+let slot_for t idx n =
+  match Hashtbl.find_opt t.slots idx with
+  | Some s ->
+      if Array.length s.m <> n then
+        invalid_arg "Optimizer.step: parameter shapes changed between calls";
+      s
+  | None ->
+      let s = { m = Array.make n 0.; v = Array.make n 0. } in
+      Hashtbl.add t.slots idx s;
+      s
+
+let step t params =
+  t.t_step <- t.t_step + 1;
+  List.iteri
+    (fun idx (value, grad) ->
+      let n = Array.length value in
+      if Array.length grad <> n then invalid_arg "Optimizer.step: grad size";
+      match t.kind with
+      | Sgd { momentum } ->
+          if momentum = 0. then
+            for i = 0 to n - 1 do
+              value.(i) <- value.(i) -. (t.lr *. grad.(i))
+            done
+          else begin
+            let s = slot_for t idx n in
+            for i = 0 to n - 1 do
+              s.m.(i) <- (momentum *. s.m.(i)) +. grad.(i);
+              value.(i) <- value.(i) -. (t.lr *. s.m.(i))
+            done
+          end
+      | Adam { beta1; beta2; eps } ->
+          let s = slot_for t idx n in
+          let bc1 = 1. -. (beta1 ** float_of_int t.t_step) in
+          let bc2 = 1. -. (beta2 ** float_of_int t.t_step) in
+          for i = 0 to n - 1 do
+            let g = grad.(i) in
+            s.m.(i) <- (beta1 *. s.m.(i)) +. ((1. -. beta1) *. g);
+            s.v.(i) <- (beta2 *. s.v.(i)) +. ((1. -. beta2) *. g *. g);
+            let mhat = s.m.(i) /. bc1 and vhat = s.v.(i) /. bc2 in
+            value.(i) <- value.(i) -. (t.lr *. mhat /. (sqrt vhat +. eps))
+          done)
+    params
+
+let set_lr t lr = t.lr <- lr
+let lr t = t.lr
+
+let clip_gradients ~norm params =
+  if norm <= 0. then invalid_arg "Optimizer.clip_gradients: norm";
+  let total =
+    List.fold_left
+      (fun acc (_, grad) ->
+        Array.fold_left (fun acc g -> acc +. (g *. g)) acc grad)
+      0. params
+  in
+  let total = sqrt total in
+  if total > norm then begin
+    let scale = norm /. total in
+    List.iter
+      (fun (_, grad) ->
+        for i = 0 to Array.length grad - 1 do
+          grad.(i) <- grad.(i) *. scale
+        done)
+      params
+  end

@@ -1,0 +1,21 @@
+(** Gradient-based parameter optimizers.
+
+    Operate on the [(value, gradient)] flat-array views exposed by
+    {!Mlp.params}, so a single optimizer instance can drive any network.
+    Adam is the default for TD3 as in the Orca/C3 training setup. *)
+
+type t
+
+val sgd : ?momentum:float -> lr:float -> unit -> t
+val adam : ?beta1:float -> ?beta2:float -> ?eps:float -> lr:float -> unit -> t
+
+val step : t -> (float array * float array) list -> unit
+(** Apply one update using the current gradient values. The optimizer keeps
+    per-parameter state keyed by position in the list, so the same
+    parameter list (same order and shapes) must be passed on every call. *)
+
+val set_lr : t -> float -> unit
+val lr : t -> float
+
+val clip_gradients : norm:float -> (float array * float array) list -> unit
+(** Global-norm gradient clipping applied in place. *)

@@ -1,0 +1,1 @@
+lib/orca/agent_env.ml: Array Canopy_cc Canopy_netsim Canopy_trace Canopy_util Float Monitor Observation Reward

@@ -1,0 +1,1 @@
+lib/orca/agent_env.mli: Canopy_netsim Canopy_trace Canopy_util Observation Reward

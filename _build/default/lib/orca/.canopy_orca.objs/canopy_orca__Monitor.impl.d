@@ -1,0 +1,1 @@
+lib/orca/monitor.ml: Canopy_netsim Canopy_util Float Observation

@@ -1,0 +1,1 @@
+lib/orca/monitor.mli: Canopy_netsim Canopy_util Observation

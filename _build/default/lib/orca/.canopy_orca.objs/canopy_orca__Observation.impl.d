@@ -1,0 +1,1 @@
+lib/orca/observation.ml: Array Canopy_util Format

@@ -1,0 +1,1 @@
+lib/orca/observation.mli: Format

@@ -1,0 +1,1 @@
+lib/orca/reward.ml: Canopy_netsim Canopy_util Float Observation

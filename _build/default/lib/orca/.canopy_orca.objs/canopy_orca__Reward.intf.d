@@ -1,0 +1,1 @@
+lib/orca/reward.mli: Observation

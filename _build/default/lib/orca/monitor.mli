@@ -1,0 +1,34 @@
+(** Per-interval network-state monitoring (the kernel instrumentation of
+    Section 5, in simulator form).
+
+    A monitor accumulates ACK and loss feedback between monitoring steps
+    and produces one {!Observation.t} per interval. An optional
+    multiplicative noise source perturbs the observed queueing delay —
+    the measurement-noise model of the robustness experiments (±μ uniform
+    noise, Section 6.3). *)
+
+type t
+
+val create :
+  ?delay_noise:(Canopy_util.Prng.t * float) ->
+  min_rtt_ms:int ->
+  unit ->
+  t
+(** [delay_noise (rng, mu)] multiplies each interval's observed queueing
+    delay by a uniform factor in [\[1−mu, 1+mu\]]. *)
+
+val handlers : t -> Canopy_netsim.Env.handlers
+(** Feedback hooks to register with the simulator (chainable with the
+    backbone controller's). *)
+
+val take : t -> now_ms:int -> cwnd_pkts:float -> Observation.t
+(** Close the current interval: build the observation and reset the
+    accumulators. [cwnd_pkts] is the effective window that was enforced
+    during the interval. *)
+
+val srtt_ms : t -> float
+(** Current smoothed RTT (EWMA over all ACKs seen). *)
+
+val last_qdelay_noise : t -> float
+(** The noise factor applied to the most recent observation (1.0 when
+    noise is disabled) — exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/rl/replay_buffer.ml: Array Canopy_util

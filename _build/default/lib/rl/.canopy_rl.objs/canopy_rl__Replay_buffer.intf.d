@@ -1,0 +1,1 @@
+lib/rl/replay_buffer.mli: Canopy_util

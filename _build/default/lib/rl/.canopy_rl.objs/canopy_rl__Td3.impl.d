@@ -1,0 +1,1 @@
+lib/rl/td3.ml: Array Canopy_nn Canopy_util Checkpoint Filename Float List Mlp Optimizer Replay_buffer Sys

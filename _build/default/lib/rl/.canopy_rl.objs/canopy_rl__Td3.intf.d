@@ -1,0 +1,1 @@
+lib/rl/td3.mli: Canopy_nn Canopy_util Mlp Replay_buffer

@@ -1,0 +1,38 @@
+type transition = {
+  state : float array;
+  action : float array;
+  reward : float;
+  next_state : float array;
+  terminal : bool;
+}
+
+type t = {
+  data : transition option array;
+  mutable next : int;
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Replay_buffer.create: capacity";
+  { data = Array.make capacity None; next = 0; len = 0 }
+
+let capacity t = Array.length t.data
+let length t = t.len
+
+let add t tr =
+  t.data.(t.next) <- Some tr;
+  t.next <- (t.next + 1) mod capacity t;
+  t.len <- min (capacity t) (t.len + 1)
+
+let sample t rng ~batch_size =
+  if t.len = 0 then invalid_arg "Replay_buffer.sample: empty";
+  if batch_size <= 0 then invalid_arg "Replay_buffer.sample: batch_size";
+  Array.init batch_size (fun _ ->
+      match t.data.(Canopy_util.Prng.int rng t.len) with
+      | Some tr -> tr
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.data 0 (capacity t) None;
+  t.next <- 0;
+  t.len <- 0

@@ -1,0 +1,25 @@
+(** Uniform-sampling experience replay for off-policy RL. *)
+
+type transition = {
+  state : float array;
+  action : float array;
+  reward : float;
+  next_state : float array;
+  terminal : bool;
+}
+
+type t
+
+val create : capacity:int -> t
+(** Requires [capacity > 0]. Once full, new transitions overwrite the
+    oldest ones. *)
+
+val capacity : t -> int
+val length : t -> int
+val add : t -> transition -> unit
+
+val sample : t -> Canopy_util.Prng.t -> batch_size:int -> transition array
+(** Uniform sample with replacement. Raises [Invalid_argument] when the
+    buffer is empty. *)
+
+val clear : t -> unit

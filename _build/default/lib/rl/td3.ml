@@ -1,0 +1,219 @@
+open Canopy_nn
+module Prng = Canopy_util.Prng
+
+type config = {
+  state_dim : int;
+  action_dim : int;
+  hidden : int;
+  gamma : float;
+  tau : float;
+  actor_lr : float;
+  critic_lr : float;
+  policy_noise : float;
+  noise_clip : float;
+  policy_delay : int;
+  exploration_noise : float;
+  batch_size : int;
+  buffer_capacity : int;
+  warmup : int;
+}
+
+let default_config ~state_dim ~action_dim =
+  {
+    state_dim;
+    action_dim;
+    hidden = 64;
+    gamma = 0.99;
+    tau = 0.005;
+    actor_lr = 1e-3;
+    critic_lr = 1e-3;
+    policy_noise = 0.2;
+    noise_clip = 0.5;
+    policy_delay = 2;
+    exploration_noise = 0.1;
+    batch_size = 64;
+    buffer_capacity = 50_000;
+    warmup = 256;
+  }
+
+type t = {
+  cfg : config;
+  rng : Prng.t;
+  mutable actor : Mlp.t;
+  mutable actor_target : Mlp.t;
+  critic1 : Mlp.t;
+  critic2 : Mlp.t;
+  critic1_target : Mlp.t;
+  critic2_target : Mlp.t;
+  opt_actor : Optimizer.t;
+  opt_critic1 : Optimizer.t;
+  opt_critic2 : Optimizer.t;
+  buffer : Replay_buffer.t;
+  mutable update_calls : int;
+}
+
+let create ~rng cfg =
+  if cfg.state_dim <= 0 || cfg.action_dim <= 0 then
+    invalid_arg "Td3.create: dims";
+  let actor =
+    Mlp.actor ~rng ~in_dim:cfg.state_dim ~hidden:cfg.hidden
+      ~out_dim:cfg.action_dim
+  in
+  let critic () =
+    Mlp.critic ~rng ~state_dim:cfg.state_dim ~action_dim:cfg.action_dim
+      ~hidden:cfg.hidden
+  in
+  let critic1 = critic () and critic2 = critic () in
+  {
+    cfg;
+    rng;
+    actor;
+    actor_target = Mlp.copy actor;
+    critic1;
+    critic2;
+    critic1_target = Mlp.copy critic1;
+    critic2_target = Mlp.copy critic2;
+    opt_actor = Optimizer.adam ~lr:cfg.actor_lr ();
+    opt_critic1 = Optimizer.adam ~lr:cfg.critic_lr ();
+    opt_critic2 = Optimizer.adam ~lr:cfg.critic_lr ();
+    buffer = Replay_buffer.create ~capacity:cfg.buffer_capacity;
+    update_calls = 0;
+  }
+
+let config t = t.cfg
+let actor t = t.actor
+let buffer_size t = Replay_buffer.length t.buffer
+let updates_done t = t.update_calls
+
+let clamp_action = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
+
+let select_action ?(explore = false) t state =
+  let a = Mlp.forward t.actor state in
+  if explore then
+    Array.map
+      (fun x ->
+        clamp_action
+          (x +. Prng.gaussian_scaled t.rng ~mu:0. ~sigma:t.cfg.exploration_noise))
+      a
+  else Array.map clamp_action a
+
+let observe t tr =
+  if Array.length tr.Replay_buffer.state <> t.cfg.state_dim then
+    invalid_arg "Td3.observe: state dim";
+  Replay_buffer.add t.buffer tr
+
+(* Q-value of a (state, action) batch under a critic, eval mode. *)
+let q_eval critic state action =
+  (Mlp.forward critic (Array.append state action)).(0)
+
+let critic_update t (batch : Replay_buffer.transition array) =
+  let cfg = t.cfg in
+  let n = Array.length batch in
+  (* Bellman targets with target-policy smoothing and clipped double-Q. *)
+  let targets =
+    Array.map
+      (fun tr ->
+        let a' = Mlp.forward t.actor_target tr.Replay_buffer.next_state in
+        let a' =
+          Array.map
+            (fun x ->
+              let noise =
+                Canopy_util.Mathx.clamp ~lo:(-.cfg.noise_clip)
+                  ~hi:cfg.noise_clip
+                  (Prng.gaussian_scaled t.rng ~mu:0. ~sigma:cfg.policy_noise)
+              in
+              clamp_action (x +. noise))
+            a'
+        in
+        let q1 = q_eval t.critic1_target tr.next_state a' in
+        let q2 = q_eval t.critic2_target tr.next_state a' in
+        let bootstrap = if tr.terminal then 0. else cfg.gamma *. Float.min q1 q2 in
+        tr.reward +. bootstrap)
+      batch
+  in
+  let inputs =
+    Array.map
+      (fun tr -> Array.append tr.Replay_buffer.state tr.action)
+      batch
+  in
+  let fit critic opt =
+    Mlp.zero_grad critic;
+    let preds, tape = Mlp.forward_train critic inputs in
+    let dout =
+      Array.mapi
+        (fun i q -> [| 2. *. (q.(0) -. targets.(i)) /. float_of_int n |])
+        preds
+    in
+    ignore (Mlp.backward critic tape dout);
+    let params = Mlp.params critic in
+    Optimizer.clip_gradients ~norm:10. params;
+    Optimizer.step opt params;
+    (* Report the loss for monitoring. *)
+    Array.to_list preds
+    |> List.mapi (fun i q -> (q.(0) -. targets.(i)) ** 2.)
+    |> Canopy_util.Mathx.fsum_list
+    |> fun l -> l /. float_of_int n
+  in
+  let l1 = fit t.critic1 t.opt_critic1 in
+  let l2 = fit t.critic2 t.opt_critic2 in
+  ignore l1;
+  ignore l2
+
+let actor_update t (batch : Replay_buffer.transition array) =
+  let cfg = t.cfg in
+  let n = Array.length batch in
+  let states = Array.map (fun tr -> tr.Replay_buffer.state) batch in
+  Mlp.zero_grad t.actor;
+  let actions, actor_tape = Mlp.forward_train t.actor states in
+  (* Deterministic policy gradient: maximize Q1(s, pi(s)), i.e. descend
+     -Q1. The critic is only a conduit for gradients here; its own
+     gradient accumulators are zeroed again before its next fit. *)
+  Mlp.zero_grad t.critic1;
+  let critic_inputs =
+    Array.mapi (fun i s -> Array.append s actions.(i)) states
+  in
+  let _, critic_tape = Mlp.forward_train t.critic1 critic_inputs in
+  let dout = Array.make n [| -1. /. float_of_int n |] in
+  let dinputs = Mlp.backward t.critic1 critic_tape dout in
+  let daction =
+    Array.map
+      (fun din -> Array.sub din cfg.state_dim cfg.action_dim)
+      dinputs
+  in
+  ignore (Mlp.backward t.actor actor_tape daction);
+  let params = Mlp.params t.actor in
+  Optimizer.clip_gradients ~norm:10. params;
+  Optimizer.step t.opt_actor params
+
+let soft_updates t =
+  let tau = t.cfg.tau in
+  Mlp.soft_update ~tau ~src:t.actor ~dst:t.actor_target;
+  Mlp.soft_update ~tau ~src:t.critic1 ~dst:t.critic1_target;
+  Mlp.soft_update ~tau ~src:t.critic2 ~dst:t.critic2_target
+
+let update t =
+  if Replay_buffer.length t.buffer >= max t.cfg.warmup t.cfg.batch_size
+  then begin
+    t.update_calls <- t.update_calls + 1;
+    let batch =
+      Replay_buffer.sample t.buffer t.rng ~batch_size:t.cfg.batch_size
+    in
+    critic_update t batch;
+    if t.update_calls mod t.cfg.policy_delay = 0 then begin
+      actor_update t batch;
+      soft_updates t
+    end
+  end
+
+let save t ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Checkpoint.save t.actor (Filename.concat dir "actor.ckpt");
+  Checkpoint.save t.critic1 (Filename.concat dir "critic1.ckpt");
+  Checkpoint.save t.critic2 (Filename.concat dir "critic2.ckpt")
+
+let load_actor t path =
+  let net = Checkpoint.load path in
+  if Mlp.in_dim net <> t.cfg.state_dim || Mlp.out_dim net <> t.cfg.action_dim
+  then invalid_arg "Td3.load_actor: shape mismatch";
+  t.actor <- net;
+  t.actor_target <- Mlp.copy net

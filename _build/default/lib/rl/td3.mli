@@ -1,0 +1,61 @@
+(** Twin Delayed Deep Deterministic policy gradient (TD3, Fujimoto et
+    al.) — the learning algorithm underneath Orca and therefore Canopy
+    (Section 5).
+
+    Deterministic continuous-action actor with twin critics, target
+    networks updated by Polyak averaging, target-policy smoothing noise,
+    and delayed policy updates. Actions live in [\[-1, 1\]^action_dim]
+    (tanh actor head). *)
+
+open Canopy_nn
+
+type config = {
+  state_dim : int;
+  action_dim : int;
+  hidden : int;  (** hidden width of actor and critics *)
+  gamma : float;  (** discount *)
+  tau : float;  (** target-network soft-update rate *)
+  actor_lr : float;
+  critic_lr : float;
+  policy_noise : float;  (** target-policy smoothing std *)
+  noise_clip : float;
+  policy_delay : int;  (** critic updates per actor update *)
+  exploration_noise : float;  (** behaviour-policy Gaussian std *)
+  batch_size : int;
+  buffer_capacity : int;
+  warmup : int;  (** transitions collected before updates start *)
+}
+
+val default_config : state_dim:int -> action_dim:int -> config
+(** Orca-flavoured defaults: hidden 64, gamma 0.99, tau 0.005, lrs 1e-3 /
+    1e-3, policy noise 0.2 clipped at 0.5, delay 2, exploration 0.1,
+    batch 64, buffer 50k, warmup 256. *)
+
+type t
+
+val create : rng:Canopy_util.Prng.t -> config -> t
+val config : t -> config
+
+val actor : t -> Mlp.t
+(** The live policy network — what the verifier certifies. *)
+
+val select_action : ?explore:bool -> t -> float array -> float array
+(** Deterministic policy output, plus clipped Gaussian exploration noise
+    when [explore] is true (default false). *)
+
+val observe : t -> Replay_buffer.transition -> unit
+(** Record a transition; cheap, no learning. *)
+
+val update : t -> unit
+(** One TD3 gradient step (both critics; actor and targets every
+    [policy_delay] calls). No-op until [warmup] transitions have been
+    observed. *)
+
+val updates_done : t -> int
+val buffer_size : t -> int
+
+val save : t -> dir:string -> unit
+(** Write actor and critic checkpoints into [dir] (created if needed). *)
+
+val load_actor : t -> string -> unit
+(** Replace the live and target actor with a checkpoint. *)

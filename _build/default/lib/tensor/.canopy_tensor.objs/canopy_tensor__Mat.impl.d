@@ -1,0 +1,1 @@
+lib/tensor/mat.ml: Array Canopy_util Float Format Printf Vec

@@ -1,0 +1,1 @@
+lib/tensor/vec.ml: Array Canopy_util Float Format Printf

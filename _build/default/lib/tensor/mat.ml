@@ -1,0 +1,159 @@
+type t = { rows : int; cols : int; data : float array (* row-major *) }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: dims";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then invalid_arg "Mat.of_arrays: empty";
+  let cols = Array.length a.(0) in
+  if cols = 0 then invalid_arg "Mat.of_arrays: empty row";
+  Array.iter
+    (fun r ->
+      if Array.length r <> cols then invalid_arg "Mat.of_arrays: ragged")
+    a;
+  init ~rows ~cols (fun i j -> a.(i).(j))
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Mat.get: index";
+  m.data.((i * m.cols) + j)
+
+let set m i j x =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Mat.set: index";
+  m.data.((i * m.cols) + j) <- x
+
+let copy m = { m with data = Array.copy m.data }
+let fill m x = Array.fill m.data 0 (Array.length m.data) x
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> get m j i)
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Mat.%s: shape mismatch" name)
+
+let add a b =
+  check_same "add" a b;
+  { a with data = Array.mapi (fun i x -> x +. b.data.(i)) a.data }
+
+let sub a b =
+  check_same "sub" a b;
+  { a with data = Array.mapi (fun i x -> x -. b.data.(i)) a.data }
+
+let scale alpha m = { m with data = Array.map (fun x -> alpha *. x) m.data }
+let map f m = { m with data = Array.map f m.data }
+let abs m = map Float.abs m
+
+let mat_vec m x =
+  if m.cols <> Array.length x then invalid_arg "Mat.mat_vec: dims";
+  let out = Array.make m.rows 0. in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref 0. in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. (m.data.(base + j) *. x.(j))
+    done;
+    out.(i) <- !acc
+  done;
+  out
+
+let mat_vec_into ~dst m x =
+  if m.cols <> Array.length x then invalid_arg "Mat.mat_vec_into: dims";
+  if m.rows <> Array.length dst then invalid_arg "Mat.mat_vec_into: dst";
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref 0. in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. (m.data.(base + j) *. x.(j))
+    done;
+    dst.(i) <- !acc
+  done
+
+let mat_tvec m y =
+  if m.rows <> Array.length y then invalid_arg "Mat.mat_tvec: dims";
+  let out = Array.make m.cols 0. in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let yi = y.(i) in
+    if yi <> 0. then
+      for j = 0 to m.cols - 1 do
+        out.(j) <- out.(j) +. (m.data.(base + j) *. yi)
+      done
+  done;
+  out
+
+let mat_mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mat_mul: dims";
+  let out = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then begin
+        let bbase = k * b.cols in
+        let obase = i * b.cols in
+        for j = 0 to b.cols - 1 do
+          out.data.(obase + j) <- out.data.(obase + j) +. (aik *. b.data.(bbase + j))
+        done
+      end
+    done
+  done;
+  out
+
+let outer_acc m y x =
+  if m.rows <> Array.length y || m.cols <> Array.length x then
+    invalid_arg "Mat.outer_acc: dims";
+  for i = 0 to m.rows - 1 do
+    let yi = y.(i) in
+    if yi <> 0. then begin
+      let base = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        m.data.(base + j) <- m.data.(base + j) +. (yi *. x.(j))
+      done
+    end
+  done
+
+let axpy ~alpha ~x ~y =
+  check_same "axpy" x y;
+  for i = 0 to Array.length x.data - 1 do
+    y.data.(i) <- y.data.(i) +. (alpha *. x.data.(i))
+  done
+
+let frobenius m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && begin
+       let ok = ref true in
+       for i = 0 to Array.length a.data - 1 do
+         if not (Canopy_util.Mathx.approx_equal ~eps a.data.(i) b.data.(i))
+         then ok := false
+       done;
+       !ok
+     end
+
+let to_arrays m = Array.init m.rows (fun i -> row m i)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "%a@," Vec.pp (row m i)
+  done;
+  Format.fprintf ppf "@]"
+
+let raw m = m.data

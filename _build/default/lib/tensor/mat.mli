@@ -1,0 +1,59 @@
+(** Dense row-major float matrices.
+
+    Backs the fully-connected layers of the neural controller and the
+    linear abstract transformers (|M| propagation of box deviations,
+    Section 3.2 of the paper). *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val of_arrays : float array array -> t
+(** Rows must be non-empty and rectangular. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val fill : t -> float -> unit
+val row : t -> int -> Vec.t
+(** Fresh copy of a row. *)
+
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val map : (float -> float) -> t -> t
+val abs : t -> t
+(** Element-wise absolute value (used by box-domain propagation). *)
+
+val mat_vec : t -> Vec.t -> Vec.t
+(** [mat_vec m x] is [m * x]; requires [cols m = dim x]. *)
+
+val mat_vec_into : dst:Vec.t -> t -> Vec.t -> unit
+
+val mat_tvec : t -> Vec.t -> Vec.t
+(** [mat_tvec m y] is [mᵀ * y]; requires [rows m = dim y]. *)
+
+val mat_mul : t -> t -> t
+
+val outer_acc : t -> Vec.t -> Vec.t -> unit
+(** [outer_acc m y x] accumulates the outer product [y xᵀ] into [m]
+    ([m.(i).(j) += y.(i) * x.(j)]); used for weight gradients. *)
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** In-place [y <- alpha*x + y]. *)
+
+val frobenius : t -> float
+val approx_equal : ?eps:float -> t -> t -> bool
+val to_arrays : t -> float array array
+
+val raw : t -> float array
+(** The underlying row-major storage, shared with the matrix. Mutating it
+    mutates the matrix; exposed so optimizers can update parameters and
+    their gradients uniformly as flat arrays. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/trace/lte.ml: Array Canopy_util Float Trace

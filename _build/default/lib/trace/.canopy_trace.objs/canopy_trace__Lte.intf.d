@@ -1,0 +1,1 @@
+lib/trace/lte.mli: Trace

@@ -1,0 +1,1 @@
+lib/trace/suite.ml: Format Lte String Synthetic Trace

@@ -1,0 +1,1 @@
+lib/trace/suite.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/trace/synthetic.ml: Canopy_util List Printf Trace

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Buffer Float Format Fun List String

@@ -1,0 +1,14 @@
+let synthetic ?duration_ms () = Synthetic.standard_suite ?duration_ms ()
+let lte ?duration_ms () = Lte.standard_suite ?duration_ms ()
+let all ?duration_ms () = synthetic ?duration_ms () @ lte ?duration_ms ()
+
+type category = Synthetic | Real
+
+let category_of t =
+  let n = Trace.name t in
+  if String.length n >= 4 && String.sub n 0 4 = "lte-" then Real
+  else Synthetic
+
+let pp_category ppf = function
+  | Synthetic -> Format.fprintf ppf "synthetic"
+  | Real -> Format.fprintf ppf "real"

@@ -1,0 +1,13 @@
+(** The 22-trace evaluation suite of Section 6.1: 18 synthetic plus 4
+    LTE-like traces. *)
+
+val synthetic : ?duration_ms:int -> unit -> Trace.t list
+val lte : ?duration_ms:int -> unit -> Trace.t list
+val all : ?duration_ms:int -> unit -> Trace.t list
+
+type category = Synthetic | Real
+
+val category_of : Trace.t -> category
+(** Classify a suite trace by its name prefix. *)
+
+val pp_category : Format.formatter -> category -> unit

@@ -1,0 +1,1 @@
+lib/util/mathx.ml: Array Float List

@@ -1,0 +1,38 @@
+type t = { mutable data : float array; mutable len : int }
+
+let create ?(initial_capacity = 64) () =
+  if initial_capacity <= 0 then invalid_arg "Fbuf.create: capacity";
+  { data = Array.make initial_capacity 0.; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * Array.length t.data) 0. in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Fbuf.get: index";
+  t.data.(i)
+
+let to_array t = Array.sub t.data 0 t.len
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let sum t = fold ( +. ) 0. t
+let mean t = if t.len = 0 then 0. else sum t /. float_of_int t.len

@@ -1,0 +1,22 @@
+(** Growable float buffer.
+
+    Collects per-packet samples (RTTs, queueing delays) during a
+    simulation run without preallocating for the worst case. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+val length : t -> int
+val push : t -> float -> unit
+val get : t -> int -> float
+(** Raises [Invalid_argument] when out of range. *)
+
+val to_array : t -> float array
+(** Fresh array of the live contents. *)
+
+val clear : t -> unit
+val iter : (float -> unit) -> t -> unit
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+val sum : t -> float
+val mean : t -> float
+(** [0.] when empty. *)

@@ -1,0 +1,70 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t =
+  let child_seed = bits64 t in
+  { state = mix child_seed }
+
+let copy t = { state = t.state }
+
+(* Uniform float in [0,1) from the top 53 bits. *)
+let unit_float t =
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1p-53
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection-free modulo is fine for simulation purposes when bound is
+     far below 2^62; keep it simple. The double shift keeps the value
+     inside OCaml's 63-bit int range, hence non-negative. *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  x mod bound
+
+let float t bound = unit_float t *. bound
+
+let uniform t lo hi = lo +. (unit_float t *. (hi -. lo))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  (* Box–Muller; guard against log 0. *)
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let gaussian_scaled t ~mu ~sigma = mu +. (sigma *. gaussian t)
+
+let exponential t ~rate =
+  assert (rate > 0.);
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

@@ -1,0 +1,52 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    All stochastic components in the repository (exploration noise, trace
+    generators, weight initialization, workload sampling) draw from values of
+    type {!t} so that every experiment is reproducible from a single seed and
+    independent components never share a stream. The generator is
+    splitmix64, which is small, fast and statistically adequate for
+    simulation workloads. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. Two
+    generators created from the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Streams of the parent and child do not overlap in practice. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy replays [t]'s future. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val gaussian_scaled : t -> mu:float -> sigma:float -> float
+(** Normal deviate with the given mean and standard deviation. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate. Requires [rate > 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element. Requires a non-empty array. *)

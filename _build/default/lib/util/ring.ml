@@ -1,0 +1,65 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable start : int; (* index of the oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity";
+  { buf = Array.make capacity None; start = 0; len = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let is_full t = t.len = capacity t
+let is_empty t = t.len = 0
+
+let clear t =
+  Array.fill t.buf 0 (capacity t) None;
+  t.start <- 0;
+  t.len <- 0
+
+let push t x =
+  let cap = capacity t in
+  if t.len = cap then begin
+    t.buf.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod cap
+  end
+  else begin
+    t.buf.((t.start + t.len) mod cap) <- Some x;
+    t.len <- t.len + 1
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring.get: index";
+  match t.buf.((t.start + i) mod capacity t) with
+  | Some x -> x
+  | None -> assert false
+
+let newest t =
+  if t.len = 0 then invalid_arg "Ring.newest: empty";
+  get t (t.len - 1)
+
+let oldest t =
+  if t.len = 0 then invalid_arg "Ring.oldest: empty";
+  get t 0
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (get t i)
+  done;
+  !acc
+
+let iter f t = fold (fun () x -> f x) () t
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let to_array t =
+  if t.len = 0 then [||]
+  else begin
+    let first = get t 0 in
+    let out = Array.make t.len first in
+    for i = 1 to t.len - 1 do
+      out.(i) <- get t i
+    done;
+    out
+  end

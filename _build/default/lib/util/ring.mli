@@ -1,0 +1,41 @@
+(** Fixed-capacity ring buffer.
+
+    Used for bounded observation histories (the controller sees the past [k]
+    monitoring intervals) and for sliding-window statistics in the link
+    simulator. Pushing onto a full ring evicts the oldest element. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Fresh empty ring. Requires [capacity > 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_full : 'a t -> bool
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+
+val push : 'a t -> 'a -> unit
+(** Append, evicting the oldest element when full. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th oldest live element ([0] = oldest). Raises
+    [Invalid_argument] when out of range. *)
+
+val newest : 'a t -> 'a
+(** Most recently pushed element. Raises [Invalid_argument] when empty. *)
+
+val oldest : 'a t -> 'a
+(** Oldest live element. Raises [Invalid_argument] when empty. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest-first. *)
+
+val to_array : 'a t -> 'a array
+(** Oldest-first. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest-first fold. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest-first iteration. *)

@@ -1,0 +1,54 @@
+(** Streaming and batch statistics used by the evaluation harness.
+
+    The evaluation section of the paper reports averages, standard
+    deviations and tail percentiles (p95 delay); this module provides those
+    over both streaming accumulators (Welford) and collected samples. *)
+
+module Welford : sig
+  type t
+  (** Streaming mean/variance accumulator. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** Mean of the observations; [0.] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [0.] with fewer than two observations. *)
+
+  val stddev : t -> float
+
+  val merge : t -> t -> t
+  (** Combine two accumulators as if their streams were concatenated. *)
+end
+
+val mean : float array -> float
+(** Arithmetic mean; [0.] for the empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation; [0.] with fewer than two samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]] using linear interpolation
+    between closest ranks. The input array is not modified. Raises
+    [Invalid_argument] on an empty array. *)
+
+val median : float array -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+(** Batch summary of a sample. *)
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+test/test_absint.ml: Alcotest Array Box Canopy_absint Canopy_nn Canopy_tensor Canopy_util Float Format Gen Ibp Interval Layer List Mlp Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Array Bbr Canopy_cc Canopy_netsim Canopy_trace Controller Cubic Float Gen List QCheck QCheck_alcotest Reno Runner Test Vegas Vivace

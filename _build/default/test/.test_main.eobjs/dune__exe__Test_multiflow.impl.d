@@ -1,0 +1,1 @@
+test/test_multiflow.ml: Alcotest Array Canopy_cc Canopy_netsim Canopy_trace Controller Cubic Vegas

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Canopy_netsim Canopy_trace Canopy_util Float Gen List Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Canopy_nn Canopy_tensor Canopy_util Checkpoint Filename Float Fun Layer List Mat Mlp Optimizer Printf Sys Vec

@@ -1,0 +1,1 @@
+test/test_orca.ml: Agent_env Alcotest Array Canopy_cc Canopy_netsim Canopy_orca Canopy_trace Canopy_util Float Gen List Monitor Observation QCheck QCheck_alcotest Reward Test

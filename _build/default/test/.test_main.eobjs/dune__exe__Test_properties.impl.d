@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Box Canopy Canopy_absint Canopy_nn Canopy_orca Canopy_trace Canopy_util Checkpoint Float Ibp Interval Layer List Mlp Printf Zonotope

@@ -1,0 +1,1 @@
+test/test_rl.ml: Alcotest Array Canopy_rl Canopy_util Filename Float Fun Printf Replay_buffer Sys Td3

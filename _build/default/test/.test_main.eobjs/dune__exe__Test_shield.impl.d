@@ -1,0 +1,1 @@
+test/test_shield.ml: Alcotest Array Canopy Canopy_nn Canopy_orca Canopy_tensor Canopy_trace Canopy_util Certify Eval Layer List Mlp Printf Property Shield

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Array Canopy Canopy_absint Canopy_nn Canopy_orca Canopy_tensor Canopy_util Certify Format Layer List Mat Mlp Property Temporal

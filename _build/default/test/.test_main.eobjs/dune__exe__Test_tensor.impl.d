@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Canopy_tensor Canopy_util Float Gen List Mat QCheck QCheck_alcotest Test Vec

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Canopy_trace Filename Float Fun List Lte String Suite Synthetic Sys Trace

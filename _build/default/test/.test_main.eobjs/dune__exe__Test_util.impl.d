@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Canopy_util Fbuf Float Fun Gen List Mathx Printf Prng QCheck QCheck_alcotest Ring Stats Test

@@ -1,0 +1,1 @@
+test/test_zonotope.ml: Alcotest Array Box Canopy Canopy_absint Canopy_nn Canopy_orca Canopy_tensor Canopy_util Float Format Ibp Interval Layer List Mlp Zonotope

@@ -1,0 +1,360 @@
+(* Tests for canopy_absint: interval arithmetic, the box domain, and
+   soundness of interval bound propagation through real networks — the
+   property underpinning every certificate in the paper (γ(f♯(s♯)) ⊇
+   {f(s) : s ∈ γ(s♯)}). *)
+
+open Canopy_absint
+open Canopy_nn
+module Prng = Canopy_util.Prng
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+let interval = Alcotest.testable Interval.pp (Interval.equal ~eps:1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Interval *)
+
+let test_interval_make () =
+  let i = Interval.make (-1.) 2. in
+  check_float "lo" (-1.) (Interval.lo i);
+  check_float "hi" 2. (Interval.hi i);
+  check_float "width" 3. (Interval.width i);
+  check_float "midpoint" 0.5 (Interval.midpoint i);
+  check_float "radius" 1.5 (Interval.radius i)
+
+let test_interval_invalid () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Interval.make: lo > hi")
+    (fun () -> ignore (Interval.make 1. 0.));
+  Alcotest.check_raises "nan" (Invalid_argument "Interval.make: nan")
+    (fun () -> ignore (Interval.make Float.nan 0.))
+
+let test_interval_membership () =
+  let i = Interval.make 0. 1. in
+  check_bool "contains" true (Interval.contains i 0.5);
+  check_bool "boundary" true (Interval.contains i 1.);
+  check_bool "outside" false (Interval.contains i 1.5);
+  check_bool "subset" true (Interval.subset (Interval.make 0.2 0.8) i);
+  check_bool "not subset" false (Interval.subset (Interval.make 0.2 1.2) i)
+
+let test_interval_intersect_hull () =
+  let a = Interval.make 0. 2. and b = Interval.make 1. 3. in
+  (match Interval.intersect a b with
+  | Some i -> Alcotest.check interval "intersect" (Interval.make 1. 2.) i
+  | None -> Alcotest.fail "expected overlap");
+  check_bool "disjoint" true
+    (Interval.intersect a (Interval.make 5. 6.) = None);
+  Alcotest.check interval "hull" (Interval.make 0. 3.) (Interval.hull a b)
+
+let test_interval_arith () =
+  let a = Interval.make 1. 2. and b = Interval.make (-1.) 3. in
+  Alcotest.check interval "add" (Interval.make 0. 5.) (Interval.add a b);
+  Alcotest.check interval "sub" (Interval.make (-2.) 3.) (Interval.sub a b);
+  Alcotest.check interval "neg" (Interval.make (-2.) (-1.)) (Interval.neg a);
+  Alcotest.check interval "scale pos" (Interval.make 2. 4.)
+    (Interval.scale 2. a);
+  Alcotest.check interval "scale neg" (Interval.make (-4.) (-2.))
+    (Interval.scale (-2.) a);
+  Alcotest.check interval "add_scalar" (Interval.make 0. 1.)
+    (Interval.add_scalar (-1.) a);
+  Alcotest.check interval "div_scalar" (Interval.make 0.5 1.)
+    (Interval.div_scalar a 2.)
+
+let test_interval_mul () =
+  let a = Interval.make (-2.) 3. and b = Interval.make (-1.) 4. in
+  Alcotest.check interval "mul mixed" (Interval.make (-8.) 12.)
+    (Interval.mul a b)
+
+let test_interval_monotone_maps () =
+  let a = Interval.make (-1.) 1. in
+  Alcotest.check interval "pow2" (Interval.make 0.5 2.) (Interval.pow2 a);
+  Alcotest.check interval "relu" (Interval.make 0. 1.) (Interval.relu a);
+  Alcotest.check interval "leaky" (Interval.make (-0.01) 1.)
+    (Interval.leaky_relu ~slope:0.01 a);
+  let t = Interval.tanh a in
+  check_bool "tanh sym" true
+    (Canopy_util.Mathx.approx_equal (Interval.lo t) (-.Interval.hi t))
+
+let test_overlap_fraction_cases () =
+  (* Eq. 7's three regimes. *)
+  let target = Interval.make 0. 10. in
+  check_float "disjoint -> 0" 0.
+    (Interval.overlap_fraction ~target (Interval.make 11. 12.));
+  check_float "contained -> 1" 1.
+    (Interval.overlap_fraction ~target (Interval.make 2. 3.));
+  check_float "partial -> ratio" 0.5
+    (Interval.overlap_fraction ~target (Interval.make (-5.) 5.));
+  check_float "point inside -> 1" 1.
+    (Interval.overlap_fraction ~target (Interval.of_point 5.));
+  check_float "point outside -> 0" 0.
+    (Interval.overlap_fraction ~target (Interval.of_point 11.))
+
+let test_overlap_fraction_infinite_target () =
+  (* The performance property uses half-line postconditions. *)
+  let target = Interval.make Float.neg_infinity 0. in
+  check_float "all negative -> 1" 1.
+    (Interval.overlap_fraction ~target (Interval.make (-3.) (-1.)));
+  check_float "straddling -> ratio" 0.25
+    (Interval.overlap_fraction ~target (Interval.make (-1.) 3.));
+  check_float "all positive -> 0" 0.
+    (Interval.overlap_fraction ~target (Interval.make 1. 2.))
+
+let test_split_partition () =
+  let i = Interval.make 0. 1. in
+  let parts = Interval.split i 4 in
+  Alcotest.(check int) "count" 4 (List.length parts);
+  check_float "first lo" 0. (Interval.lo (List.nth parts 0));
+  check_float "last hi" 1. (Interval.hi (List.nth parts 3));
+  (* contiguous: each piece starts where the previous ended *)
+  List.iteri
+    (fun idx p ->
+      if idx > 0 then
+        check_float
+          (Printf.sprintf "contiguous %d" idx)
+          (Interval.hi (List.nth parts (idx - 1)))
+          (Interval.lo p))
+    parts
+
+let test_split_one () =
+  Alcotest.check interval "split 1 = identity" (Interval.make 2. 5.)
+    (List.hd (Interval.split (Interval.make 2. 5.) 1))
+
+let test_interval_sample () =
+  let rng = Prng.create 7 in
+  let i = Interval.make (-2.) 5. in
+  for _ = 1 to 500 do
+    check_bool "sample member" true (Interval.contains i (Interval.sample rng i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Box *)
+
+let test_box_roundtrip () =
+  let ivs = [| Interval.make 0. 1.; Interval.make (-2.) 2. |] in
+  let b = Box.of_intervals ivs in
+  Alcotest.(check int) "dim" 2 (Box.dim b);
+  Alcotest.check interval "dim0" ivs.(0) (Box.dimension b 0);
+  Alcotest.check interval "dim1" ivs.(1) (Box.dimension b 1)
+
+let test_box_of_point () =
+  let b = Box.of_point [| 1.; 2. |] in
+  check_bool "contains point" true (Box.contains b [| 1.; 2. |]);
+  check_float "volume 0" 0. (Box.volume b)
+
+let test_box_with_dimension () =
+  let b = Box.of_point [| 1.; 2.; 3. |] in
+  let b = Box.with_dimension b 1 (Interval.make 0. 4.) in
+  Alcotest.check interval "updated" (Interval.make 0. 4.) (Box.dimension b 1);
+  Alcotest.check interval "others kept" (Interval.of_point 3.)
+    (Box.dimension b 2)
+
+let test_box_negative_dev_rejected () =
+  Alcotest.check_raises "negative dev"
+    (Invalid_argument "Box.make: deviation") (fun () ->
+      ignore (Box.make ~center:[| 0. |] ~dev:[| -1. |]))
+
+let test_box_volume_subset () =
+  let big = Box.of_intervals [| Interval.make 0. 2.; Interval.make 0. 3. |] in
+  let small =
+    Box.of_intervals [| Interval.make 0.5 1.; Interval.make 1. 2. |]
+  in
+  check_float "volume" 6. (Box.volume big);
+  check_bool "subset" true (Box.subset small big);
+  check_bool "not subset" false (Box.subset big small)
+
+let test_box_affine_known () =
+  (* x ∈ [0,2] × [1,1]; M = [[1, -1]]; b = [10]  →  [10-1+0, 10-1+2]=[9,11] *)
+  let box = Box.of_intervals [| Interval.make 0. 2.; Interval.of_point 1. |] in
+  let m = Canopy_tensor.Mat.of_arrays [| [| 1.; -1. |] |] in
+  let out = Box.affine m [| 10. |] box in
+  Alcotest.check interval "affine image" (Interval.make 9. 11.)
+    (Box.dimension out 0)
+
+let test_box_hull () =
+  let a = Box.of_intervals [| Interval.make 0. 1. |] in
+  let b = Box.of_intervals [| Interval.make 2. 3. |] in
+  Alcotest.check interval "hull" (Interval.make 0. 3.)
+    (Box.dimension (Box.hull a b) 0)
+
+let test_box_map_monotone () =
+  let b = Box.of_intervals [| Interval.make (-2.) 1. |] in
+  let out = Box.map_monotone (fun x -> Float.max 0. x) b in
+  Alcotest.check interval "relu image" (Interval.make 0. 1.)
+    (Box.dimension out 0)
+
+(* ------------------------------------------------------------------ *)
+(* IBP soundness *)
+
+let random_net rng =
+  Mlp.actor ~rng ~in_dim:6 ~hidden:12 ~out_dim:1
+
+let test_ibp_point_box_is_exact () =
+  let rng = Prng.create 99 in
+  let net = random_net rng in
+  let x = Array.init 6 (fun i -> 0.1 *. float_of_int (i - 3)) in
+  let out = Ibp.output_interval net (Box.of_point x) in
+  let concrete = (Mlp.forward net x).(0) in
+  check_bool "degenerate box = concrete forward" true
+    (Float.abs (Interval.lo out -. concrete) < 1e-9
+    && Float.abs (Interval.hi out -. concrete) < 1e-9)
+
+let test_ibp_soundness_sampling () =
+  (* For random boxes, every concrete forward of a sampled point must lie
+     inside the propagated interval. *)
+  let rng = Prng.create 2024 in
+  for trial = 1 to 20 do
+    let net = random_net rng in
+    let ivs =
+      Array.init 6 (fun _ ->
+          let c = Prng.uniform rng (-1.) 1. in
+          let r = Prng.float rng 0.5 in
+          Interval.make (c -. r) (c +. r))
+    in
+    let box = Box.of_intervals ivs in
+    let out = Ibp.output_interval net box in
+    for _ = 1 to 50 do
+      let x = Box.sample rng box in
+      let y = (Mlp.forward net x).(0) in
+      if not (Interval.contains out y) then
+        Alcotest.failf "trial %d: concrete %f escapes %s" trial y
+          (Format.asprintf "%a" Interval.pp out)
+    done
+  done
+
+let test_ibp_monotone_in_box_width () =
+  (* Widening the input box can only widen the output interval. *)
+  let rng = Prng.create 31337 in
+  let net = random_net rng in
+  let center = Array.make 6 0.2 in
+  let narrow = Box.make ~center ~dev:(Array.make 6 0.05) in
+  let wide = Box.make ~center ~dev:(Array.make 6 0.2) in
+  let o_narrow = Ibp.output_interval net narrow in
+  let o_wide = Ibp.output_interval net wide in
+  check_bool "nested outputs" true (Interval.subset o_narrow o_wide)
+
+let test_ibp_tanh_output_bounded () =
+  let rng = Prng.create 5 in
+  let net = random_net rng in
+  let box =
+    Box.of_intervals (Array.init 6 (fun _ -> Interval.make (-10.) 10.))
+  in
+  let out = Ibp.output_interval net box in
+  check_bool "within tanh range" true
+    (Interval.lo out >= -1. && Interval.hi out <= 1.)
+
+let test_ibp_batchnorm_running_stats () =
+  (* After training-mode batches move the BN statistics, certification
+     must still bound the eval-mode forward pass. *)
+  let rng = Prng.create 17 in
+  let net = random_net rng in
+  let batch =
+    Array.init 16 (fun _ -> Array.init 6 (fun _ -> Prng.uniform rng (-1.) 1.))
+  in
+  ignore (Mlp.forward_train net batch);
+  let box =
+    Box.of_intervals (Array.init 6 (fun _ -> Interval.make (-0.5) 0.5))
+  in
+  let out = Ibp.output_interval net box in
+  for _ = 1 to 200 do
+    let x = Box.sample rng box in
+    check_bool "still sound" true (Interval.contains out (Mlp.forward net x).(0))
+  done
+
+let test_ibp_dimension_mismatch () =
+  let rng = Prng.create 3 in
+  let net = random_net rng in
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Ibp.propagate: input dim") (fun () ->
+      ignore (Ibp.propagate net (Box.of_point [| 0. |])))
+
+let test_propagate_layer_relu () =
+  let box = Box.of_intervals [| Interval.make (-1.) 2. |] in
+  let out = Ibp.propagate_layer Layer.Relu box in
+  Alcotest.check interval "relu layer" (Interval.make 0. 2.)
+    (Box.dimension out 0)
+
+(* ------------------------------------------------------------------ *)
+(* Property-based *)
+
+let gen_interval =
+  QCheck.Gen.(
+    let* a = float_range (-50.) 50. in
+    let* w = float_range 0. 20. in
+    return (Interval.make a (a +. w)))
+
+let qcheck =
+  let open QCheck in
+  [
+    Test.make ~name:"interval add is sound on samples" ~count:100
+      (make Gen.(triple gen_interval gen_interval (float_bound_inclusive 1.)))
+      (fun (a, b, t) ->
+        let x = Canopy_util.Mathx.lerp (Interval.lo a) (Interval.hi a) t in
+        let y = Canopy_util.Mathx.lerp (Interval.lo b) (Interval.hi b) t in
+        Interval.contains (Interval.add a b) (x +. y));
+    Test.make ~name:"interval mul is sound on endpoints" ~count:200
+      (make Gen.(pair gen_interval gen_interval))
+      (fun (a, b) ->
+        let m = Interval.mul a b in
+        List.for_all
+          (fun (x, y) -> Interval.contains m (x *. y))
+          [
+            (Interval.lo a, Interval.lo b);
+            (Interval.lo a, Interval.hi b);
+            (Interval.hi a, Interval.lo b);
+            (Interval.hi a, Interval.hi b);
+            (Interval.midpoint a, Interval.midpoint b);
+          ]);
+    Test.make ~name:"split pieces cover and partition" ~count:200
+      (make Gen.(pair gen_interval (int_range 1 16)))
+      (fun (i, n) ->
+        let parts = Interval.split i n in
+        List.length parts = n
+        && Canopy_util.Mathx.approx_equal ~eps:1e-9
+             (Interval.lo (List.hd parts))
+             (Interval.lo i)
+        && Canopy_util.Mathx.approx_equal ~eps:1e-9
+             (Interval.hi (List.nth parts (n - 1)))
+             (Interval.hi i)
+        && List.for_all (fun p -> Interval.subset p i) parts);
+    Test.make ~name:"overlap fraction in [0,1]" ~count:200
+      (make Gen.(pair gen_interval gen_interval))
+      (fun (target, out) ->
+        let d = Interval.overlap_fraction ~target out in
+        d >= 0. && d <= 1.);
+    Test.make ~name:"hull contains both arguments" ~count:200
+      (make Gen.(pair gen_interval gen_interval))
+      (fun (a, b) ->
+        let h = Interval.hull a b in
+        Interval.subset a h && Interval.subset b h);
+  ]
+
+let suite =
+  [
+    ("interval make/accessors", `Quick, test_interval_make);
+    ("interval invalid", `Quick, test_interval_invalid);
+    ("interval membership", `Quick, test_interval_membership);
+    ("interval intersect/hull", `Quick, test_interval_intersect_hull);
+    ("interval arithmetic", `Quick, test_interval_arith);
+    ("interval multiplication", `Quick, test_interval_mul);
+    ("interval monotone maps", `Quick, test_interval_monotone_maps);
+    ("overlap fraction (Eq. 7)", `Quick, test_overlap_fraction_cases);
+    ("overlap fraction half-lines", `Quick, test_overlap_fraction_infinite_target);
+    ("split partitions", `Quick, test_split_partition);
+    ("split n=1", `Quick, test_split_one);
+    ("interval sampling", `Quick, test_interval_sample);
+    ("box interval roundtrip", `Quick, test_box_roundtrip);
+    ("box of point", `Quick, test_box_of_point);
+    ("box with_dimension", `Quick, test_box_with_dimension);
+    ("box rejects negative dev", `Quick, test_box_negative_dev_rejected);
+    ("box volume/subset", `Quick, test_box_volume_subset);
+    ("box affine image", `Quick, test_box_affine_known);
+    ("box hull", `Quick, test_box_hull);
+    ("box monotone map", `Quick, test_box_map_monotone);
+    ("ibp point box exact", `Quick, test_ibp_point_box_is_exact);
+    ("ibp soundness (sampling)", `Quick, test_ibp_soundness_sampling);
+    ("ibp monotone in width", `Quick, test_ibp_monotone_in_box_width);
+    ("ibp tanh range", `Quick, test_ibp_tanh_output_bounded);
+    ("ibp sound after BN updates", `Quick, test_ibp_batchnorm_running_stats);
+    ("ibp dimension mismatch", `Quick, test_ibp_dimension_mismatch);
+    ("propagate_layer relu", `Quick, test_propagate_layer_relu);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck

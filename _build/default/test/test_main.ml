@@ -1,0 +1,21 @@
+(* Aggregated alcotest runner for the whole repository. *)
+
+let () =
+  Alcotest.run "canopy"
+    [
+      ("util", Test_util.suite);
+      ("tensor", Test_tensor.suite);
+      ("nn", Test_nn.suite);
+      ("absint", Test_absint.suite);
+      ("trace", Test_trace.suite);
+      ("netsim", Test_netsim.suite);
+      ("multiflow", Test_multiflow.suite);
+      ("cc", Test_cc.suite);
+      ("rl", Test_rl.suite);
+      ("orca", Test_orca.suite);
+      ("core", Test_core.suite);
+      ("zonotope", Test_zonotope.suite);
+      ("shield", Test_shield.suite);
+      ("temporal", Test_temporal.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,340 @@
+(* Tests for canopy_netsim: the Mahimahi-style link emulator. These pin
+   down the physical invariants the congestion controllers rely on:
+   RTT = minRTT + queueing delay, droptail loss, delivery bounded by
+   trace capacity, and ACK-clocked conservation of packets. *)
+
+module Env = Canopy_netsim.Env
+module Trace = Canopy_trace.Trace
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let make_env ?(mbps = 12.) ?(duration = 10_000) ?(min_rtt = 20)
+    ?(buffer = 100) ?(cwnd = 10.) () =
+  Env.create
+    {
+      Env.trace = Trace.constant ~name:"c" ~duration_ms:duration ~mbps;
+      min_rtt_ms = min_rtt;
+      buffer_pkts = buffer;
+      mtu_bytes = Env.default_mtu;
+      initial_cwnd = cwnd;
+      impairments = Env.no_impairments;
+    }
+
+let test_bdp_pkts () =
+  (* 12 Mbps × 100 ms = 1.2 Mbit = 150 kB = 100 MTU packets *)
+  check_int "bdp" 100 (Env.bdp_pkts ~mbps:12. ~min_rtt_ms:100 ~mtu_bytes:1500);
+  check_int "at least 1" 1 (Env.bdp_pkts ~mbps:0.01 ~min_rtt_ms:2 ~mtu_bytes:1500)
+
+let test_config_validation () =
+  let bad f = Alcotest.check_raises "rejects" (Invalid_argument f) in
+  bad "Env.create: min_rtt_ms" (fun () ->
+      ignore (Env.create
+        { Env.trace = Trace.constant ~name:"c" ~duration_ms:10 ~mbps:1.;
+          min_rtt_ms = 1; buffer_pkts = 1; mtu_bytes = 1500;
+          initial_cwnd = 2.; impairments = Env.no_impairments }));
+  bad "Env.create: buffer_pkts" (fun () ->
+      ignore (Env.create
+        { Env.trace = Trace.constant ~name:"c" ~duration_ms:10 ~mbps:1.;
+          min_rtt_ms = 10; buffer_pkts = 0; mtu_bytes = 1500;
+          initial_cwnd = 2.; impairments = Env.no_impairments }))
+
+let test_rtt_equals_min_rtt_when_uncongested () =
+  (* cwnd far below BDP: queue stays empty, every RTT is exactly minRTT. *)
+  let env = make_env ~mbps:48. ~min_rtt:30 ~cwnd:4. () in
+  Env.run env Env.null_handlers ~ms:2000;
+  let rtts = Canopy_util.Fbuf.to_array (Env.stats env).Env.rtt_samples in
+  check_bool "has acks" true (Array.length rtts > 0);
+  Array.iter (fun r -> check_float "rtt = minRTT" 30. r) rtts;
+  check_float "no queueing delay" 0. (Env.avg_qdelay_ms env)
+
+let test_first_ack_timing () =
+  (* With an empty queue the first packet's ACK arrives after exactly one
+     minRTT (plus the 1ms send tick). *)
+  let env = make_env ~min_rtt:25 ~cwnd:2. () in
+  let first_ack = ref (-1) in
+  let handlers =
+    {
+      Env.on_ack =
+        (fun ack -> if !first_ack < 0 then first_ack := ack.Env.now_ms);
+      on_loss = (fun ~now_ms:_ -> ());
+    }
+  in
+  Env.run env handlers ~ms:100;
+  check_int "first ack time" 26 !first_ack
+
+let test_queue_builds_when_overdriven () =
+  (* cwnd far above BDP: queue fills, RTT inflates by queueing delay. *)
+  let env = make_env ~mbps:12. ~min_rtt:20 ~buffer:50 ~cwnd:60. () in
+  Env.run env Env.null_handlers ~ms:3000;
+  check_bool "queueing delay appears" true (Env.avg_qdelay_ms env > 5.)
+
+let test_droptail_loss () =
+  (* cwnd exceeding BDP + buffer must overflow the droptail queue. *)
+  let env = make_env ~mbps:12. ~min_rtt:20 ~buffer:10 ~cwnd:100. () in
+  let losses = ref 0 in
+  let handlers =
+    { Env.on_ack = (fun _ -> ()); on_loss = (fun ~now_ms:_ -> incr losses) }
+  in
+  Env.run env handlers ~ms:2000;
+  check_bool "drops observed" true ((Env.stats env).Env.dropped > 0);
+  (* drain in-flight loss notifications before comparing the counters *)
+  Env.set_cwnd env 1.;
+  Env.run env handlers ~ms:100;
+  check_int "handler saw every drop" (Env.stats env).Env.dropped !losses;
+  check_bool "loss rate positive" true (Env.loss_rate env > 0.)
+
+let test_no_loss_when_window_fits () =
+  let env = make_env ~mbps:12. ~min_rtt:20 ~buffer:100 ~cwnd:10. () in
+  Env.run env Env.null_handlers ~ms:5000;
+  check_int "no drops" 0 (Env.stats env).Env.dropped;
+  check_float "zero loss rate" 0. (Env.loss_rate env)
+
+let test_delivery_bounded_by_capacity () =
+  let env = make_env ~mbps:12. ~min_rtt:20 ~cwnd:1000. ~buffer:10_000 () in
+  Env.run env Env.null_handlers ~ms:5000;
+  let st = Env.stats env in
+  check_bool "delivered <= capacity" true
+    (float_of_int st.Env.delivered <= st.Env.capacity_pkts +. 1.);
+  check_bool "utilization <= 1" true (Env.utilization env <= 1.)
+
+let test_full_utilization_with_big_window () =
+  (* A window comfortably above BDP (but inside the buffer) should keep
+     the bottleneck busy: utilization near 1. *)
+  let env = make_env ~mbps:12. ~min_rtt:20 ~buffer:100 ~cwnd:60. () in
+  Env.run env Env.null_handlers ~ms:10_000;
+  check_bool "near-full utilization" true (Env.utilization env > 0.95)
+
+let test_packet_conservation () =
+  (* Every sent packet is eventually delivered or dropped (after the
+     pipeline drains). *)
+  let env = make_env ~mbps:12. ~min_rtt:20 ~buffer:20 ~cwnd:50. () in
+  Env.run env Env.null_handlers ~ms:3000;
+  (* stop sending: shrink window to zero-ish and drain *)
+  Env.set_cwnd env 1.;
+  Env.run env Env.null_handlers ~ms:2000;
+  let st = Env.stats env in
+  check_bool "conservation" true
+    (st.Env.delivered + st.Env.dropped + Env.inflight env >= st.Env.sent);
+  check_bool "inflight small after drain" true
+    (Env.inflight env <= 2)
+
+let test_set_cwnd_clamps () =
+  let env = make_env () in
+  Env.set_cwnd env 0.1;
+  check_float "clamped to 1" 1. (Env.cwnd env)
+
+let test_acks_monotone_time () =
+  let env = make_env ~cwnd:30. () in
+  let last = ref 0 in
+  let handlers =
+    {
+      Env.on_ack =
+        (fun ack ->
+          check_bool "non-decreasing ack time" true (ack.Env.now_ms >= !last);
+          last := ack.Env.now_ms);
+      on_loss = (fun ~now_ms:_ -> ());
+    }
+  in
+  Env.run env handlers ~ms:2000
+
+let test_ack_seq_delivered_consistency () =
+  let env = make_env ~cwnd:5. () in
+  let count = ref 0 in
+  let handlers =
+    {
+      Env.on_ack =
+        (fun ack ->
+          incr count;
+          check_int "delivered counts acks" !count ack.Env.delivered);
+      on_loss = (fun ~now_ms:_ -> ());
+    }
+  in
+  Env.run env handlers ~ms:1000
+
+let test_capacity_wasted_when_idle () =
+  (* With a tiny window the trace offers more opportunities than used;
+     utilization must reflect the waste rather than clamp to 1. *)
+  let env = make_env ~mbps:96. ~min_rtt:40 ~cwnd:2. () in
+  Env.run env Env.null_handlers ~ms:5000;
+  check_bool "low utilization" true (Env.utilization env < 0.2)
+
+let test_zero_capacity_interval () =
+  (* Failure injection: a trace segment with zero capacity stalls the
+     link; packets queue (or drop) and delivery resumes afterwards. *)
+  let trace =
+    Trace.of_segments ~name:"blackout"
+      [ (1000, 12.); (500, 0.); (1000, 12.) ]
+  in
+  let env =
+    Env.create
+      {
+        Env.trace;
+        min_rtt_ms = 20;
+        buffer_pkts = 50;
+        mtu_bytes = Env.default_mtu;
+        initial_cwnd = 10.;
+        impairments = Env.no_impairments;
+      }
+  in
+  Env.run env Env.null_handlers ~ms:2500;
+  let st = Env.stats env in
+  check_bool "delivered something" true (st.Env.delivered > 0);
+  (* RTT spikes during blackout must exceed minRTT + 100ms *)
+  let rtts = Canopy_util.Fbuf.to_array st.Env.rtt_samples in
+  check_bool "blackout inflates rtt" true
+    (Array.exists (fun r -> r > 120.) rtts)
+
+let test_chain_handlers () =
+  let a = ref 0 and b = ref 0 in
+  let mk r =
+    { Env.on_ack = (fun _ -> incr r); on_loss = (fun ~now_ms:_ -> ()) }
+  in
+  let env = make_env ~cwnd:5. () in
+  Env.run env (Env.chain (mk a) (mk b)) ~ms:500;
+  check_bool "both invoked" true (!a > 0);
+  check_int "equally" !a !b
+
+let test_deterministic_replay () =
+  let run () =
+    let env = make_env ~mbps:24. ~cwnd:40. ~buffer:30 () in
+    Env.run env Env.null_handlers ~ms:4000;
+    let st = Env.stats env in
+    (st.Env.sent, st.Env.delivered, st.Env.dropped)
+  in
+  check_bool "identical runs" true (run () = run ())
+
+let suite =
+  [
+    ("bdp computation", `Quick, test_bdp_pkts);
+    ("config validation", `Quick, test_config_validation);
+    ("uncongested rtt = minRTT", `Quick, test_rtt_equals_min_rtt_when_uncongested);
+    ("first ack timing", `Quick, test_first_ack_timing);
+    ("queue builds when overdriven", `Quick, test_queue_builds_when_overdriven);
+    ("droptail loss", `Quick, test_droptail_loss);
+    ("no loss when window fits", `Quick, test_no_loss_when_window_fits);
+    ("delivery bounded by capacity", `Quick, test_delivery_bounded_by_capacity);
+    ("full utilization with big window", `Quick, test_full_utilization_with_big_window);
+    ("packet conservation", `Quick, test_packet_conservation);
+    ("set_cwnd clamps", `Quick, test_set_cwnd_clamps);
+    ("ack times monotone", `Quick, test_acks_monotone_time);
+    ("ack delivered counter", `Quick, test_ack_seq_delivered_consistency);
+    ("capacity wasted when idle", `Quick, test_capacity_wasted_when_idle);
+    ("zero-capacity blackout", `Quick, test_zero_capacity_interval);
+    ("handler chaining", `Quick, test_chain_handlers);
+    ("deterministic replay", `Quick, test_deterministic_replay);
+  ]
+
+let impaired ?(random_loss = 0.) ?(ack_jitter_ms = 0) () =
+  Env.create
+    {
+      Env.trace = Trace.constant ~name:"c" ~duration_ms:10_000 ~mbps:24.;
+      min_rtt_ms = 20;
+      buffer_pkts = 200;
+      mtu_bytes = Env.default_mtu;
+      initial_cwnd = 20.;
+      impairments = { Env.random_loss; ack_jitter_ms; seed = 42 };
+    }
+
+let test_random_loss_injected () =
+  (* A window that fits comfortably would see zero congestive drops; with
+     random loss enabled, drops must appear at roughly the set rate. *)
+  let env = impaired ~random_loss:0.02 () in
+  Env.run env Env.null_handlers ~ms:8000;
+  let st = Env.stats env in
+  check_bool "drops appear without congestion" true (st.Env.dropped > 0);
+  let rate = float_of_int st.Env.dropped /. float_of_int st.Env.sent in
+  check_bool
+    (Printf.sprintf "rate near 2%% (got %.3f)" rate)
+    true
+    (rate > 0.005 && rate < 0.05)
+
+let test_no_impairments_no_loss () =
+  let env = impaired () in
+  Env.run env Env.null_handlers ~ms:8000;
+  check_int "clean link" 0 (Env.stats env).Env.dropped
+
+let test_ack_jitter_spreads_rtt () =
+  let env = impaired ~ack_jitter_ms:15 () in
+  Env.run env Env.null_handlers ~ms:5000;
+  let rtts = Canopy_util.Fbuf.to_array (Env.stats env).Env.rtt_samples in
+  let mn = Array.fold_left Float.min rtts.(0) rtts in
+  let mx = Array.fold_left Float.max rtts.(0) rtts in
+  check_bool "floor at minRTT" true (mn >= 20.);
+  check_bool "jitter visible" true (mx -. mn >= 5.);
+  (* bound: minRTT + jitter + the initial window burst's queueing (the
+     20-packet initial window drains at 2 pkts/ms -> up to 10 ms) *)
+  check_bool "jitter bounded" true (mx <= 20. +. 15. +. 11.)
+
+let test_jitter_keeps_conservation () =
+  let env = impaired ~ack_jitter_ms:25 ~random_loss:0.01 () in
+  Env.run env Env.null_handlers ~ms:4000;
+  Env.set_cwnd env 1.;
+  Env.run env Env.null_handlers ~ms:1000;
+  let st = Env.stats env in
+  check_bool "conservation with impairments" true
+    (st.Env.delivered + st.Env.dropped + Env.inflight env >= st.Env.sent)
+
+let test_impairment_validation () =
+  Alcotest.check_raises "loss prob" (Invalid_argument "Env.create: random_loss")
+    (fun () ->
+      ignore
+        (Env.create
+           {
+             Env.trace = Trace.constant ~name:"c" ~duration_ms:10 ~mbps:1.;
+             min_rtt_ms = 10;
+             buffer_pkts = 1;
+             mtu_bytes = 1500;
+             initial_cwnd = 2.;
+             impairments = { Env.random_loss = 1.5; ack_jitter_ms = 0; seed = 0 };
+           }))
+
+let impairment_suite =
+  [
+    ("random loss injected", `Quick, test_random_loss_injected);
+    ("no impairments no loss", `Quick, test_no_impairments_no_loss);
+    ("ack jitter spreads rtt", `Quick, test_ack_jitter_spreads_rtt);
+    ("jitter keeps conservation", `Quick, test_jitter_keeps_conservation);
+    ("impairment validation", `Quick, test_impairment_validation);
+  ]
+
+let suite = suite @ impairment_suite
+
+(* ------------------------------------------------------------------ *)
+(* Property-based invariants *)
+
+let qcheck_netsim =
+  let open QCheck in
+  [
+    Test.make ~name:"delivery never exceeds offered capacity" ~count:50
+      (make
+         Gen.(
+           let* mbps = float_range 1. 200. in
+           let* cwnd = float_range 2. 2000. in
+           let* buffer = int_range 5 500 in
+           let* min_rtt = int_range 4 200 in
+           return (mbps, cwnd, buffer, min_rtt)))
+      (fun (mbps, cwnd, buffer, min_rtt) ->
+        let env = make_env ~mbps ~min_rtt ~buffer ~cwnd ~duration:4000 () in
+        Env.run env Env.null_handlers ~ms:3000;
+        let st = Env.stats env in
+        float_of_int st.Env.delivered <= st.Env.capacity_pkts +. 1.
+        && Env.utilization env <= 1.
+        && Env.loss_rate env >= 0.
+        && Env.loss_rate env <= 1.);
+    Test.make ~name:"all RTT samples at least minRTT" ~count:50
+      (make
+         Gen.(
+           let* mbps = float_range 1. 100. in
+           let* cwnd = float_range 2. 500. in
+           let* min_rtt = int_range 4 100 in
+           return (mbps, cwnd, min_rtt)))
+      (fun (mbps, cwnd, min_rtt) ->
+        let env = make_env ~mbps ~min_rtt ~cwnd ~duration:3000 () in
+        Env.run env Env.null_handlers ~ms:2000;
+        Canopy_util.Fbuf.to_array (Env.stats env).Env.rtt_samples
+        |> Array.for_all (fun r -> r >= float_of_int min_rtt));
+  ]
+
+let suite = suite @ List.map QCheck_alcotest.to_alcotest qcheck_netsim

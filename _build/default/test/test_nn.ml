@@ -1,0 +1,403 @@
+(* Tests for canopy_nn: layer semantics, gradient correctness via finite
+   differences, optimizers, checkpointing, target-network updates. *)
+
+open Canopy_nn
+open Canopy_tensor
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+let rng () = Canopy_util.Prng.create 1234
+
+(* ------------------------------------------------------------------ *)
+(* Layer forward semantics *)
+
+let test_dense_forward () =
+  let d =
+    Layer.Dense
+      {
+        w = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |];
+        b = [| 0.5; -0.5 |];
+        dw = Mat.create ~rows:2 ~cols:2;
+        db = Vec.create 2;
+      }
+  in
+  let y = Layer.forward1 Layer.Eval d [| 1.; 1. |] in
+  Alcotest.(check (array (float 1e-9))) "dense" [| 3.5; 6.5 |] y
+
+let test_leaky_relu_forward () =
+  let l = Layer.leaky_relu ~slope:0.1 () in
+  let y = Layer.forward1 Layer.Eval l [| -2.; 0.; 3. |] in
+  Alcotest.(check (array (float 1e-9))) "leaky" [| -0.2; 0.; 3. |] y
+
+let test_relu_tanh_forward () =
+  let y = Layer.forward1 Layer.Eval Layer.relu [| -1.; 2. |] in
+  Alcotest.(check (array (float 1e-9))) "relu" [| 0.; 2. |] y;
+  let y = Layer.forward1 Layer.Eval Layer.tanh [| 0.; 100. |] in
+  check_float "tanh 0" 0. y.(0);
+  check_bool "tanh sat" true (y.(1) > 0.999)
+
+let test_batch_norm_identity_init () =
+  (* Fresh BN with running stats (mean 0, var 1) is ~identity in eval. *)
+  let bn = Layer.batch_norm ~eps:1e-12 ~dim:3 () in
+  let x = [| 0.5; -1.; 2. |] in
+  let y = Layer.forward1 Layer.Eval bn x in
+  Array.iteri
+    (fun i v -> check_bool "near identity" true (Float.abs (v -. x.(i)) < 1e-5))
+    y
+
+let test_batch_norm_normalizes_batch () =
+  let bn = Layer.batch_norm ~dim:1 () in
+  let batch = [| [| 10. |]; [| 20. |]; [| 30. |] |] in
+  let out, _ = Layer.forward Layer.Train bn batch in
+  let mean = (out.(0).(0) +. out.(1).(0) +. out.(2).(0)) /. 3. in
+  check_bool "batch output centered" true (Float.abs mean < 1e-9);
+  check_bool "ordered" true (out.(0).(0) < out.(1).(0) && out.(1).(0) < out.(2).(0))
+
+let test_batch_norm_updates_running_stats () =
+  match Layer.batch_norm ~momentum:0.5 ~dim:1 () with
+  | Layer.Batch_norm bn as layer ->
+      let batch = [| [| 10. |]; [| 20. |] |] in
+      ignore (Layer.forward Layer.Train layer batch);
+      (* running mean moves halfway from 0 toward the batch mean 15 *)
+      check_float "running mean" 7.5 bn.running_mean.(0)
+  | _ -> assert false
+
+let test_out_dim () =
+  let d = Layer.dense ~rng:(rng ()) ~in_dim:4 ~out_dim:7 in
+  Alcotest.(check int) "dense out" 7 (Layer.out_dim ~in_dim:4 d);
+  Alcotest.(check int) "tanh out" 5 (Layer.out_dim ~in_dim:5 Layer.tanh)
+
+(* ------------------------------------------------------------------ *)
+(* Gradient checks: compare backprop against central finite differences
+   of a scalar loss L = sum(output) over a small random network. *)
+
+let fd_epsilon = 1e-5
+
+let loss_of net batch =
+  (* deterministic loss: run in Train mode via forward_train to exercise
+     the same code path as backward, but batch-norm running stats update
+     makes repeated forwards impure — so gradient-check networks avoid BN
+     batch mode by using batch size 1 (falls back to running stats). *)
+  let out, _ = Mlp.forward_train net batch in
+  Array.fold_left (fun acc o -> acc +. Vec.sum o) 0. out
+
+let gradient_check ?(eps = 2e-3) net batch =
+  Mlp.zero_grad net;
+  let out, tape = Mlp.forward_train net batch in
+  let dout = Array.map (fun o -> Array.map (fun _ -> 1.) o) out in
+  ignore (Mlp.backward net tape dout);
+  let params = Mlp.params net in
+  List.iteri
+    (fun pi (value, grad) ->
+      Array.iteri
+        (fun i _ ->
+          let saved = value.(i) in
+          value.(i) <- saved +. fd_epsilon;
+          let lp = loss_of net batch in
+          value.(i) <- saved -. fd_epsilon;
+          let lm = loss_of net batch in
+          value.(i) <- saved;
+          let numeric = (lp -. lm) /. (2. *. fd_epsilon) in
+          let analytic = grad.(i) in
+          let denom = Float.max 1. (Float.abs numeric) in
+          if Float.abs (numeric -. analytic) /. denom > eps then
+            Alcotest.failf "param %d[%d]: numeric %.6f vs analytic %.6f" pi i
+              numeric analytic)
+        value)
+    params
+
+let test_grad_dense_tanh () =
+  let r = rng () in
+  let net =
+    Mlp.create ~in_dim:3
+      [ Layer.dense ~rng:r ~in_dim:3 ~out_dim:4; Layer.tanh;
+        Layer.dense ~rng:r ~in_dim:4 ~out_dim:2 ]
+  in
+  gradient_check net [| [| 0.3; -0.7; 1.1 |] |]
+
+let test_grad_leaky_relu () =
+  let r = rng () in
+  let net =
+    Mlp.create ~in_dim:2
+      [
+        Layer.dense ~rng:r ~in_dim:2 ~out_dim:5;
+        Layer.leaky_relu ~slope:0.05 ();
+        Layer.dense ~rng:r ~in_dim:5 ~out_dim:1;
+      ]
+  in
+  gradient_check net [| [| 0.9; -0.4 |] |]
+
+let test_grad_relu () =
+  let r = rng () in
+  let net =
+    Mlp.create ~in_dim:2
+      [ Layer.dense ~rng:r ~in_dim:2 ~out_dim:4; Layer.relu;
+        Layer.dense ~rng:r ~in_dim:4 ~out_dim:1 ]
+  in
+  gradient_check net [| [| 0.35; 0.6 |] |]
+
+let test_grad_batchnorm_eval_path () =
+  (* Batch of one: BN uses running statistics (an affine map); gradients
+     through gamma/beta and the input must still be exact. *)
+  let r = rng () in
+  let net =
+    Mlp.create ~in_dim:2
+      [
+        Layer.dense ~rng:r ~in_dim:2 ~out_dim:3;
+        Layer.batch_norm ~dim:3 ();
+        Layer.leaky_relu ();
+        Layer.dense ~rng:r ~in_dim:3 ~out_dim:1;
+      ]
+  in
+  gradient_check net [| [| 0.2; -0.8 |] |]
+
+let test_grad_batchnorm_batch_stats () =
+  (* Full BN backward through batch statistics: compare against finite
+     differences of a frozen copy of the network (running-stat updates
+     would otherwise change the loss between evaluations). We sidestep
+     impurity by setting momentum to 0 so running stats never change. *)
+  let r = rng () in
+  let net =
+    Mlp.create ~in_dim:2
+      [
+        Layer.dense ~rng:r ~in_dim:2 ~out_dim:3;
+        Layer.batch_norm ~momentum:0. ~dim:3 ();
+        Layer.tanh;
+        Layer.dense ~rng:r ~in_dim:3 ~out_dim:1;
+      ]
+  in
+  gradient_check net [| [| 0.2; -0.8 |]; [| 1.0; 0.4 |]; [| -0.5; 0.1 |] |]
+
+let test_backward_input_gradient () =
+  (* dL/dx for L = sum(W x + b) must equal column sums of W. *)
+  let w = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let net =
+    Mlp.create ~in_dim:2
+      [
+        Layer.Dense
+          { w; b = Vec.create 2; dw = Mat.create ~rows:2 ~cols:2;
+            db = Vec.create 2 };
+      ]
+  in
+  let _, tape = Mlp.forward_train net [| [| 0.1; 0.2 |] |] in
+  let dx = Mlp.backward net tape [| [| 1.; 1. |] |] in
+  Alcotest.(check (array (float 1e-9))) "input grad" [| 4.; 6. |] dx.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Mlp structure *)
+
+let test_mlp_actor_shape () =
+  let net = Mlp.actor ~rng:(rng ()) ~in_dim:35 ~hidden:16 ~out_dim:1 in
+  Alcotest.(check int) "in" 35 (Mlp.in_dim net);
+  Alcotest.(check int) "out" 1 (Mlp.out_dim net);
+  let y = Mlp.forward net (Array.make 35 0.3) in
+  check_bool "tanh bounded" true (Float.abs y.(0) <= 1.)
+
+let test_mlp_critic_shape () =
+  let net = Mlp.critic ~rng:(rng ()) ~state_dim:6 ~action_dim:1 ~hidden:8 in
+  Alcotest.(check int) "in" 7 (Mlp.in_dim net);
+  Alcotest.(check int) "out" 1 (Mlp.out_dim net)
+
+let test_mlp_bad_shape_rejected () =
+  Alcotest.check_raises "dense mismatch"
+    (Invalid_argument "Mlp.create: dense expects 3 inputs, got 2") (fun () ->
+      ignore
+        (Mlp.create ~in_dim:2 [ Layer.dense ~rng:(rng ()) ~in_dim:3 ~out_dim:1 ]))
+
+let test_mlp_copy_independent () =
+  let net = Mlp.actor ~rng:(rng ()) ~in_dim:4 ~hidden:8 ~out_dim:1 in
+  let dup = Mlp.copy net in
+  let x = [| 0.1; 0.2; 0.3; 0.4 |] in
+  check_float "same output" (Mlp.forward net x).(0) (Mlp.forward dup x).(0);
+  (* mutate the copy's first dense layer *)
+  (match Mlp.layers dup with
+  | Layer.Dense d :: _ -> Mat.set d.w 0 0 (Mat.get d.w 0 0 +. 10.)
+  | _ -> assert false);
+  check_bool "independent storage" true
+    ((Mlp.forward net x).(0) <> (Mlp.forward dup x).(0))
+
+let test_soft_update () =
+  let src = Mlp.actor ~rng:(rng ()) ~in_dim:3 ~hidden:4 ~out_dim:1 in
+  let dst = Mlp.copy src in
+  (* push dst away, then tau=1 must restore equality with src *)
+  (match Mlp.layers dst with
+  | Layer.Dense d :: _ -> Mat.set d.w 0 0 99.
+  | _ -> assert false);
+  Mlp.soft_update ~tau:1. ~src ~dst;
+  let x = [| 0.5; -0.5; 0.25 |] in
+  check_float "tau=1 copies" (Mlp.forward src x).(0) (Mlp.forward dst x).(0)
+
+let test_soft_update_partial () =
+  let r = rng () in
+  let src = Mlp.create ~in_dim:1 [ Layer.dense ~rng:r ~in_dim:1 ~out_dim:1 ] in
+  let dst = Mlp.copy src in
+  (match (Mlp.layers src, Mlp.layers dst) with
+  | [ Layer.Dense s ], [ Layer.Dense d ] ->
+      Mat.set s.w 0 0 10.;
+      Mat.set d.w 0 0 0.;
+      Mlp.soft_update ~tau:0.1 ~src ~dst;
+      check_float "polyak step" 1. (Mat.get d.w 0 0)
+  | _ -> assert false)
+
+let test_param_count () =
+  let net = Mlp.critic ~rng:(rng ()) ~state_dim:3 ~action_dim:1 ~hidden:8 in
+  (* dense(4->8): 32+8; dense(8->8): 64+8; dense(8->1): 8+1 = 121 *)
+  Alcotest.(check int) "param count" 121 (Mlp.param_count net)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizers *)
+
+let quadratic_minimize opt =
+  (* minimize f(x) = (x - 3)^2 with the optimizer API *)
+  let x = [| 0. |] and g = [| 0. |] in
+  for _ = 1 to 2000 do
+    g.(0) <- 2. *. (x.(0) -. 3.);
+    Optimizer.step opt [ (x, g) ]
+  done;
+  x.(0)
+
+let test_sgd_converges () =
+  let x = quadratic_minimize (Optimizer.sgd ~lr:0.05 ()) in
+  check_bool "sgd near 3" true (Float.abs (x -. 3.) < 1e-3)
+
+let test_sgd_momentum_converges () =
+  let x = quadratic_minimize (Optimizer.sgd ~momentum:0.9 ~lr:0.01 ()) in
+  check_bool "sgd+momentum near 3" true (Float.abs (x -. 3.) < 1e-3)
+
+let test_adam_converges () =
+  let x = quadratic_minimize (Optimizer.adam ~lr:0.05 ()) in
+  check_bool "adam near 3" true (Float.abs (x -. 3.) < 1e-3)
+
+let test_clip_gradients () =
+  let g1 = [| 3.; 0. |] and g2 = [| 0.; 4. |] in
+  Optimizer.clip_gradients ~norm:2.5 [ ([| 0.; 0. |], g1); ([| 0.; 0. |], g2) ];
+  let total = sqrt ((g1.(0) ** 2.) +. (g2.(1) ** 2.)) in
+  check_bool "clipped to norm" true (Float.abs (total -. 2.5) < 1e-9)
+
+let test_clip_noop_below_norm () =
+  let g = [| 0.3; 0.4 |] in
+  Optimizer.clip_gradients ~norm:10. [ ([| 0.; 0. |], g) ];
+  Alcotest.(check (array (float 1e-12))) "unchanged" [| 0.3; 0.4 |] g
+
+let test_set_lr () =
+  let opt = Optimizer.adam ~lr:0.1 () in
+  Optimizer.set_lr opt 0.01;
+  check_float "lr updated" 0.01 (Optimizer.lr opt)
+
+let test_mlp_regression_learns () =
+  (* Train a small MLP to fit y = 2x - 1 on [-1,1]; the loss must drop by
+     a large factor. Exercises forward_train/backward/Adam end to end. *)
+  let r = rng () in
+  let net =
+    Mlp.create ~in_dim:1
+      [
+        Layer.dense ~rng:r ~in_dim:1 ~out_dim:16;
+        Layer.leaky_relu ();
+        Layer.dense ~rng:r ~in_dim:16 ~out_dim:1;
+      ]
+  in
+  let opt = Optimizer.adam ~lr:1e-2 () in
+  let data = Array.init 32 (fun i -> -1. +. (2. *. float_of_int i /. 31.)) in
+  let loss () =
+    Array.fold_left
+      (fun acc x ->
+        let y = (Mlp.forward net [| x |]).(0) in
+        acc +. (((2. *. x) -. 1. -. y) ** 2.))
+      0. data
+    /. 32.
+  in
+  let initial = loss () in
+  for _ = 1 to 300 do
+    Mlp.zero_grad net;
+    let batch = Array.map (fun x -> [| x |]) data in
+    let preds, tape = Mlp.forward_train net batch in
+    let dout =
+      Array.mapi
+        (fun i p -> [| 2. *. (p.(0) -. ((2. *. data.(i)) -. 1.)) /. 32. |])
+        preds
+    in
+    ignore (Mlp.backward net tape dout);
+    Optimizer.step opt (Mlp.params net)
+  done;
+  let final = loss () in
+  check_bool
+    (Printf.sprintf "loss dropped (%.4f -> %.4f)" initial final)
+    true
+    (final < initial /. 20.)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing *)
+
+let test_checkpoint_roundtrip_string () =
+  let net = Mlp.actor ~rng:(rng ()) ~in_dim:6 ~hidden:8 ~out_dim:1 in
+  let restored = Checkpoint.of_string (Checkpoint.to_string net) in
+  let x = Array.init 6 (fun i -> 0.1 *. float_of_int i) in
+  check_float "same output" (Mlp.forward net x).(0)
+    (Mlp.forward restored x).(0);
+  Alcotest.(check int) "same layer count"
+    (List.length (Mlp.layers net))
+    (List.length (Mlp.layers restored))
+
+let test_checkpoint_roundtrip_file () =
+  let net = Mlp.critic ~rng:(rng ()) ~state_dim:3 ~action_dim:2 ~hidden:4 in
+  let path = Filename.temp_file "canopy" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Checkpoint.save net path;
+      let restored = Checkpoint.load path in
+      let x = [| 1.; -1.; 0.5; 0.2; -0.3 |] in
+      check_float "same output" (Mlp.forward net x).(0)
+        (Mlp.forward restored x).(0))
+
+let test_checkpoint_preserves_running_stats () =
+  let net =
+    Mlp.create ~in_dim:2
+      [ Layer.dense ~rng:(rng ()) ~in_dim:2 ~out_dim:2;
+        Layer.batch_norm ~dim:2 () ]
+  in
+  (* push some batches through to move the running statistics *)
+  ignore (Mlp.forward_train net [| [| 5.; 1. |]; [| 7.; -1. |] |]);
+  let restored = Checkpoint.of_string (Checkpoint.to_string net) in
+  let x = [| 2.; 3. |] in
+  Alcotest.(check (array (float 1e-12)))
+    "eval path identical" (Mlp.forward net x) (Mlp.forward restored x)
+
+let test_checkpoint_rejects_garbage () =
+  Alcotest.check_raises "bad magic" (Failure "Checkpoint: bad magic")
+    (fun () -> ignore (Checkpoint.of_string "not a checkpoint\n"))
+
+let suite =
+  [
+    ("dense forward", `Quick, test_dense_forward);
+    ("leaky relu forward", `Quick, test_leaky_relu_forward);
+    ("relu/tanh forward", `Quick, test_relu_tanh_forward);
+    ("batchnorm identity at init", `Quick, test_batch_norm_identity_init);
+    ("batchnorm normalizes batch", `Quick, test_batch_norm_normalizes_batch);
+    ("batchnorm running stats", `Quick, test_batch_norm_updates_running_stats);
+    ("layer out_dim", `Quick, test_out_dim);
+    ("gradient: dense+tanh", `Quick, test_grad_dense_tanh);
+    ("gradient: leaky relu", `Quick, test_grad_leaky_relu);
+    ("gradient: relu", `Quick, test_grad_relu);
+    ("gradient: batchnorm eval path", `Quick, test_grad_batchnorm_eval_path);
+    ("gradient: batchnorm batch stats", `Quick, test_grad_batchnorm_batch_stats);
+    ("input gradient", `Quick, test_backward_input_gradient);
+    ("mlp actor shape", `Quick, test_mlp_actor_shape);
+    ("mlp critic shape", `Quick, test_mlp_critic_shape);
+    ("mlp bad shape rejected", `Quick, test_mlp_bad_shape_rejected);
+    ("mlp copy independent", `Quick, test_mlp_copy_independent);
+    ("soft update tau=1", `Quick, test_soft_update);
+    ("soft update partial", `Quick, test_soft_update_partial);
+    ("param count", `Quick, test_param_count);
+    ("sgd converges", `Quick, test_sgd_converges);
+    ("sgd momentum converges", `Quick, test_sgd_momentum_converges);
+    ("adam converges", `Quick, test_adam_converges);
+    ("gradient clipping", `Quick, test_clip_gradients);
+    ("gradient clip noop", `Quick, test_clip_noop_below_norm);
+    ("set_lr", `Quick, test_set_lr);
+    ("mlp regression learns", `Quick, test_mlp_regression_learns);
+    ("checkpoint string roundtrip", `Quick, test_checkpoint_roundtrip_string);
+    ("checkpoint file roundtrip", `Quick, test_checkpoint_roundtrip_file);
+    ("checkpoint running stats", `Quick, test_checkpoint_preserves_running_stats);
+    ("checkpoint rejects garbage", `Quick, test_checkpoint_rejects_garbage);
+  ]

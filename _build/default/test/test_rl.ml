@@ -1,0 +1,203 @@
+(* Tests for canopy_rl: the replay buffer and the TD3 learner. The TD3
+   learning test uses a one-step bandit-style environment with a known
+   optimal action, which a correct implementation must find quickly. *)
+
+open Canopy_rl
+module Prng = Canopy_util.Prng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tr ?(r = 0.) ?(terminal = false) s a =
+  {
+    Replay_buffer.state = s;
+    action = a;
+    reward = r;
+    next_state = s;
+    terminal;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Replay buffer *)
+
+let test_buffer_add_length () =
+  let b = Replay_buffer.create ~capacity:4 in
+  check_int "empty" 0 (Replay_buffer.length b);
+  Replay_buffer.add b (tr [| 0. |] [| 0. |]);
+  check_int "one" 1 (Replay_buffer.length b);
+  check_int "capacity" 4 (Replay_buffer.capacity b)
+
+let test_buffer_wraps () =
+  let b = Replay_buffer.create ~capacity:3 in
+  for i = 1 to 10 do
+    Replay_buffer.add b (tr ~r:(float_of_int i) [| 0. |] [| 0. |])
+  done;
+  check_int "bounded" 3 (Replay_buffer.length b);
+  (* all samples must come from the last three pushes *)
+  let rng = Prng.create 1 in
+  let batch = Replay_buffer.sample b rng ~batch_size:50 in
+  Array.iter
+    (fun t -> check_bool "recent only" true (t.Replay_buffer.reward >= 8.))
+    batch
+
+let test_buffer_sample_size () =
+  let b = Replay_buffer.create ~capacity:8 in
+  Replay_buffer.add b (tr [| 1. |] [| 0.5 |]);
+  let rng = Prng.create 2 in
+  let batch = Replay_buffer.sample b rng ~batch_size:5 in
+  check_int "requested size" 5 (Array.length batch)
+
+let test_buffer_sample_empty_raises () =
+  let b = Replay_buffer.create ~capacity:2 in
+  let rng = Prng.create 3 in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Replay_buffer.sample: empty") (fun () ->
+      ignore (Replay_buffer.sample b rng ~batch_size:1))
+
+let test_buffer_clear () =
+  let b = Replay_buffer.create ~capacity:2 in
+  Replay_buffer.add b (tr [| 0. |] [| 0. |]);
+  Replay_buffer.clear b;
+  check_int "cleared" 0 (Replay_buffer.length b)
+
+(* ------------------------------------------------------------------ *)
+(* TD3 *)
+
+let td3_config ~state_dim =
+  {
+    (Td3.default_config ~state_dim ~action_dim:1) with
+    hidden = 16;
+    batch_size = 32;
+    warmup = 64;
+    buffer_capacity = 4096;
+  }
+
+let test_td3_action_bounds () =
+  let rng = Prng.create 7 in
+  let agent = Td3.create ~rng (td3_config ~state_dim:3) in
+  for _ = 1 to 50 do
+    let s = Array.init 3 (fun _ -> Prng.uniform rng (-5.) 5.) in
+    let a = Td3.select_action ~explore:true agent s in
+    check_bool "bounded" true (Float.abs a.(0) <= 1.)
+  done
+
+let test_td3_deterministic_without_exploration () =
+  let rng = Prng.create 8 in
+  let agent = Td3.create ~rng (td3_config ~state_dim:2) in
+  let s = [| 0.5; -0.5 |] in
+  let a1 = Td3.select_action agent s in
+  let a2 = Td3.select_action agent s in
+  Alcotest.(check (array (float 0.))) "same action" a1 a2
+
+let test_td3_update_noop_before_warmup () =
+  let rng = Prng.create 9 in
+  let agent = Td3.create ~rng (td3_config ~state_dim:2) in
+  Td3.observe agent (tr [| 0.; 0. |] [| 0. |]);
+  Td3.update agent;
+  check_int "no update before warmup" 0 (Td3.updates_done agent)
+
+let test_td3_observe_rejects_bad_state () =
+  let rng = Prng.create 10 in
+  let agent = Td3.create ~rng (td3_config ~state_dim:2) in
+  Alcotest.check_raises "bad dim" (Invalid_argument "Td3.observe: state dim")
+    (fun () -> Td3.observe agent (tr [| 0. |] [| 0. |]))
+
+let test_td3_learns_bandit () =
+  (* One-step environment: reward = -(a - 0.6)^2, episode ends
+     immediately. The greedy action must converge near 0.6. *)
+  let rng = Prng.create 11 in
+  let agent = Td3.create ~rng (td3_config ~state_dim:2) in
+  let noise = Prng.create 12 in
+  let s = [| 0.3; -0.3 |] in
+  for _ = 1 to 1500 do
+    let a = Td3.select_action ~explore:true agent s in
+    let a0 =
+      Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
+        (a.(0) +. Prng.gaussian_scaled noise ~mu:0. ~sigma:0.2)
+    in
+    let r = -.((a0 -. 0.6) ** 2.) in
+    Td3.observe agent
+      { Replay_buffer.state = s; action = [| a0 |]; reward = r;
+        next_state = s; terminal = true };
+    Td3.update agent
+  done;
+  let a = (Td3.select_action agent s).(0) in
+  check_bool
+    (Printf.sprintf "greedy action near 0.6 (got %.3f)" a)
+    true
+    (Float.abs (a -. 0.6) < 0.25)
+
+let test_td3_state_dependent_bandit () =
+  (* Optimal action flips sign with the state: tests that the actor
+     actually conditions on its input. *)
+  let rng = Prng.create 13 in
+  let agent = Td3.create ~rng (td3_config ~state_dim:1) in
+  let noise = Prng.create 14 in
+  for i = 1 to 3000 do
+    let s = if i mod 2 = 0 then [| 1. |] else [| -1. |] in
+    let target = if s.(0) > 0. then 0.5 else -0.5 in
+    let a = Td3.select_action ~explore:true agent s in
+    let a0 =
+      Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
+        (a.(0) +. Prng.gaussian_scaled noise ~mu:0. ~sigma:0.2)
+    in
+    let r = -.((a0 -. target) ** 2.) in
+    Td3.observe agent
+      { Replay_buffer.state = s; action = [| a0 |]; reward = r;
+        next_state = s; terminal = true };
+    Td3.update agent
+  done;
+  let a_pos = (Td3.select_action agent [| 1. |]).(0) in
+  let a_neg = (Td3.select_action agent [| -1. |]).(0) in
+  check_bool
+    (Printf.sprintf "sign split (pos %.3f / neg %.3f)" a_pos a_neg)
+    true
+    (a_pos > a_neg +. 0.3)
+
+let test_td3_updates_counted () =
+  let rng = Prng.create 15 in
+  let agent = Td3.create ~rng (td3_config ~state_dim:1) in
+  for _ = 1 to 100 do
+    Td3.observe agent (tr ~r:0.1 ~terminal:true [| 0.5 |] [| 0. |])
+  done;
+  for _ = 1 to 10 do
+    Td3.update agent
+  done;
+  check_int "updates counted" 10 (Td3.updates_done agent);
+  check_int "buffer size" 100 (Td3.buffer_size agent)
+
+let test_td3_save_load_actor () =
+  let rng = Prng.create 16 in
+  let agent = Td3.create ~rng (td3_config ~state_dim:2) in
+  let dir = Filename.temp_file "canopy" ".d" in
+  Sys.remove dir;
+  Td3.save agent ~dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let s = [| 0.2; 0.8 |] in
+      let before = (Td3.select_action agent s).(0) in
+      (* perturb the live actor, then restore from the checkpoint *)
+      Td3.load_actor agent (Filename.concat dir "actor.ckpt");
+      let after = (Td3.select_action agent s).(0) in
+      Alcotest.(check (float 1e-9)) "roundtrip" before after)
+
+let suite =
+  [
+    ("buffer add/length", `Quick, test_buffer_add_length);
+    ("buffer wraps", `Quick, test_buffer_wraps);
+    ("buffer sample size", `Quick, test_buffer_sample_size);
+    ("buffer sample empty", `Quick, test_buffer_sample_empty_raises);
+    ("buffer clear", `Quick, test_buffer_clear);
+    ("td3 action bounds", `Quick, test_td3_action_bounds);
+    ("td3 deterministic policy", `Quick, test_td3_deterministic_without_exploration);
+    ("td3 warmup gate", `Quick, test_td3_update_noop_before_warmup);
+    ("td3 rejects bad state", `Quick, test_td3_observe_rejects_bad_state);
+    ("td3 learns bandit", `Slow, test_td3_learns_bandit);
+    ("td3 state-dependent bandit", `Slow, test_td3_state_dependent_bandit);
+    ("td3 update counting", `Quick, test_td3_updates_counted);
+    ("td3 save/load actor", `Quick, test_td3_save_load_actor);
+  ]

@@ -1,0 +1,225 @@
+(* Tests for canopy_tensor: vector and matrix algebra. *)
+
+open Canopy_tensor
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+let vec = Alcotest.testable Vec.pp (Vec.approx_equal ~eps:1e-9)
+let mat = Alcotest.testable Mat.pp (Mat.approx_equal ~eps:1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_create_init () =
+  Alcotest.check vec "zeros" [| 0.; 0.; 0. |] (Vec.create 3);
+  Alcotest.check vec "init" [| 0.; 1.; 4. |]
+    (Vec.init 3 (fun i -> float_of_int (i * i)))
+
+let test_vec_arith () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  Alcotest.check vec "add" [| 5.; 7.; 9. |] (Vec.add a b);
+  Alcotest.check vec "sub" [| -3.; -3.; -3. |] (Vec.sub a b);
+  Alcotest.check vec "mul" [| 4.; 10.; 18. |] (Vec.mul a b);
+  Alcotest.check vec "scale" [| 2.; 4.; 6. |] (Vec.scale 2. a)
+
+let test_vec_axpy () =
+  let y = [| 1.; 1. |] in
+  Vec.axpy ~alpha:3. ~x:[| 2.; -1. |] ~y;
+  Alcotest.check vec "axpy" [| 7.; -2. |] y
+
+let test_vec_into () =
+  let dst = Vec.create 2 in
+  Vec.add_into ~dst [| 1.; 2. |] [| 3.; 4. |];
+  Alcotest.check vec "add_into" [| 4.; 6. |] dst;
+  Vec.sub_into ~dst [| 1.; 2. |] [| 3.; 4. |];
+  Alcotest.check vec "sub_into" [| -2.; -2. |] dst;
+  Vec.map_into ~dst (fun x -> x *. x) [| 3.; 4. |];
+  Alcotest.check vec "map_into" [| 9.; 16. |] dst
+
+let test_vec_dot_norm () =
+  check_float "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  check_float "norm2" 5. (Vec.norm2 [| 3.; 4. |]);
+  check_float "norm_inf" 4. (Vec.norm_inf [| 3.; -4. |]);
+  check_float "sum" 6. (Vec.sum [| 1.; 2.; 3. |]);
+  check_float "mean" 2. (Vec.mean [| 1.; 2.; 3. |]);
+  check_float "mean empty" 0. (Vec.mean [||])
+
+let test_vec_minmax () =
+  let a = [| 3.; -1.; 7.; 2. |] in
+  check_float "max" 7. (Vec.max_elt a);
+  check_float "min" (-1.) (Vec.min_elt a);
+  Alcotest.(check int) "argmax" 2 (Vec.argmax a)
+
+let test_vec_concat_slice () =
+  let c = Vec.concat [ [| 1. |]; [| 2.; 3. |]; [||] ] in
+  Alcotest.check vec "concat" [| 1.; 2.; 3. |] c;
+  Alcotest.check vec "slice" [| 2.; 3. |] (Vec.slice c ~pos:1 ~len:2)
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Vec.add: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.add [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Mat *)
+
+let m23 = Mat.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |]
+
+let test_mat_shape_access () =
+  Alcotest.(check int) "rows" 2 (Mat.rows m23);
+  Alcotest.(check int) "cols" 3 (Mat.cols m23);
+  check_float "get" 6. (Mat.get m23 1 2);
+  Alcotest.check vec "row" [| 4.; 5.; 6. |] (Mat.row m23 1)
+
+let test_mat_set_copy () =
+  let m = Mat.copy m23 in
+  Mat.set m 0 0 42.;
+  check_float "set" 42. (Mat.get m 0 0);
+  check_float "original untouched" 1. (Mat.get m23 0 0)
+
+let test_mat_transpose () =
+  let t = Mat.transpose m23 in
+  Alcotest.(check int) "t rows" 3 (Mat.rows t);
+  check_float "t(2,1)" 6. (Mat.get t 2 1);
+  Alcotest.check mat "double transpose" m23 (Mat.transpose t)
+
+let test_mat_arith () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 10.; 20. |]; [| 30.; 40. |] |] in
+  Alcotest.check mat "add"
+    (Mat.of_arrays [| [| 11.; 22. |]; [| 33.; 44. |] |])
+    (Mat.add a b);
+  Alcotest.check mat "sub"
+    (Mat.of_arrays [| [| 9.; 18. |]; [| 27.; 36. |] |])
+    (Mat.sub b a);
+  Alcotest.check mat "scale"
+    (Mat.of_arrays [| [| 2.; 4. |]; [| 6.; 8. |] |])
+    (Mat.scale 2. a);
+  Alcotest.check mat "abs"
+    (Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |])
+    (Mat.abs (Mat.scale (-1.) a))
+
+let test_mat_vec () =
+  Alcotest.check vec "mat_vec" [| 14.; 32. |] (Mat.mat_vec m23 [| 1.; 2.; 3. |]);
+  let dst = Vec.create 2 in
+  Mat.mat_vec_into ~dst m23 [| 1.; 2.; 3. |];
+  Alcotest.check vec "mat_vec_into" [| 14.; 32. |] dst
+
+let test_mat_tvec () =
+  Alcotest.check vec "mat_tvec" [| 9.; 12.; 15. |]
+    (Mat.mat_tvec m23 [| 1.; 2. |])
+
+let test_mat_mul () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  Alcotest.check mat "matmul"
+    (Mat.of_arrays [| [| 19.; 22. |]; [| 43.; 50. |] |])
+    (Mat.mat_mul a b)
+
+let test_mat_identity_mul () =
+  let id = Mat.init ~rows:3 ~cols:3 (fun i j -> if i = j then 1. else 0.) in
+  Alcotest.check mat "I * Mᵀ" (Mat.transpose m23)
+    (Mat.mat_mul id (Mat.transpose m23))
+
+let test_mat_outer_acc () =
+  let m = Mat.create ~rows:2 ~cols:3 in
+  Mat.outer_acc m [| 1.; 2. |] [| 3.; 4.; 5. |];
+  Mat.outer_acc m [| 1.; 0. |] [| 1.; 1.; 1. |];
+  Alcotest.check mat "outer accumulated"
+    (Mat.of_arrays [| [| 4.; 5.; 6. |]; [| 6.; 8.; 10. |] |])
+    m
+
+let test_mat_axpy_frobenius () =
+  let x = Mat.of_arrays [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let y = Mat.create ~rows:2 ~cols:2 in
+  Mat.axpy ~alpha:3. ~x ~y;
+  check_float "frobenius" (3. *. sqrt 2.) (Mat.frobenius y)
+
+let test_mat_raw_shares () =
+  let m = Mat.create ~rows:2 ~cols:2 in
+  (Mat.raw m).(3) <- 9.;
+  check_float "raw shares storage" 9. (Mat.get m 1 1)
+
+let test_mat_errors () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_arrays: ragged")
+    (fun () -> ignore (Mat.of_arrays [| [| 1. |]; [| 1.; 2. |] |]));
+  Alcotest.check_raises "mat_vec dims" (Invalid_argument "Mat.mat_vec: dims")
+    (fun () -> ignore (Mat.mat_vec m23 [| 1. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Property-based: algebraic identities *)
+
+let gen_mat rows cols =
+  QCheck.Gen.(
+    array_size (return (rows * cols)) (float_range (-10.) 10.)
+    |> map (fun data ->
+           Mat.init ~rows ~cols (fun i j -> data.((i * cols) + j))))
+
+let gen_vecn n = QCheck.Gen.(array_size (return n) (float_range (-10.) 10.))
+
+let qcheck =
+  let open QCheck in
+  [
+    Test.make ~name:"adjoint identity (Ax)·y = x·(Aᵀy)" ~count:100
+      (make
+         Gen.(
+           let* m = gen_mat 3 4 in
+           let* x = gen_vecn 4 in
+           let* y = gen_vecn 3 in
+           return (m, x, y)))
+      (fun (m, x, y) ->
+        Canopy_util.Mathx.approx_equal ~eps:1e-6
+          (Vec.dot (Mat.mat_vec m x) y)
+          (Vec.dot x (Mat.mat_tvec m y)));
+    Test.make ~name:"matmul consistent with mat_vec" ~count:100
+      (make
+         Gen.(
+           let* a = gen_mat 3 2 in
+           let* b = gen_mat 2 4 in
+           let* x = gen_vecn 4 in
+           return (a, b, x)))
+      (fun (a, b, x) ->
+        Vec.approx_equal ~eps:1e-6
+          (Mat.mat_vec (Mat.mat_mul a b) x)
+          (Mat.mat_vec a (Mat.mat_vec b x)));
+    Test.make ~name:"|M| dominates M elementwise" ~count:100
+      (make (gen_mat 4 4))
+      (fun m ->
+        let a = Mat.abs m in
+        let ok = ref true in
+        for i = 0 to 3 do
+          for j = 0 to 3 do
+            if Mat.get a i j < Float.abs (Mat.get m i j) -. 1e-12 then
+              ok := false
+          done
+        done;
+        !ok);
+    Test.make ~name:"vec add commutes" ~count:100
+      (make Gen.(pair (gen_vecn 5) (gen_vecn 5)))
+      (fun (a, b) -> Vec.approx_equal (Vec.add a b) (Vec.add b a));
+  ]
+
+let suite =
+  [
+    ("vec create/init", `Quick, test_vec_create_init);
+    ("vec arithmetic", `Quick, test_vec_arith);
+    ("vec axpy", `Quick, test_vec_axpy);
+    ("vec _into variants", `Quick, test_vec_into);
+    ("vec dot/norms", `Quick, test_vec_dot_norm);
+    ("vec min/max/argmax", `Quick, test_vec_minmax);
+    ("vec concat/slice", `Quick, test_vec_concat_slice);
+    ("vec dimension mismatch", `Quick, test_vec_dim_mismatch);
+    ("mat shape/access", `Quick, test_mat_shape_access);
+    ("mat set/copy", `Quick, test_mat_set_copy);
+    ("mat transpose", `Quick, test_mat_transpose);
+    ("mat arithmetic", `Quick, test_mat_arith);
+    ("mat mat_vec", `Quick, test_mat_vec);
+    ("mat mat_tvec", `Quick, test_mat_tvec);
+    ("mat mat_mul", `Quick, test_mat_mul);
+    ("mat identity mul", `Quick, test_mat_identity_mul);
+    ("mat outer_acc", `Quick, test_mat_outer_acc);
+    ("mat axpy/frobenius", `Quick, test_mat_axpy_frobenius);
+    ("mat raw shares storage", `Quick, test_mat_raw_shares);
+    ("mat errors", `Quick, test_mat_errors);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck

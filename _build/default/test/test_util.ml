@@ -1,0 +1,362 @@
+(* Tests for canopy_util: PRNG, statistics, ring buffer, math helpers,
+   growable float buffer. *)
+
+open Canopy_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  check_bool "different seeds differ" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_split_independent () =
+  let parent = Prng.create 11 in
+  let child = Prng.split parent in
+  let xs = List.init 50 (fun _ -> Prng.bits64 parent) in
+  let ys = List.init 50 (fun _ -> Prng.bits64 child) in
+  check_bool "streams differ" false (xs = ys)
+
+let test_prng_copy_replays () =
+  let a = Prng.create 3 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_prng_int_range () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int rng 17 in
+    check_bool "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_int_covers () =
+  let rng = Prng.create 9 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1_000 do
+    seen.(Prng.int rng 8) <- true
+  done;
+  Array.iteri (fun i s -> check_bool (Printf.sprintf "bucket %d hit" i) true s)
+    seen
+
+let test_prng_float_range () =
+  let rng = Prng.create 13 in
+  for _ = 1 to 1_000 do
+    let x = Prng.float rng 2.5 in
+    check_bool "in [0, 2.5)" true (x >= 0. && x < 2.5)
+  done
+
+let test_prng_uniform_range () =
+  let rng = Prng.create 17 in
+  for _ = 1 to 1_000 do
+    let x = Prng.uniform rng (-3.) 4. in
+    check_bool "in [-3, 4)" true (x >= -3. && x < 4.)
+  done
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create 23 in
+  let n = 20_000 in
+  let w = Stats.Welford.create () in
+  for _ = 1 to n do
+    Stats.Welford.add w (Prng.gaussian rng)
+  done;
+  check_bool "mean near 0" true (Float.abs (Stats.Welford.mean w) < 0.05);
+  check_bool "stddev near 1" true
+    (Float.abs (Stats.Welford.stddev w -. 1.) < 0.05)
+
+let test_prng_gaussian_scaled () =
+  let rng = Prng.create 29 in
+  let w = Stats.Welford.create () in
+  for _ = 1 to 20_000 do
+    Stats.Welford.add w (Prng.gaussian_scaled rng ~mu:5. ~sigma:2.)
+  done;
+  check_bool "mean near 5" true (Float.abs (Stats.Welford.mean w -. 5.) < 0.1);
+  check_bool "stddev near 2" true
+    (Float.abs (Stats.Welford.stddev w -. 2.) < 0.1)
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create 31 in
+  let w = Stats.Welford.create () in
+  for _ = 1 to 20_000 do
+    let x = Prng.exponential rng ~rate:0.5 in
+    check_bool "non-negative" true (x >= 0.);
+    Stats.Welford.add w x
+  done;
+  check_bool "mean near 1/rate" true
+    (Float.abs (Stats.Welford.mean w -. 2.) < 0.1)
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 37 in
+  let a = Array.init 20 Fun.id in
+  let b = Array.copy a in
+  Prng.shuffle rng b;
+  Array.sort compare b;
+  Alcotest.(check (array int)) "same multiset" a b
+
+let test_prng_choose () =
+  let rng = Prng.create 41 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    check_bool "member" true (Array.mem (Prng.choose rng a) a)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_welford_matches_batch () =
+  let xs = [| 1.5; 2.5; -3.; 4.25; 0.; 10. |] in
+  let w = Stats.Welford.create () in
+  Array.iter (Stats.Welford.add w) xs;
+  check_int "count" 6 (Stats.Welford.count w);
+  check_float "mean" (Stats.mean xs) (Stats.Welford.mean w);
+  Alcotest.(check (float 1e-9)) "stddev" (Stats.stddev xs)
+    (Stats.Welford.stddev w)
+
+let test_welford_merge () =
+  let xs = Array.init 10 float_of_int in
+  let ys = Array.init 7 (fun i -> float_of_int (100 + i)) in
+  let wa = Stats.Welford.create () and wb = Stats.Welford.create () in
+  Array.iter (Stats.Welford.add wa) xs;
+  Array.iter (Stats.Welford.add wb) ys;
+  let merged = Stats.Welford.merge wa wb in
+  let all = Array.append xs ys in
+  check_float "merged mean" (Stats.mean all) (Stats.Welford.mean merged);
+  Alcotest.(check (float 1e-9)) "merged stddev" (Stats.stddev all)
+    (Stats.Welford.stddev merged)
+
+let test_welford_empty () =
+  let w = Stats.Welford.create () in
+  check_float "mean empty" 0. (Stats.Welford.mean w);
+  check_float "variance empty" 0. (Stats.Welford.variance w)
+
+let test_percentile_simple () =
+  let xs = [| 3.; 1.; 2.; 5.; 4. |] in
+  check_float "p0 = min" 1. (Stats.percentile xs 0.);
+  check_float "p100 = max" 5. (Stats.percentile xs 100.);
+  check_float "p50 = median" 3. (Stats.percentile xs 50.);
+  check_float "median fn" 3. (Stats.median xs)
+
+let test_percentile_interpolates () =
+  let xs = [| 0.; 10. |] in
+  check_float "p25" 2.5 (Stats.percentile xs 25.);
+  check_float "p75" 7.5 (Stats.percentile xs 75.)
+
+let test_percentile_singleton () =
+  check_float "singleton" 42. (Stats.percentile [| 42. |] 95.)
+
+let test_percentile_empty_raises () =
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile [||] 50.))
+
+let test_summarize () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let s = Stats.summarize xs in
+  check_int "n" 100 s.Stats.n;
+  check_float "mean" 50.5 s.Stats.mean;
+  check_float "min" 1. s.Stats.min;
+  check_float "max" 100. s.Stats.max;
+  check_bool "p95 close" true (Float.abs (s.Stats.p95 -. 95.05) < 0.01)
+
+let test_stats_mean_empty () = check_float "mean empty" 0. (Stats.mean [||])
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:3 in
+  check_bool "empty" true (Ring.is_empty r);
+  Ring.push r 1;
+  Ring.push r 2;
+  check_int "length" 2 (Ring.length r);
+  check_int "oldest" 1 (Ring.oldest r);
+  check_int "newest" 2 (Ring.newest r)
+
+let test_ring_eviction () =
+  let r = Ring.create ~capacity:3 in
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5 ];
+  check_bool "full" true (Ring.is_full r);
+  Alcotest.(check (list int)) "kept newest" [ 3; 4; 5 ] (Ring.to_list r);
+  check_int "get 0" 3 (Ring.get r 0);
+  check_int "get 2" 5 (Ring.get r 2)
+
+let test_ring_clear () =
+  let r = Ring.create ~capacity:2 in
+  Ring.push r 1;
+  Ring.clear r;
+  check_bool "cleared" true (Ring.is_empty r);
+  Ring.push r 9;
+  check_int "reusable" 9 (Ring.newest r)
+
+let test_ring_to_array () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (Ring.push r) [ 10; 20; 30 ];
+  Alcotest.(check (array int)) "array order" [| 10; 20; 30 |] (Ring.to_array r)
+
+let test_ring_fold_iter () =
+  let r = Ring.create ~capacity:5 in
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  check_int "fold sum" 6 (Ring.fold ( + ) 0 r);
+  let order = ref [] in
+  Ring.iter (fun x -> order := x :: !order) r;
+  Alcotest.(check (list int)) "iter order" [ 3; 2; 1 ] !order
+
+let test_ring_errors () =
+  let r = Ring.create ~capacity:2 in
+  Alcotest.check_raises "newest empty" (Invalid_argument "Ring.newest: empty")
+    (fun () -> ignore (Ring.newest r));
+  Alcotest.check_raises "get oob" (Invalid_argument "Ring.get: index")
+    (fun () -> ignore (Ring.get r 0))
+
+(* ------------------------------------------------------------------ *)
+(* Mathx *)
+
+let test_clamp () =
+  check_float "below" 1. (Mathx.clamp ~lo:1. ~hi:2. 0.);
+  check_float "above" 2. (Mathx.clamp ~lo:1. ~hi:2. 5.);
+  check_float "inside" 1.5 (Mathx.clamp ~lo:1. ~hi:2. 1.5);
+  check_int "int clamp" 3 (Mathx.clamp_int ~lo:0 ~hi:3 7)
+
+let test_lerp () =
+  check_float "t=0" 2. (Mathx.lerp 2. 8. 0.);
+  check_float "t=1" 8. (Mathx.lerp 2. 8. 1.);
+  check_float "t=0.5" 5. (Mathx.lerp 2. 8. 0.5)
+
+let test_pow2_log2 () =
+  check_float "pow2 3" 8. (Mathx.pow2 3.);
+  check_float "pow2 -1" 0.5 (Mathx.pow2 (-1.));
+  check_float "log2 8" 3. (Mathx.log2 8.);
+  check_bool "roundtrip" true (Mathx.approx_equal (Mathx.log2 (Mathx.pow2 2.7)) 2.7)
+
+let test_sign_round () =
+  check_float "sign neg" (-1.) (Mathx.sign (-0.3));
+  check_float "sign zero" 0. (Mathx.sign 0.);
+  check_float "round_to" 3.14 (Mathx.round_to 2 3.14159)
+
+let test_approx_equal () =
+  check_bool "exact" true (Mathx.approx_equal 1. 1.);
+  check_bool "close" true (Mathx.approx_equal ~eps:1e-6 1. (1. +. 1e-9));
+  check_bool "far" false (Mathx.approx_equal 1. 2.)
+
+(* ------------------------------------------------------------------ *)
+(* Fbuf *)
+
+let test_fbuf_push_get () =
+  let b = Fbuf.create ~initial_capacity:2 () in
+  for i = 1 to 100 do
+    Fbuf.push b (float_of_int i)
+  done;
+  check_int "length" 100 (Fbuf.length b);
+  check_float "get 0" 1. (Fbuf.get b 0);
+  check_float "get 99" 100. (Fbuf.get b 99);
+  check_float "sum" 5050. (Fbuf.sum b);
+  check_float "mean" 50.5 (Fbuf.mean b)
+
+let test_fbuf_to_array_clear () =
+  let b = Fbuf.create () in
+  Fbuf.push b 1.;
+  Fbuf.push b 2.;
+  Alcotest.(check (array (float 0.))) "array" [| 1.; 2. |] (Fbuf.to_array b);
+  Fbuf.clear b;
+  check_int "cleared" 0 (Fbuf.length b);
+  check_float "mean empty" 0. (Fbuf.mean b)
+
+let test_fbuf_oob () =
+  let b = Fbuf.create () in
+  Alcotest.check_raises "oob" (Invalid_argument "Fbuf.get: index") (fun () ->
+      ignore (Fbuf.get b 0))
+
+(* ------------------------------------------------------------------ *)
+(* Property-based *)
+
+let qcheck =
+  let open QCheck in
+  [
+    Test.make ~name:"percentile is within sample bounds" ~count:200
+      (pair (list_of_size Gen.(1 -- 40) (float_bound_inclusive 100.))
+         (float_bound_inclusive 100.))
+      (fun (xs, p) ->
+        let a = Array.of_list xs in
+        let v = Canopy_util.Stats.percentile a p in
+        let lo = Array.fold_left min a.(0) a in
+        let hi = Array.fold_left max a.(0) a in
+        v >= lo -. 1e-9 && v <= hi +. 1e-9);
+    Test.make ~name:"welford mean equals batch mean" ~count:200
+      (list_of_size Gen.(1 -- 50) (float_range (-50.) 50.))
+      (fun xs ->
+        let w = Canopy_util.Stats.Welford.create () in
+        List.iter (Canopy_util.Stats.Welford.add w) xs;
+        Canopy_util.Mathx.approx_equal ~eps:1e-6
+          (Canopy_util.Stats.Welford.mean w)
+          (Canopy_util.Stats.mean (Array.of_list xs)));
+    Test.make ~name:"ring keeps last capacity elements" ~count:200
+      (pair (int_range 1 8) (list_of_size Gen.(0 -- 40) int))
+      (fun (cap, xs) ->
+        let r = Canopy_util.Ring.create ~capacity:cap in
+        List.iter (Canopy_util.Ring.push r) xs;
+        let expected =
+          let n = List.length xs in
+          if n <= cap then xs
+          else List.filteri (fun i _ -> i >= n - cap) xs
+        in
+        Canopy_util.Ring.to_list r = expected);
+    Test.make ~name:"clamp is idempotent and bounded" ~count:200
+      (triple (float_range (-100.) 100.) (float_range (-100.) 100.)
+         (float_range (-200.) 200.))
+      (fun (a, b, x) ->
+        let lo = Float.min a b and hi = Float.max a b in
+        let c = Canopy_util.Mathx.clamp ~lo ~hi x in
+        c >= lo && c <= hi
+        && Canopy_util.Mathx.clamp ~lo ~hi c = c);
+  ]
+
+let suite =
+  [
+    ("prng determinism", `Quick, test_prng_deterministic);
+    ("prng seed sensitivity", `Quick, test_prng_seed_sensitivity);
+    ("prng split independence", `Quick, test_prng_split_independent);
+    ("prng copy replays", `Quick, test_prng_copy_replays);
+    ("prng int range", `Quick, test_prng_int_range);
+    ("prng int covers buckets", `Quick, test_prng_int_covers);
+    ("prng float range", `Quick, test_prng_float_range);
+    ("prng uniform range", `Quick, test_prng_uniform_range);
+    ("prng gaussian moments", `Quick, test_prng_gaussian_moments);
+    ("prng gaussian scaled", `Quick, test_prng_gaussian_scaled);
+    ("prng exponential mean", `Quick, test_prng_exponential_mean);
+    ("prng shuffle permutes", `Quick, test_prng_shuffle_permutes);
+    ("prng choose membership", `Quick, test_prng_choose);
+    ("welford matches batch", `Quick, test_welford_matches_batch);
+    ("welford merge", `Quick, test_welford_merge);
+    ("welford empty", `Quick, test_welford_empty);
+    ("percentile simple", `Quick, test_percentile_simple);
+    ("percentile interpolates", `Quick, test_percentile_interpolates);
+    ("percentile singleton", `Quick, test_percentile_singleton);
+    ("percentile empty raises", `Quick, test_percentile_empty_raises);
+    ("summarize", `Quick, test_summarize);
+    ("mean of empty", `Quick, test_stats_mean_empty);
+    ("ring basic", `Quick, test_ring_basic);
+    ("ring eviction", `Quick, test_ring_eviction);
+    ("ring clear", `Quick, test_ring_clear);
+    ("ring to_array", `Quick, test_ring_to_array);
+    ("ring fold/iter", `Quick, test_ring_fold_iter);
+    ("ring errors", `Quick, test_ring_errors);
+    ("clamp", `Quick, test_clamp);
+    ("lerp", `Quick, test_lerp);
+    ("pow2/log2", `Quick, test_pow2_log2);
+    ("sign/round", `Quick, test_sign_round);
+    ("approx_equal", `Quick, test_approx_equal);
+    ("fbuf push/get", `Quick, test_fbuf_push_get);
+    ("fbuf to_array/clear", `Quick, test_fbuf_to_array_clear);
+    ("fbuf out of bounds", `Quick, test_fbuf_oob);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck
