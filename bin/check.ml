@@ -1,0 +1,168 @@
+(* canopy-check: correctness tooling for the repository itself.
+
+   - lint:     deterministic source-level analyzer with a checked-in
+               baseline; exits non-zero on findings not in the baseline.
+   - audit:    differential soundness sanitizer for the abstract
+               transformers backing every certificate.
+   - netcheck: static shape/finiteness validation of checkpoints. *)
+
+open Cmdliner
+module A = Canopy_analysis
+
+let pp_diag ppf d = Format.fprintf ppf "%a@." A.Diagnostic.pp d
+
+(* --- lint ------------------------------------------------------------- *)
+
+let run_lint root baseline_path update_baseline =
+  let diags = A.Lint.run ~root () in
+  if update_baseline then begin
+    A.Suppress.save baseline_path diags;
+    Format.printf "wrote %d finding(s) to %s@." (List.length diags)
+      baseline_path;
+    0
+  end
+  else begin
+    let baseline = A.Suppress.load baseline_path in
+    let fresh, suppressed = A.Suppress.filter baseline diags in
+    List.iter (pp_diag Format.std_formatter) fresh;
+    if fresh = [] then begin
+      Format.printf "lint: clean (%d baselined finding(s))@." suppressed;
+      0
+    end
+    else begin
+      Format.printf
+        "lint: %d new finding(s), %d baselined — add a fix, an inline \
+         (* lint-ignore: rule *) waiver, or re-run with --update-baseline@."
+        (List.length fresh) suppressed;
+      1
+    end
+  end
+
+let root =
+  Arg.(value & opt string "."
+       & info [ "root" ] ~doc:"Repository root to lint (walks lib/ and bin/).")
+
+let baseline_path =
+  Arg.(value & opt string "lint.baseline"
+       & info [ "baseline" ] ~doc:"Baseline (suppression) file path.")
+
+let update_baseline =
+  Arg.(value & flag
+       & info [ "update-baseline" ]
+           ~doc:"Accept all current findings into the baseline file.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint" ~doc:"run the source-level lint pass")
+    Term.(const run_lint $ root $ baseline_path $ update_baseline)
+
+(* --- audit ------------------------------------------------------------ *)
+
+let run_audit samples seed max_report quiet =
+  if samples <= 0 then begin
+    Format.eprintf "audit: --samples must be positive (got %d)@." samples;
+    exit 2
+  end;
+  let result = A.Soundcheck.run ~seed ~max_report ~samples () in
+  List.iter
+    (fun v -> Format.printf "%a@." A.Soundcheck.pp_violation v)
+    result.violations;
+  if not quiet then begin
+    Format.printf "audit: %d samples over %d transformers (seed %d)@."
+      result.samples
+      (List.length result.per_op)
+      seed;
+    List.iter
+      (fun (op, n) -> Format.printf "  %-22s %6d@." op n)
+      result.per_op
+  end;
+  if result.violation_count = 0 then begin
+    Format.printf "audit: all transformers sound on sampled points@.";
+    0
+  end
+  else begin
+    Format.printf
+      "audit: %d SOUNDNESS VIOLATION(S) — the verifier cannot be trusted \
+       until this is fixed@."
+      result.violation_count;
+    1
+  end
+
+let samples =
+  Arg.(value & opt int 10_000
+       & info [ "samples" ] ~doc:"Total sampled point checks.")
+
+let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let max_report =
+  Arg.(value & opt int 25
+       & info [ "max-report" ] ~doc:"Cap on individually reported violations.")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the per-op sample table.")
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit" ~doc:"differential soundness audit of the verifier")
+    Term.(const run_audit $ samples $ seed $ max_report $ quiet)
+
+(* --- netcheck --------------------------------------------------------- *)
+
+let run_netcheck paths =
+  if paths = [] then begin
+    (* No checkpoint given: validate a freshly initialized actor/critic
+       pair as a smoke test of the initializers. *)
+    let rng = Canopy_util.Prng.create 1 in
+    let actor =
+      Canopy_nn.Mlp.actor ~rng ~in_dim:30 ~hidden:64 ~out_dim:1
+    in
+    let critic =
+      Canopy_nn.Mlp.critic ~rng ~state_dim:30 ~action_dim:1 ~hidden:64
+    in
+    let diags =
+      A.Netcheck.check_mlp ~name:"fresh-actor" actor
+      @ A.Netcheck.check_mlp ~name:"fresh-critic" critic
+    in
+    List.iter (pp_diag Format.std_formatter) diags;
+    if diags = [] then begin
+      Format.printf "netcheck: fresh actor/critic stacks valid@.";
+      0
+    end
+    else 1
+  end
+  else begin
+    let failures =
+      List.fold_left
+        (fun acc path ->
+          match A.Netcheck.check_checkpoint path with
+          | Error msg ->
+              Format.printf "%s@." msg;
+              acc + 1
+          | Ok [] ->
+              Format.printf "%s: ok@." path;
+              acc
+          | Ok diags ->
+              List.iter (pp_diag Format.std_formatter) diags;
+              acc + 1)
+        0 paths
+    in
+    if failures = 0 then 0 else 1
+  end
+
+let ckpts =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"CKPT"
+           ~doc:"Checkpoint files to validate; none checks fresh networks.")
+
+let netcheck_cmd =
+  Cmd.v
+    (Cmd.info "netcheck" ~doc:"validate network stacks and checkpoints")
+    Term.(const run_netcheck $ ckpts)
+
+(* ---------------------------------------------------------------------- *)
+
+let cmd =
+  let doc = "correctness tooling: lint, verifier soundness audit, netcheck" in
+  Cmd.group (Cmd.info "canopy-check" ~doc) [ lint_cmd; audit_cmd; netcheck_cmd ]
+
+let () = exit (Cmd.eval' cmd)

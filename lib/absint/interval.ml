@@ -24,15 +24,24 @@ let neg t = { lo = -.t.hi; hi = -.t.lo }
 let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
 let sub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
 
+(* Corner products with the zero-annihilation convention: IEEE gives
+   0. *. infinity = nan, but for closed intervals a zero endpoint means
+   the concrete factor can be exactly 0, whose product with any finite
+   value of the other factor is 0 — so 0 is the correct bound. Without
+   this, mul/scale on half-infinite operands poison both bounds with
+   NaN and [make] rejects the result. *)
+let bound_mul x y = if x = 0. || y = 0. then 0. else x *. y
+
 let scale alpha t =
-  if alpha >= 0. then { lo = alpha *. t.lo; hi = alpha *. t.hi }
+  if alpha = 0. then { lo = 0.; hi = 0. }
+  else if alpha > 0. then { lo = alpha *. t.lo; hi = alpha *. t.hi }
   else { lo = alpha *. t.hi; hi = alpha *. t.lo }
 
 let add_scalar c t = { lo = t.lo +. c; hi = t.hi +. c }
 
 let mul a b =
-  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
-  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  let p1 = bound_mul a.lo b.lo and p2 = bound_mul a.lo b.hi in
+  let p3 = bound_mul a.hi b.lo and p4 = bound_mul a.hi b.hi in
   {
     lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
     hi = Float.max (Float.max p1 p2) (Float.max p3 p4);

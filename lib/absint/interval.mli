@@ -37,7 +37,11 @@ val sub : t -> t -> t
 val scale : float -> t -> t
 val add_scalar : float -> t -> t
 val mul : t -> t -> t
-(** General interval product (min/max of the four corner products). *)
+(** General interval product (min/max of the four corner products).
+    Corner products of a zero endpoint with an infinite one follow the
+    zero-annihilation convention (the bound is 0, not NaN), so products
+    of half-infinite intervals stay well-formed. [scale] is hardened the
+    same way. *)
 
 val div_scalar : t -> float -> t
 (** Division by a non-zero scalar. *)

@@ -1,0 +1,30 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  message : string;
+  text : string;
+}
+
+let make ~rule ~file ?(line = 0) ?(text = "") message =
+  { rule; file; line; message; text = String.trim text }
+
+let compare a b = (* lint-ignore: polymorphic-compare *)
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else String.compare a.rule b.rule
+
+(* Stable identity for baseline suppression: rule + file + the trimmed
+   source text of the offending line. Line numbers are deliberately
+   excluded so that edits elsewhere in a file do not invalidate the
+   baseline. *)
+let key t =
+  let digest = Digest.to_hex (Digest.string (t.rule ^ "|" ^ t.file ^ "|" ^ t.text)) in
+  String.sub digest 0 10
+
+let pp ppf t =
+  if t.line > 0 then
+    Format.fprintf ppf "%s:%d: [%s] %s" t.file t.line t.rule t.message
+  else Format.fprintf ppf "%s: [%s] %s" t.file t.rule t.message

@@ -1,0 +1,26 @@
+(** Findings emitted by the static passes (lint, netcheck).
+
+    A diagnostic pins a rule violation to a file and, when line-scoped, a
+    line. [text] carries the trimmed source line and participates in the
+    suppression {!key} so that baselines survive unrelated edits. *)
+
+type t = {
+  rule : string;  (** rule identifier, e.g. ["polymorphic-compare"] *)
+  file : string;  (** path relative to the lint root *)
+  line : int;  (** 1-based; [0] for file-scoped findings *)
+  message : string;
+  text : string;  (** trimmed source line; [""] for file-scoped findings *)
+}
+
+val make :
+  rule:string -> file:string -> ?line:int -> ?text:string -> string -> t
+
+val compare : t -> t -> int
+(** Order by file, then line, then rule. *)
+
+val key : t -> string
+(** Stable 10-hex-char suppression key over (rule, file, line text) —
+    line numbers excluded so baselines survive renumbering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders [file:line: [rule] message]. *)

@@ -1,0 +1,196 @@
+let default_dirs = [ "lib"; "bin" ]
+
+let rules =
+  [
+    ( "polymorphic-compare",
+      "bare `compare` is NaN-unsound on floats and boxes all arguments; use \
+       Float.compare / Int.compare or a typed comparator" );
+    ( "float-min-max",
+      "polymorphic `min`/`max` on floats is NaN-unsound and boxing-heavy; \
+       use Float.min / Float.max" );
+    ( "int-of-float",
+      "`int_of_float` on a NaN or out-of-range value is unspecified; bound \
+       the argument first, then baseline the reviewed call site" );
+    ("obj-magic", "`Obj.magic` defeats the type system");
+    ( "catch-all-exn",
+      "catch-all `with _ ->` swallows Out_of_memory, Stack_overflow and \
+       programming errors; match specific exceptions" );
+    ( "missing-mli",
+      "library module has no .mli; interfaces are required under lib/ so \
+       the public surface stays explicit" );
+  ]
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+(* Columns where [id] occurs as a bare (unqualified, whole-token)
+   identifier: not preceded by an identifier char, '.', '~' or '?', and
+   not followed by an identifier char. *)
+let bare_occurrences line id =
+  let n = String.length line and m = String.length id in
+  let bad_prefix c = is_ident_char c || c = '.' || c = '~' || c = '?' in
+  let rec go acc i =
+    if i + m > n then List.rev acc
+    else if
+      String.sub line i m = id
+      && (i = 0 || not (bad_prefix line.[i - 1]))
+      && (i + m = n || not (is_ident_char line.[i + m]))
+    then go (i :: acc) (i + m)
+    else go acc (i + 1)
+  in
+  go [] 0
+
+let contains line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let skip_spaces line i =
+  let n = String.length line in
+  let rec go i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then go (i + 1) else i in
+  go i
+
+(* Does the text starting at [i] begin with a float literal, modulo an
+   opening parenthesis and a sign? Matches e.g. "1.", "0.5", "(-3.)". *)
+let starts_with_float_literal line i =
+  let n = String.length line in
+  let i = skip_spaces line i in
+  let i = if i < n && line.[i] = '(' then skip_spaces line (i + 1) else i in
+  let i = if i < n && (line.[i] = '-' || line.[i] = '+') then i + 1 else i in
+  let j = ref i in
+  while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do
+    incr j
+  done;
+  !j > i && !j < n && line.[!j] = '.'
+
+let starts_with_int_literal line i =
+  let n = String.length line in
+  let i = skip_spaces line i in
+  let j = ref i in
+  while !j < n && ((line.[!j] >= '0' && line.[!j] <= '9') || line.[!j] = '_') do
+    incr j
+  done;
+  !j > i && (!j = n || line.[!j] <> '.')
+
+let ends_with_word line i word =
+  (* the non-space text before column [i] ends with the token [word] *)
+  let rec back i = if i > 0 && (line.[i - 1] = ' ' || line.[i - 1] = '\t') then back (i - 1) else i in
+  let stop = back i in
+  let m = String.length word in
+  stop >= m
+  && String.sub line (stop - m) m = word
+  && (stop = m || not (is_ident_char line.[stop - m - 1]))
+
+(* --- line-scoped rules ------------------------------------------------ *)
+
+let check_polymorphic_compare line =
+  if bare_occurrences line "compare" <> [] || contains line "Stdlib.compare"
+  then Some (List.assoc "polymorphic-compare" rules)
+  else None
+
+let check_float_min_max line =
+  let flagged id =
+    List.exists
+      (fun c ->
+        let after = c + String.length id in
+        let k = skip_spaces line after in
+        let next = if k < String.length line then Some line.[k] else None in
+        match next with
+        | Some (':' | '=' | ';' | ',' | ')' | '}') | None ->
+            (* record field, definition or bare mention — not an
+               application with a visible argument *)
+            false
+        | Some _ ->
+            if starts_with_float_literal line after then true
+            else
+              (ends_with_word line c "fold_left"
+              || ends_with_word line c "fold_right")
+              && not (starts_with_int_literal line after))
+      (bare_occurrences line id)
+  in
+  if flagged "min" || flagged "max" then
+    Some (List.assoc "float-min-max" rules)
+  else None
+
+let check_int_of_float line =
+  if bare_occurrences line "int_of_float" <> [] then
+    Some (List.assoc "int-of-float" rules)
+  else None
+
+let check_obj_magic line =
+  if contains line "Obj.magic" then Some (List.assoc "obj-magic" rules)
+  else None
+
+let check_catch_all line =
+  let matches_at c =
+    let i = skip_spaces line (c + 4) in
+    let n = String.length line in
+    i < n
+    && line.[i] = '_'
+    && (i + 1 = n || not (is_ident_char line.[i + 1]))
+    &&
+    let j = skip_spaces line (i + 1) in
+    j + 1 < n && line.[j] = '-' && line.[j + 1] = '>'
+  in
+  if List.exists matches_at (bare_occurrences line "with") then
+    Some (List.assoc "catch-all-exn" rules)
+  else None
+
+let line_rules =
+  [
+    ("polymorphic-compare", check_polymorphic_compare);
+    ("float-min-max", check_float_min_max);
+    ("int-of-float", check_int_of_float);
+    ("obj-magic", check_obj_magic);
+    ("catch-all-exn", check_catch_all);
+  ]
+
+let check_source ~path contents =
+  let stripped = Sources.strip contents in
+  let original = Array.of_list (String.split_on_char '\n' contents) in
+  let diags = ref [] in
+  Array.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      List.iter
+        (fun (rule, check) ->
+          match check line with
+          | Some message when not (Sources.ignored stripped ~line:lineno ~rule)
+            ->
+              let text =
+                if idx < Array.length original then original.(idx) else ""
+              in
+              diags :=
+                Diagnostic.make ~rule ~file:path ~line:lineno ~text message
+                :: !diags
+          | _ -> ())
+        line_rules)
+    stripped.lines;
+  List.rev !diags
+
+(* --- file-scoped rules ------------------------------------------------ *)
+
+let check_missing_mli ~root ml_files =
+  List.filter_map
+    (fun rel ->
+      if
+        String.length rel >= 4
+        && String.sub rel 0 4 = "lib" ^ Filename.dir_sep
+        && not (Sys.file_exists (Filename.concat root (rel ^ "i")))
+      then
+        Some
+          (Diagnostic.make ~rule:"missing-mli" ~file:rel
+             (List.assoc "missing-mli" rules))
+      else None)
+    ml_files
+
+let run ?(dirs = default_dirs) ~root () =
+  let files = Sources.find_files ~root ~dirs ~ext:".ml" in
+  let line_diags =
+    List.concat_map
+      (fun rel ->
+        check_source ~path:rel (Sources.read_file (Filename.concat root rel)))
+      files
+  in
+  List.sort Diagnostic.compare (check_missing_mli ~root files @ line_diags)

@@ -1,0 +1,34 @@
+(** Deterministic source-level lint for the repository's OCaml code.
+
+    Rules (see {!rules} for the messages):
+    - [polymorphic-compare]: bare [compare] (NaN-unsound on floats);
+    - [float-min-max]: polymorphic [min]/[max] applied to a float literal
+      or passed to a float-accumulating fold;
+    - [int-of-float]: any [int_of_float] call — unspecified on NaN and
+      out-of-range values; reviewed call sites go in the baseline;
+    - [obj-magic]: any use of [Obj.magic];
+    - [catch-all-exn]: [with _ ->] exception handlers;
+    - [missing-mli]: a module under [lib/] with no interface file.
+
+    All rules run on lexically stripped source (comments, strings and
+    char literals blanked), so matches in comments or string literals are
+    never reported. A finding on a line carrying an
+    [(* lint-ignore: rule *)] comment is waived. *)
+
+val default_dirs : string list
+(** [\["lib"; "bin"\]]. *)
+
+val rules : (string * string) list
+(** Rule identifiers and their one-line messages. *)
+
+val check_source : path:string -> string -> Diagnostic.t list
+(** Run the line-scoped rules over one file's contents. [path] is used
+    for reporting only. *)
+
+val check_missing_mli : root:string -> string list -> Diagnostic.t list
+(** [missing-mli] over a list of [.ml] paths relative to [root]; only
+    files under [lib/] are required to have interfaces. *)
+
+val run : ?dirs:string list -> root:string -> unit -> Diagnostic.t list
+(** Walk [dirs] under [root], lint every [.ml] file and report findings
+    sorted by file and line. *)

@@ -1,0 +1,162 @@
+let skip_dirs = [ "_build"; "_artifacts"; ".git"; "_opam"; "node_modules" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find_files ~root ~dirs ~ext =
+  let results = ref [] in
+  let rec walk rel =
+    let abs = if rel = "" then root else Filename.concat root rel in
+    match Sys.is_directory abs with
+    | exception Sys_error _ -> ()
+    | false ->
+        if Filename.check_suffix rel ext then results := rel :: !results
+    | true ->
+        let base = Filename.basename abs in
+        if
+          (not (List.mem base skip_dirs))
+          && not (String.length base > 0 && base.[0] = '.')
+        then
+          Array.iter
+            (fun entry ->
+              walk (if rel = "" then entry else Filename.concat rel entry))
+            (Sys.readdir abs)
+  in
+  List.iter walk dirs;
+  List.sort String.compare !results
+
+type stripped = {
+  lines : string array;
+  ignores : (int * string) list;
+}
+
+(* The inline waiver marker, recognised inside comments:
+     (* lint-ignore *)            waive every rule on this line
+     (* lint-ignore: rule ... *)  waive the named rules on this line *)
+let ignore_marker = "lint-ignore"
+
+let parse_ignores line comment_text acc =
+  match String.index_opt comment_text ':' with
+  | _ when not (String.length comment_text >= String.length ignore_marker) ->
+      acc
+  | _ when String.sub comment_text 0 (String.length ignore_marker)
+           <> ignore_marker ->
+      acc
+  | None -> (line, "*") :: acc
+  | Some i ->
+      let rest =
+        String.sub comment_text (i + 1) (String.length comment_text - i - 1)
+      in
+      String.split_on_char ' ' rest
+      |> List.concat_map (String.split_on_char ',')
+      |> List.filter_map (fun s ->
+             let s = String.trim s in
+             if s = "" then None else Some (line, s))
+      |> fun l -> l @ acc
+
+(* Blank out comments, string literals and char literals, preserving
+   newlines and column positions, so that the lint rules only ever match
+   code. Handles nested comments and strings inside comments (OCaml lexes
+   both). Quoted-string literals [{|...|}] are not handled; none appear in
+   this repository. *)
+let strip src =
+  let n = String.length src in
+  let buf = Bytes.of_string src in
+  let ignores = ref [] in
+  let line = ref 1 in
+  let blank j = if Bytes.get buf j <> '\n' then Bytes.set buf j ' ' in
+  let i = ref 0 in
+  let step_blank () =
+    if src.[!i] = '\n' then incr line else blank !i;
+    incr i
+  in
+  (* Skips a string literal body starting after the opening quote, blanking
+     as it goes. Returns at the char past the closing quote. *)
+  let skip_string () =
+    let closed = ref false in
+    while (not !closed) && !i < n do
+      if src.[!i] = '\\' && !i + 1 < n then begin
+        step_blank ();
+        step_blank ()
+      end
+      else if src.[!i] = '"' then begin
+        blank !i;
+        incr i;
+        closed := true
+      end
+      else step_blank ()
+    done
+  in
+  while !i < n do
+    match src.[!i] with
+    | '\n' -> incr i; incr line
+    | '(' when !i + 1 < n && src.[!i + 1] = '*' ->
+        let start_line = !line in
+        let body = Buffer.create 32 in
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2;
+        let depth = ref 1 in
+        while !depth > 0 && !i < n do
+          if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+            incr depth;
+            step_blank ();
+            step_blank ()
+          end
+          else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+            decr depth;
+            step_blank ();
+            step_blank ()
+          end
+          else if src.[!i] = '"' then begin
+            (* strings must be balanced inside OCaml comments *)
+            Buffer.add_char body ' ';
+            step_blank ();
+            skip_string ()
+          end
+          else begin
+            Buffer.add_char body src.[!i];
+            step_blank ()
+          end
+        done;
+        ignores :=
+          parse_ignores start_line (String.trim (Buffer.contents body)) !ignores
+    | '"' ->
+        blank !i;
+        incr i;
+        skip_string ()
+    | '\'' ->
+        (* Distinguish char literals from type variables: 'x' or '\...' *)
+        if !i + 2 < n && src.[!i + 1] <> '\\' && src.[!i + 1] <> '\''
+           && src.[!i + 2] = '\'' then begin
+          blank !i;
+          blank (!i + 1);
+          blank (!i + 2);
+          i := !i + 3
+        end
+        else if !i + 1 < n && src.[!i + 1] = '\\' then begin
+          blank !i;
+          incr i;
+          while !i < n && src.[!i] <> '\'' do
+            step_blank ()
+          done;
+          if !i < n then begin
+            blank !i;
+            incr i
+          end
+        end
+        else incr i
+    | _ -> incr i
+  done;
+  {
+    lines = Array.of_list (String.split_on_char '\n' (Bytes.to_string buf));
+    ignores = !ignores;
+  }
+
+let ignored stripped ~line ~rule =
+  List.exists
+    (fun (l, r) -> l = line && (r = "*" || r = rule))
+    stripped.ignores

@@ -1,0 +1,26 @@
+(** Source discovery and lexical stripping for the lint pass. *)
+
+val read_file : string -> string
+
+val find_files : root:string -> dirs:string list -> ext:string -> string list
+(** [find_files ~root ~dirs ~ext] walks each of [dirs] (relative to
+    [root]) recursively and returns the sorted relative paths of files
+    with suffix [ext]. Build and VCS directories ([_build], [_artifacts],
+    [.git], ...) are skipped. *)
+
+type stripped = {
+  lines : string array;
+      (** source lines with comments, string literals and char literals
+          blanked to spaces — column positions are preserved *)
+  ignores : (int * string) list;
+      (** inline waivers: [(line, rule)] pairs collected from
+          [(* lint-ignore: rule *)] comments; rule ["*"] waives all *)
+}
+
+val strip : string -> stripped
+(** Lexically strip OCaml source. Handles nested comments, strings inside
+    comments and escaped char literals; [{|...|}] quoted strings are not
+    supported. *)
+
+val ignored : stripped -> line:int -> rule:string -> bool
+(** Whether an inline waiver covers [rule] on [line]. *)

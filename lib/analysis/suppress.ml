@@ -1,0 +1,47 @@
+type t = (string, unit) Hashtbl.t
+
+let empty () : t = Hashtbl.create 16
+
+let entry_key rule hash = rule ^ ":" ^ hash
+
+let load path : t =
+  let table = Hashtbl.create 64 in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = String.trim (input_line ic) in
+            if line <> "" && line.[0] <> '#' then
+              match String.split_on_char ' ' line with
+              | rule :: hash :: _ -> Hashtbl.replace table (entry_key rule hash) ()
+              | _ -> ()
+          done
+        with End_of_file -> ())
+  end;
+  table
+
+let mem (t : t) diag =
+  Hashtbl.mem t (entry_key diag.Diagnostic.rule (Diagnostic.key diag))
+
+let filter t diags =
+  let fresh, suppressed = List.partition (fun d -> not (mem t d)) diags in
+  (fresh, List.length suppressed)
+
+let save path diags =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        "# canopy lint baseline v1\n\
+         # <rule> <key> <file>:<line> <source text>\n\
+         # Keys hash (rule, file, line text): entries survive renumbering.\n\
+         # Regenerate with: dune exec bin/check.exe -- lint --update-baseline\n";
+      List.iter
+        (fun d ->
+          Printf.fprintf oc "%s %s %s:%d %s\n" d.Diagnostic.rule
+            (Diagnostic.key d) d.file d.line d.text)
+        (List.sort Diagnostic.compare diags))

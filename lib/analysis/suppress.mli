@@ -1,0 +1,22 @@
+(** Checked-in lint baselines.
+
+    A baseline file lists accepted findings, one per line:
+    [<rule> <key> <file>:<line> <source text>]. Only the first two fields
+    are significant; the rest is commentary for reviewers. [<key>] is
+    {!Diagnostic.key}, which hashes the rule, file and trimmed line text
+    — not the line number — so entries survive unrelated edits. Lines
+    starting with [#] are comments. *)
+
+type t
+
+val empty : unit -> t
+val load : string -> t
+(** Loading a missing file yields an empty baseline. *)
+
+val mem : t -> Diagnostic.t -> bool
+
+val filter : t -> Diagnostic.t list -> Diagnostic.t list * int
+(** [filter t diags] is [(fresh, suppressed_count)]. *)
+
+val save : string -> Diagnostic.t list -> unit
+(** Write a baseline accepting exactly [diags]. *)

@@ -94,6 +94,11 @@ let train ?on_epoch cfg =
     { (Td3.default_config ~state_dim ~action_dim:1) with hidden = cfg.hidden }
   in
   let agent = Td3.create ~rng:(Prng.split rng) td3_cfg in
+  (* Pre-flight netcheck: a dimension mismatch or non-finite initial
+     weight invalidates every certificate computed during training, so
+     refuse to start. *)
+  Canopy_analysis.Netcheck.assert_valid ~what:"actor (pre-training)"
+    (Td3.actor agent);
   let envs = Array.of_list (List.map Agent_env.create cfg.envs) in
   Array.iter (fun env -> ignore (Agent_env.reset env)) envs;
   let epochs = ref [] in
@@ -164,7 +169,13 @@ let train ?on_epoch cfg =
   (agent, List.rev !epochs)
 
 let save_actor agent path = Canopy_nn.Checkpoint.save (Td3.actor agent) path
-let load_actor path = Canopy_nn.Checkpoint.load path
+
+let load_actor path =
+  let net = Canopy_nn.Checkpoint.load path in
+  (* Evaluation and certification must not run over a corrupt
+     checkpoint: validate shapes and finiteness before handing it out. *)
+  Canopy_analysis.Netcheck.assert_valid ~what:path net;
+  net
 
 let save_curve epochs path =
   let oc = open_out path in

@@ -61,10 +61,17 @@ type epoch = {
 val train :
   ?on_epoch:(epoch -> unit) -> config -> Canopy_rl.Td3.t * epoch list
 (** Run the full loop; returns the trained agent and the per-epoch
-    training curve (Fig. 14). *)
+    training curve (Fig. 14). The freshly initialized actor is validated
+    with {!Canopy_analysis.Netcheck} before the first step; raises
+    [Invalid_argument] if it fails. *)
 
 val save_actor : Canopy_rl.Td3.t -> string -> unit
+
 val load_actor : string -> Canopy_nn.Mlp.t
+(** Load an actor checkpoint and validate it with
+    {!Canopy_analysis.Netcheck} (shape chaining, parameter finiteness,
+    batch-norm statistics) before returning it. Raises
+    [Invalid_argument] on a checkpoint that fails validation. *)
 
 val save_curve : epoch list -> string -> unit
 (** Write a training curve as CSV (epoch, steps, raw, verifier, combined,

@@ -110,7 +110,7 @@ let schedule t arrival ev =
     let items = Queue.fold (fun acc x -> x :: acc) [] t.return_path in
     Queue.clear t.return_path;
     List.stable_sort
-      (fun (a, _) (b, _) -> compare a b)
+      (fun (a, _) (b, _) -> Int.compare a b)
       ((arrival, ev) :: List.rev items)
     |> List.iter (fun x -> Queue.push x t.return_path)
   end

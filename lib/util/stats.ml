@@ -48,7 +48,7 @@ let percentile xs p =
   if n = 0 then invalid_arg "Stats.percentile: empty sample";
   if not (p >= 0. && p <= 100.) then invalid_arg "Stats.percentile: p";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in
@@ -78,8 +78,8 @@ let summarize xs =
     n;
     mean = mean xs;
     stddev = stddev xs;
-    min = Array.fold_left min xs.(0) xs;
-    max = Array.fold_left max xs.(0) xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
     p50 = percentile xs 50.;
     p95 = percentile xs 95.;
     p99 = percentile xs 99.;

@@ -64,6 +64,39 @@ let test_interval_mul () =
   Alcotest.check interval "mul mixed" (Interval.make (-8.) 12.)
     (Interval.mul a b)
 
+let test_interval_mul_infinity_corners () =
+  (* 0. *. infinity = nan in IEEE; the corner products must follow the
+     zero-annihilation convention or half-infinite operands poison both
+     bounds with NaN (and Interval.make rejects the result). *)
+  let inf = Float.infinity in
+  let full = Interval.make (-.inf) inf in
+  Alcotest.check interval "0-width times full line" (Interval.of_point 0.)
+    (Interval.mul (Interval.of_point 0.) full);
+  Alcotest.check interval "full line times 0-width" (Interval.of_point 0.)
+    (Interval.mul full (Interval.of_point 0.));
+  let m = Interval.mul (Interval.make 0. 5.) (Interval.make 0. inf) in
+  check_bool "no NaN bounds" true
+    (not (Float.is_nan (Interval.lo m) || Float.is_nan (Interval.hi m)));
+  check_float "lo" 0. (Interval.lo m);
+  check_bool "hi is +inf" true (Interval.hi m = inf);
+  check_bool "contains finite products" true
+    (Interval.contains m (5. *. 1e300));
+  let n = Interval.mul (Interval.make (-.inf) 0.) (Interval.make 0. 3.) in
+  check_bool "neg half-line lo" true (Interval.lo n = -.inf);
+  check_float "neg half-line hi" 0. (Interval.hi n)
+
+let test_interval_scale_zero_infinite () =
+  let full = Interval.make Float.neg_infinity Float.infinity in
+  Alcotest.check interval "scale 0" (Interval.of_point 0.)
+    (Interval.scale 0. full);
+  Alcotest.check interval "scale -0" (Interval.of_point 0.)
+    (Interval.scale (-0.) full);
+  (* approx_equal can't compare infinite bounds (inf - inf = nan), so
+     check the endpoints directly *)
+  let s = Interval.scale 2. (Interval.make 0. Float.infinity) in
+  check_float "scale 2 half-line lo" 0. (Interval.lo s);
+  check_bool "scale 2 half-line hi" true (Interval.hi s = Float.infinity)
+
 let test_interval_monotone_maps () =
   let a = Interval.make (-1.) 1. in
   Alcotest.check interval "pow2" (Interval.make 0.5 2.) (Interval.pow2 a);
@@ -335,6 +368,8 @@ let suite =
     ("interval intersect/hull", `Quick, test_interval_intersect_hull);
     ("interval arithmetic", `Quick, test_interval_arith);
     ("interval multiplication", `Quick, test_interval_mul);
+    ("interval mul 0*inf corners", `Quick, test_interval_mul_infinity_corners);
+    ("interval scale 0*inf corners", `Quick, test_interval_scale_zero_infinite);
     ("interval monotone maps", `Quick, test_interval_monotone_maps);
     ("overlap fraction (Eq. 7)", `Quick, test_overlap_fraction_cases);
     ("overlap fraction half-lines", `Quick, test_overlap_fraction_infinite_target);

@@ -1,0 +1,262 @@
+(* Tests for canopy_analysis: lint rule positives/negatives on fixture
+   snippets, baseline suppression, the soundness audit (which must be
+   clean over the real transformers), and netcheck rejections. *)
+
+open Canopy_analysis
+module Prng = Canopy_util.Prng
+module Vec = Canopy_tensor.Vec
+module Layer = Canopy_nn.Layer
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let rules_of diags =
+  List.sort_uniq String.compare (List.map (fun d -> d.Diagnostic.rule) diags)
+
+let lint s = Lint.check_source ~path:"fixture.ml" s
+
+(* ------------------------------------------------------------------ *)
+(* Lint: positives *)
+
+let test_lint_polymorphic_compare () =
+  let diags = lint "let sorted = Array.sort compare xs\n" in
+  Alcotest.(check (list string)) "flagged" [ "polymorphic-compare" ]
+    (rules_of diags);
+  check_int "line" 1 (List.hd diags).Diagnostic.line;
+  let diags = lint "let c = Stdlib.compare a b\n" in
+  Alcotest.(check (list string)) "Stdlib.compare flagged"
+    [ "polymorphic-compare" ] (rules_of diags)
+
+let test_lint_float_min_max () =
+  let fixture = "let lo = min 0.5 x\nlet m = Array.fold_left max xs.(0) xs\n" in
+  let diags = lint fixture in
+  check_int "both lines flagged" 2 (List.length diags);
+  Alcotest.(check (list string)) "rule" [ "float-min-max" ] (rules_of diags)
+
+let test_lint_int_of_float () =
+  let diags = lint "let n = int_of_float (x /. step)\n" in
+  Alcotest.(check (list string)) "flagged" [ "int-of-float" ] (rules_of diags)
+
+let test_lint_obj_magic () =
+  let diags = lint "let y = Obj.magic x\n" in
+  Alcotest.(check (list string)) "flagged" [ "obj-magic" ] (rules_of diags)
+
+let test_lint_catch_all () =
+  let diags = lint "let v = try f x with _ -> 0\n" in
+  Alcotest.(check (list string)) "flagged" [ "catch-all-exn" ] (rules_of diags)
+
+(* ------------------------------------------------------------------ *)
+(* Lint: negatives *)
+
+let test_lint_typed_comparators_clean () =
+  let fixture =
+    "let () = Array.sort Float.compare xs\n\
+     let c = Int.compare a b\n\
+     let lo = Float.min 0.5 x\n\
+     let hi = List.fold_left Float.max xs.(0) xs\n\
+     let n = List.fold_left max 1 timestamps\n\
+     let cmp = Interval.compare_width a b\n"
+  in
+  check_int "clean" 0 (List.length (lint fixture))
+
+let test_lint_ignores_comments_and_strings () =
+  let fixture =
+    "(* Array.sort compare is bad; int_of_float too *)\n\
+     let doc = \"use Obj.magic with _ -> never\"\n\
+     (* nested (* with _ -> *) still a comment *)\n\
+     let s = \"escaped \\\" quote then compare\"\n"
+  in
+  check_int "clean" 0 (List.length (lint fixture))
+
+let test_lint_inline_waiver () =
+  let fixture =
+    "let a = Array.sort compare xs (* lint-ignore: polymorphic-compare *)\n\
+     let b = int_of_float x (* lint-ignore *)\n\
+     let c = int_of_float y (* lint-ignore: polymorphic-compare *)\n"
+  in
+  let diags = lint fixture in
+  (* line 3's waiver names a different rule, so int-of-float survives *)
+  check_int "only unwaived finding" 1 (List.length diags);
+  check_int "line 3" 3 (List.hd diags).Diagnostic.line
+
+let test_lint_field_decls_not_flagged () =
+  let fixture = "type summary = {\n  min : float;\n  max : float;\n}\n" in
+  check_int "record fields clean" 0 (List.length (lint fixture))
+
+(* ------------------------------------------------------------------ *)
+(* Lint: missing-mli (needs real files) *)
+
+let test_lint_missing_mli () =
+  let root = Filename.temp_file "canopy_lint" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Sys.mkdir (Filename.concat root "lib") 0o755;
+  Sys.mkdir (Filename.concat root "bin") 0o755;
+  let write rel contents =
+    let oc = open_out (Filename.concat root rel) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "lib/good.ml" "let x = 1\n";
+  write "lib/good.mli" "val x : int\n";
+  write "lib/bad.ml" "let y = 2\n";
+  write "bin/main.ml" "let () = ()\n";
+  let files = Sources.find_files ~root ~dirs:[ "lib"; "bin" ] ~ext:".ml" in
+  let diags = Lint.check_missing_mli ~root files in
+  check_int "one finding" 1 (List.length diags);
+  let d = List.hd diags in
+  Alcotest.(check string) "rule" "missing-mli" d.Diagnostic.rule;
+  Alcotest.(check string) "file" (Filename.concat "lib" "bad.ml") d.file
+
+(* ------------------------------------------------------------------ *)
+(* Suppression baseline *)
+
+let test_baseline_roundtrip () =
+  let diags =
+    lint "let a = int_of_float x\nlet b = Array.sort compare xs\n"
+  in
+  check_int "two findings" 2 (List.length diags);
+  let path = Filename.temp_file "canopy_baseline" ".txt" in
+  Suppress.save path diags;
+  let fresh, suppressed = Suppress.filter (Suppress.load path) diags in
+  check_int "all suppressed" 0 (List.length fresh);
+  check_int "count" 2 suppressed;
+  (* a new finding on different source text is not suppressed *)
+  let other = lint "let c = int_of_float z\n" in
+  let fresh, _ = Suppress.filter (Suppress.load path) other in
+  check_int "different text survives" 1 (List.length fresh);
+  Sys.remove path
+
+let test_baseline_survives_renumbering () =
+  let v1 = lint "let a = int_of_float x\n" in
+  let path = Filename.temp_file "canopy_baseline" ".txt" in
+  Suppress.save path v1;
+  (* same source line, shifted down two lines *)
+  let v2 = lint "let pad = 0\nlet pad2 = 1\nlet a = int_of_float x\n" in
+  let fresh, suppressed = Suppress.filter (Suppress.load path) v2 in
+  check_int "still suppressed" 0 (List.length fresh);
+  check_int "count" 1 suppressed;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Soundness audit *)
+
+let test_audit_clean_10k () =
+  let result = Soundcheck.run ~seed:2026 ~samples:10_000 () in
+  check_int "samples" 10_000 result.samples;
+  List.iter
+    (fun v -> Alcotest.failf "%s" (Format.asprintf "%a" Soundcheck.pp_violation v))
+    result.violations;
+  check_int "violations" 0 result.violation_count;
+  (* every transformer actually received samples *)
+  List.iter
+    (fun (op, n) -> if n = 0 then Alcotest.failf "op %s never sampled" op)
+    result.per_op
+
+let test_audit_determinism () =
+  let a = Soundcheck.run ~seed:7 ~samples:500 () in
+  let b = Soundcheck.run ~seed:7 ~samples:500 () in
+  check_int "same violation count" a.violation_count b.violation_count;
+  check_int "violations (expected clean)" 0 a.violation_count
+
+(* ------------------------------------------------------------------ *)
+(* Netcheck *)
+
+let test_netcheck_accepts_fresh_actor () =
+  let rng = Prng.create 11 in
+  let net = Canopy_nn.Mlp.actor ~rng ~in_dim:10 ~hidden:16 ~out_dim:1 in
+  check_int "clean" 0 (List.length (Netcheck.check_mlp net))
+
+let test_netcheck_rejects_dim_mismatch () =
+  let rng = Prng.create 12 in
+  (* dense expects 8 inputs but the stack feeds it 4 *)
+  let layers =
+    [ Layer.dense ~rng ~in_dim:8 ~out_dim:3; Layer.relu ]
+  in
+  let diags = Netcheck.check_layers ~in_dim:4 layers in
+  check_bool "dimension mismatch reported" true
+    (List.exists (fun d -> d.Diagnostic.rule = "net-dim-mismatch") diags)
+
+let test_netcheck_rejects_nonfinite_weight () =
+  let rng = Prng.create 13 in
+  let net = Canopy_nn.Mlp.actor ~rng ~in_dim:4 ~hidden:8 ~out_dim:1 in
+  (match Canopy_nn.Mlp.layers net with
+  | Layer.Dense d :: _ -> (Canopy_tensor.Mat.raw d.w).(0) <- Float.nan
+  | _ -> Alcotest.fail "expected dense first");
+  let diags = Netcheck.check_mlp net in
+  check_bool "non-finite reported" true
+    (List.exists (fun d -> d.Diagnostic.rule = "net-nonfinite-param") diags)
+
+let test_netcheck_rejects_uninitialized_bn () =
+  let bn =
+    match Layer.batch_norm ~dim:4 () with
+    | Layer.Batch_norm bn -> bn
+    | _ -> assert false
+  in
+  Vec.fill bn.running_var 0.;
+  let diags = Netcheck.check_layers ~in_dim:4 [ Layer.Batch_norm bn ] in
+  check_bool "uninitialized stats reported" true
+    (List.exists (fun d -> d.Diagnostic.rule = "net-bn-uninitialized") diags)
+
+let test_netcheck_assert_valid_raises () =
+  let rng = Prng.create 14 in
+  let net = Canopy_nn.Mlp.actor ~rng ~in_dim:4 ~hidden:8 ~out_dim:1 in
+  (match Canopy_nn.Mlp.layers net with
+  | Layer.Dense d :: _ -> d.b.(0) <- Float.infinity
+  | _ -> Alcotest.fail "expected dense first");
+  check_bool "raises" true
+    (try
+       Netcheck.assert_valid ~what:"poisoned" net;
+       false
+     with Invalid_argument _ -> true)
+
+let test_netcheck_checkpoint_roundtrip () =
+  let rng = Prng.create 15 in
+  let net = Canopy_nn.Mlp.actor ~rng ~in_dim:5 ~hidden:8 ~out_dim:1 in
+  let path = Filename.temp_file "canopy_netcheck" ".ckpt" in
+  Canopy_nn.Checkpoint.save net path;
+  (match Netcheck.check_checkpoint path with
+  | Ok [] -> ()
+  | Ok diags ->
+      Alcotest.failf "unexpected findings: %s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Diagnostic.pp) diags))
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg);
+  (* corrupt the checkpoint: netcheck must reject, not crash *)
+  let oc = open_out path in
+  output_string oc "canopy-mlp v1\nin_dim 5\nlayers 1\ndense 2 5\n1 2 3\n";
+  close_out oc;
+  (match Netcheck.check_checkpoint path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed checkpoint accepted");
+  Sys.remove path
+
+let suite =
+  [
+    ("lint: polymorphic compare", `Quick, test_lint_polymorphic_compare);
+    ("lint: float min/max", `Quick, test_lint_float_min_max);
+    ("lint: int_of_float", `Quick, test_lint_int_of_float);
+    ("lint: Obj.magic", `Quick, test_lint_obj_magic);
+    ("lint: catch-all handler", `Quick, test_lint_catch_all);
+    ("lint: typed comparators clean", `Quick, test_lint_typed_comparators_clean);
+    ("lint: comments/strings ignored", `Quick,
+     test_lint_ignores_comments_and_strings);
+    ("lint: inline waiver", `Quick, test_lint_inline_waiver);
+    ("lint: record fields clean", `Quick, test_lint_field_decls_not_flagged);
+    ("lint: missing mli", `Quick, test_lint_missing_mli);
+    ("baseline roundtrip", `Quick, test_baseline_roundtrip);
+    ("baseline survives renumbering", `Quick,
+     test_baseline_survives_renumbering);
+    ("audit: clean over 10k points", `Slow, test_audit_clean_10k);
+    ("audit: deterministic", `Quick, test_audit_determinism);
+    ("netcheck: fresh actor ok", `Quick, test_netcheck_accepts_fresh_actor);
+    ("netcheck: dim mismatch", `Quick, test_netcheck_rejects_dim_mismatch);
+    ("netcheck: non-finite weight", `Quick,
+     test_netcheck_rejects_nonfinite_weight);
+    ("netcheck: uninitialized batch-norm", `Quick,
+     test_netcheck_rejects_uninitialized_bn);
+    ("netcheck: assert_valid raises", `Quick,
+     test_netcheck_assert_valid_raises);
+    ("netcheck: checkpoint roundtrip", `Quick,
+     test_netcheck_checkpoint_roundtrip);
+  ]

@@ -18,4 +18,5 @@ let () =
       ("shield", Test_shield.suite);
       ("temporal", Test_temporal.suite);
       ("properties", Test_properties.suite);
+      ("analysis", Test_analysis.suite);
     ]
