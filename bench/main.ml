@@ -759,6 +759,7 @@ let table3 () =
           reward = res.Canopy_orca.Agent_env.raw_reward;
           next_state = res.Canopy_orca.Agent_env.state;
           terminal = false;
+          truncated = res.Canopy_orca.Agent_env.finished;
         };
       Canopy_rl.Td3.update agent;
       if res.Canopy_orca.Agent_env.finished then
@@ -825,6 +826,225 @@ let table3 () =
   Format.printf
     "the paper's 256-wide actor, whose latency grows linearly with N as@.";
   Format.printf "in the Section-6.6 complexity model.@."
+
+(* ------------------------------------------------------------------ *)
+(* kernels: batched vs per-sample training kernels (BENCH_train_step) *)
+
+let kernels_smoke = ref false
+
+let kernels () =
+  header "kernels: batched vs per-sample training-step timings";
+  let open Bechamel in
+  let module Mat = Canopy_tensor.Mat in
+  let module Td3 = Canopy_rl.Td3 in
+  let state_dim = history * Canopy_orca.Observation.feature_count in
+  let action_dim = 1 in
+  let hidden = 64 in
+  let rand_vec rng n =
+    let v = Array.make n 0. in
+    for i = 0 to n - 1 do
+      v.(i) <- Canopy_util.Prng.uniform rng (-1.) 1.
+    done;
+    v
+  in
+  (* A TD3 agent past warmup over a synthetic replay buffer, so the
+     measured closure is training updates only, no environment in the
+     loop. One measured op covers one full policy period —
+     [policy_delay] consecutive updates (critics every call, actor and
+     target nets on the last) — so every sample does identical work
+     whatever phase the agent is in and however many ops bechamel packs
+     into it; the table and JSON report per-update times. *)
+  let policy_period =
+    (Td3.default_config ~state_dim ~action_dim).Td3.policy_delay
+  in
+  let make_update kernel ~batch_size =
+    let rng = Canopy_util.Prng.create 11 in
+    let agent =
+      Td3.create ~rng
+        {
+          (Td3.default_config ~state_dim ~action_dim) with
+          hidden;
+          batch_size;
+          warmup = batch_size;
+          buffer_capacity = 4_096;
+        }
+    in
+    let data = Canopy_util.Prng.create 13 in
+    for _ = 1 to 1_024 do
+      Td3.observe agent
+        {
+          Canopy_rl.Replay_buffer.state = rand_vec data state_dim;
+          action = rand_vec data action_dim;
+          reward = Canopy_util.Prng.uniform data (-1.) 1.;
+          next_state = rand_vec data state_dim;
+          terminal = false;
+          truncated = false;
+        }
+    done;
+    fun () ->
+      for _ = 1 to policy_period do
+        Td3.update ~kernel agent
+      done
+  in
+  let make_actor_forward ~batch_size =
+    let rng = Canopy_util.Prng.create 17 in
+    let actor =
+      Canopy_nn.Mlp.actor ~rng ~in_dim:state_dim ~hidden ~out_dim:action_dim
+    in
+    let states =
+      Mat.init ~rows:batch_size ~cols:state_dim (fun i j ->
+          Float.sin (float_of_int ((i * state_dim) + j)))
+    in
+    fun () -> ignore (Canopy_nn.Mlp.forward_batch actor states)
+  in
+  let make_critic_fit ~batch_size =
+    let rng = Canopy_util.Prng.create 19 in
+    let critic = Canopy_nn.Mlp.critic ~rng ~state_dim ~action_dim ~hidden in
+    let opt = Canopy_nn.Optimizer.adam ~lr:1e-3 () in
+    let dim = state_dim + action_dim in
+    let inputs =
+      Mat.init ~rows:batch_size ~cols:dim (fun i j ->
+          Float.sin (float_of_int ((i * dim) + j)))
+    in
+    let targets = Array.init batch_size (fun i -> Float.cos (float_of_int i)) in
+    let inv_n = 1. /. float_of_int batch_size in
+    fun () ->
+      Canopy_nn.Mlp.zero_grad critic;
+      let preds, tape = Canopy_nn.Mlp.forward_train critic inputs in
+      let dout =
+        Mat.init ~rows:batch_size ~cols:1 (fun i _ ->
+            2. *. (Mat.get preds i 0 -. targets.(i)) *. inv_n)
+      in
+      ignore (Canopy_nn.Mlp.backward critic tape dout);
+      let params = Canopy_nn.Mlp.params critic in
+      Canopy_nn.Optimizer.clip_gradients ~norm:10. params;
+      Canopy_nn.Optimizer.step opt params
+  in
+  (* (name, batch size, units of work per closure call, closure). *)
+  let tests =
+    [
+      ("actor_forward_b64", 64, 1, make_actor_forward ~batch_size:64);
+      ("actor_forward_b256", 256, 1, make_actor_forward ~batch_size:256);
+      ("critic_fit_b64", 64, 1, make_critic_fit ~batch_size:64);
+      ("critic_fit_b256", 256, 1, make_critic_fit ~batch_size:256);
+      ( "td3_update_batched_b64",
+        64,
+        policy_period,
+        make_update Td3.Batched ~batch_size:64 );
+      ( "td3_update_batched_b256",
+        256,
+        policy_period,
+        make_update Td3.Batched ~batch_size:256 );
+      ( "td3_update_per_sample_b64",
+        64,
+        policy_period,
+        make_update Td3.Per_sample ~batch_size:64 );
+      ( "td3_update_per_sample_b256",
+        256,
+        policy_period,
+        make_update Td3.Per_sample ~batch_size:256 );
+    ]
+  in
+  let grouped =
+    Test.make_grouped ~name:"kernels"
+      (List.map (fun (name, _, _, f) -> Test.make ~name (Staged.stage f)) tests)
+  in
+  (* Stabilizing/compacting the GC before every sample (bechamel's
+     default) perturbs the steady-state heap a training loop actually
+     runs with and makes the update timings swing by tens of percent
+     across runs; a sustained-throughput measurement wants the heap in
+     steady state, so both are disabled here (for every kernel alike). *)
+  let cfg =
+    if !kernels_smoke then
+      Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~stabilize:false
+        ~compaction:false ()
+    else
+      Benchmark.cfg ~limit:4000 ~quota:(Time.second 2.0) ~stabilize:false
+        ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let ns_of name =
+    match Hashtbl.find_opt results ("kernels/" ^ name) with
+    | Some result -> (
+        match Analyze.OLS.estimates result with
+        | Some [ ns ] when ns > 0. -> Some ns
+        | _ -> None)
+    | None -> None
+  in
+  Format.printf "%-26s %-14s %-14s@." "kernel" "ns/op" "ops/s";
+  let measured =
+    List.filter_map
+      (fun (name, batch, per_op, _) ->
+        match ns_of name with
+        | Some ns ->
+            let ns = ns /. float_of_int per_op in
+            Format.printf "%-26s %14.0f %14.1f@." name ns (1e9 /. ns);
+            Some (name, batch, ns)
+        | None ->
+            Format.printf "%-26s (no estimate)@." name;
+            None)
+      tests
+  in
+  let speedup b =
+    let find n = List.find_opt (fun (name, _, _) -> name = n) measured in
+    match
+      ( find (Printf.sprintf "td3_update_per_sample_b%d" b),
+        find (Printf.sprintf "td3_update_batched_b%d" b) )
+    with
+    | Some (_, _, ref_ns), Some (_, _, bat_ns) when bat_ns > 0. ->
+        Some (ref_ns /. bat_ns)
+    | _ -> None
+  in
+  let s64 = speedup 64 and s256 = speedup 256 in
+  List.iter
+    (fun (b, s) ->
+      match s with
+      | Some s ->
+          Format.printf "TD3 update speedup, batched vs per-sample, b%d: %.2fx%s@."
+            b s
+            (if b = 64 && not !kernels_smoke then
+               if s >= 3. then "  (>= 3x: OK)" else "  (below 3x target!)"
+             else "")
+      | None -> ())
+    [ (64, s64); (256, s256) ];
+  (* Machine-readable record. Full runs overwrite BENCH_train_step.json
+     in the working directory so the perf history is trackable; smoke
+     runs (tiny iteration counts, e.g. under dune's @check) exercise the
+     emitter but write to a temp file to keep checkouts clean. *)
+  let json_path =
+    if !kernels_smoke then Filename.temp_file "canopy-bench-train-step" ".json"
+    else "BENCH_train_step.json"
+  in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"bench\": \"train_step\",\n  \"mode\": %S,\n  \"hidden\": %d,\n\
+        \  \"state_dim\": %d,\n  \"action_dim\": %d,\n  \"entries\": [\n"
+        (if !kernels_smoke then "smoke" else "full")
+        hidden state_dim action_dim;
+      let last = List.length measured - 1 in
+      List.iteri
+        (fun i (name, batch, ns) ->
+          Printf.fprintf oc
+            "    {\"name\": %S, \"batch\": %d, \"ns_per_op\": %.1f}%s\n" name
+            batch ns
+            (if i = last then "" else ","))
+        measured;
+      Printf.fprintf oc "  ]";
+      Option.iter
+        (fun s -> Printf.fprintf oc ",\n  \"speedup_update_b64\": %.3f" s)
+        s64;
+      Option.iter
+        (fun s -> Printf.fprintf oc ",\n  \"speedup_update_b256\": %.3f" s)
+        s256;
+      Printf.fprintf oc "\n}\n");
+  Format.printf "wrote %s@." json_path
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: verifier domain and subdivision strategy *)
@@ -959,14 +1179,18 @@ let experiments =
     ("fig13", fig13);
     ("fig14", fig14);
     ("table3", table3);
+    ("kernels", kernels);
     ("ablation", ablation);
     ("traces", traces_fig);
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  kernels_smoke := List.mem "--smoke" args;
+  let names = List.filter (fun a -> a <> "--smoke") args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) when not (List.mem "all" names) -> names
+    match names with
+    | _ :: _ when not (List.mem "all" names) -> names
     | _ -> List.map fst experiments
   in
   Format.printf "canopy bench: scale=%s, steps=%d, traces=%dms, N_eval=%d@."

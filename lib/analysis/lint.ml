@@ -15,6 +15,10 @@ let rules =
     ( "catch-all-exn",
       "catch-all `with _ ->` swallows Out_of_memory, Stack_overflow and \
        programming errors; match specific exceptions" );
+    ( "array-make-alias",
+      "`Array.make n e` with a mutable `e` (array literal or nested \
+       Array.make) stores the SAME value in every slot, so writing one \
+       row writes them all; use `Array.init n (fun _ -> ...)`" );
     ( "missing-mli",
       "library module has no .mli; interfaces are required under lib/ so \
        the public surface stays explicit" );
@@ -137,6 +141,51 @@ let check_catch_all line =
     Some (List.assoc "catch-all-exn" rules)
   else None
 
+let check_array_make_alias line =
+  let n = String.length line in
+  let starts_with i sub =
+    let m = String.length sub in
+    i + m <= n && String.sub line i m = sub
+  in
+  (* Skip Array.make's first argument: either a parenthesized expression
+     or a simple (possibly qualified) identifier / literal. *)
+  let skip_first_arg i =
+    let i = skip_spaces line i in
+    if i < n && line.[i] = '(' then begin
+      let depth = ref 0 and j = ref i and stop = ref (-1) in
+      while !stop < 0 && !j < n do
+        (match line.[!j] with
+        | '(' -> incr depth
+        | ')' ->
+            decr depth;
+            if !depth = 0 then stop := !j + 1
+        | _ -> ());
+        incr j
+      done;
+      if !stop < 0 then None else Some !stop
+    end
+    else begin
+      let j = ref i in
+      while !j < n && (is_ident_char line.[!j] || line.[!j] = '.') do
+        incr j
+      done;
+      if !j = i then None else Some !j
+    end
+  in
+  let aliasing_at c =
+    match skip_first_arg (c + String.length "Array.make") with
+    | None -> false
+    | Some j ->
+        let j = skip_spaces line j in
+        let j =
+          if j < n && line.[j] = '(' then skip_spaces line (j + 1) else j
+        in
+        starts_with j "[|" || starts_with j "Array.make"
+  in
+  if List.exists aliasing_at (bare_occurrences line "Array.make") then
+    Some (List.assoc "array-make-alias" rules)
+  else None
+
 let line_rules =
   [
     ("polymorphic-compare", check_polymorphic_compare);
@@ -144,6 +193,7 @@ let line_rules =
     ("int-of-float", check_int_of_float);
     ("obj-magic", check_obj_magic);
     ("catch-all-exn", check_catch_all);
+    ("array-make-alias", check_array_make_alias);
   ]
 
 let check_source ~path contents =

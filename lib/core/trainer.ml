@@ -38,21 +38,27 @@ let default_config ?(seed = 42) ?(lambda = 0.25)
 let env_pool ?(n = 8) ?(bw_range_mbps = (6., 192.)) ?(rtt_range_ms = (10, 200))
     ?(duration_ms = 10_000) ?(history = 5) ~seed () =
   if n <= 0 then invalid_arg "Trainer.env_pool: n";
-  ignore seed;
   let bw_lo, bw_hi = bw_range_mbps in
   let rtt_lo, rtt_hi = rtt_range_ms in
   List.init n (fun i ->
-      (* Uniformly spaced combinations, as in the paper's actor pool. *)
-      let frac = if n = 1 then 0.5 else float_of_int i /. float_of_int (n - 1) in
-      let bw = Canopy_util.Mathx.lerp bw_lo bw_hi frac in
+      (* Stratified sampling, as in the paper's actor pool: env [i] draws
+         bandwidth and RTT from the [i]-th of [n] equal strata, jittered
+         by a PRNG derived purely from [(seed, i)] — [List.init]'s
+         evaluation order is unspecified, so the stream must not be
+         shared across envs. *)
+      let rng = Prng.create ((seed * 1_000_003) + i) in
+      let stratum u = (float_of_int i +. u) /. float_of_int n in
+      let bw_frac = stratum (Prng.float rng 1.) in
+      let rtt_frac = stratum (Prng.float rng 1.) in
+      let bw = Canopy_util.Mathx.lerp bw_lo bw_hi bw_frac in
       let rtt =
         rtt_lo
         + int_of_float
-            (frac *. float_of_int (rtt_hi - rtt_lo))
+            (rtt_frac *. float_of_int (rtt_hi - rtt_lo))
       in
       let trace =
         Canopy_trace.Trace.constant
-          ~name:(Printf.sprintf "train-%02d-%gmbps-%dms" i bw rtt)
+          ~name:(Printf.sprintf "train-s%d-%02d-%gmbps-%dms" seed i bw rtt)
           ~duration_ms ~mbps:bw
       in
       let buffer_pkts =
@@ -129,7 +135,12 @@ let train ?on_epoch cfg =
         action = action_vec;
         reward;
         next_state = res.state;
-        terminal = res.finished;
+        (* Agent_env episodes end only when the trace's [duration_ms]
+           elapses — a time-limit truncation, not an absorbing state of
+           the congestion-control MDP — so TD targets must keep
+           bootstrapping through it (see Replay_buffer.transition). *)
+        terminal = false;
+        truncated = res.finished;
       };
     for _ = 1 to cfg.updates_per_step do
       Td3.update agent

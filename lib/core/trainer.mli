@@ -46,8 +46,11 @@ val env_pool :
   unit ->
   Canopy_orca.Agent_env.config list
 (** Stable-bandwidth training links per Table 2: [n] (default 8) links
-    with bandwidth and minRTT uniformly spaced across the given ranges
-    (defaults 6–192 Mbps, 10–200 ms) and buffers of 2 BDP. *)
+    with bandwidth and minRTT sampled by stratified jitter from the given
+    ranges (defaults 6–192 Mbps, 10–200 ms) and buffers of 2 BDP. Env [i]
+    draws both parameters from the [i]-th of [n] equal strata using a
+    PRNG derived from [(seed, i)], so coverage is even but different
+    seeds give different pools; the seed appears in each trace name. *)
 
 type epoch = {
   epoch : int;

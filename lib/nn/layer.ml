@@ -22,18 +22,28 @@ type t =
 
 type mode = Train | Eval
 
+(* Batched caches carry [batch × dim] matrices. *)
 type cache =
-  | C_dense of Vec.t array
-  | C_bn of {
-      x : Vec.t array;
+  | C_dense of Mat.t (* input batch *)
+  | C_bn of { xhat : Mat.t; inv_std : Vec.t; batch_stats : bool }
+  | C_leaky of float * Mat.t
+  | C_relu of Mat.t
+  | C_tanh of Mat.t (* outputs *)
+
+(* Per-sample reference caches (one Vec.t per sample). Kept as an
+   independently-implemented path so the batched kernels can be
+   equivalence-tested against it, and so the bench can quantify the
+   batching speedup. *)
+type rows_cache =
+  | R_dense of Vec.t array
+  | R_bn of {
       xhat : Vec.t array;
       inv_std : Vec.t;
-      mu : Vec.t;
       batch_stats : bool;
     }
-  | C_leaky of float * Vec.t array
-  | C_relu of Vec.t array
-  | C_tanh of Vec.t array (* outputs *)
+  | R_leaky of float * Vec.t array
+  | R_relu of Vec.t array
+  | R_tanh of Vec.t array (* outputs *)
 
 let dense ~rng ~in_dim ~out_dim =
   if in_dim <= 0 || out_dim <= 0 then invalid_arg "Layer.dense: dims";
@@ -66,7 +76,11 @@ let batch_norm ?(momentum = 0.1) ?(eps = 1e-5) ~dim () =
       eps;
     }
 
-let leaky_relu ?(slope = 0.01) () = Leaky_relu slope
+(* A positive slope keeps the activation sign-preserving, which the
+   batched cache relies on (backward reads its mask from the output). *)
+let leaky_relu ?(slope = 0.01) () =
+  if slope <= 0. then invalid_arg "Layer.leaky_relu: slope must be positive";
+  Leaky_relu slope
 let relu = Relu
 let tanh = Tanh
 
@@ -98,9 +112,325 @@ let forward1 mode layer x =
   | Relu -> Array.map (fun v -> Float.max 0. v) x
   | Tanh -> Array.map Float.tanh x
 
-let forward mode layer batch =
-  let n = Array.length batch in
+(* ------------------------------------------------------------------ *)
+(* Batched passes over [batch × dim] matrices *)
+
+(* Fold the batch statistics into the running estimates. *)
+let bn_update_running bn mu var =
+  for i = 0 to Vec.dim bn.gamma - 1 do
+    bn.running_mean.(i) <-
+      ((1. -. bn.momentum) *. bn.running_mean.(i)) +. (bn.momentum *. mu.(i));
+    bn.running_var.(i) <-
+      ((1. -. bn.momentum) *. bn.running_var.(i)) +. (bn.momentum *. var.(i))
+  done
+
+(* The batched passes below run on the flat [Mat.raw] arrays with unsafe
+   accesses: shapes are validated at entry, every index is affine in loop
+   counters bounded by those shapes, and avoiding the per-element bounds
+   checks and closure calls of [Mat.get]/[Mat.init] is where most of the
+   batching speedup over the per-sample reference comes from. *)
+
+let forward ?(reuse_input = false) mode layer x =
+  let n = Mat.rows x in
   if n = 0 then invalid_arg "Layer.forward: empty batch";
+  (* With [~reuse_input:true] the element-wise layers write their output
+     into [x]'s storage instead of allocating a fresh [batch × dim]
+     matrix. A 64×64 float array lands directly on the major heap, so
+     inside an MLP chain — where each layer's input is the previous
+     layer's freshly-allocated output — the reuse removes most of the
+     allocation churn of a training step. *)
+  match layer with
+  | Dense d ->
+      if Mat.cols x <> Mat.cols d.w then invalid_arg "Layer.forward: dims";
+      (* One bias-fused GEMM for the whole batch: y = x·wᵀ + b. The
+         output shape differs from the input's and the cache needs [x]
+         intact, so [reuse_input] does not apply. *)
+      let y = Mat.mat_mul_nt_bias x d.w d.b in
+      (y, C_dense x)
+  | Batch_norm bn ->
+      let dim = Vec.dim bn.gamma in
+      if Mat.cols x <> dim then invalid_arg "Layer.forward: dims";
+      let use_batch_stats = mode = Train && n > 1 in
+      let nf = float_of_int n in
+      let xd = Mat.raw x in
+      let gamma = bn.gamma and beta = bn.beta in
+      if use_batch_stats then begin
+        (* Column-wise mean/variance over the batch dimension, summed in
+           ascending sample order (matches the per-sample reference). *)
+        let mu = Vec.create dim and var = Vec.create dim in
+        let inv_n = 1. /. nf in
+        for b = 0 to n - 1 do
+          let base = b * dim in
+          for i = 0 to dim - 1 do
+            Array.unsafe_set mu i
+              (Array.unsafe_get mu i
+              +. (inv_n *. Array.unsafe_get xd (base + i)))
+          done
+        done;
+        for b = 0 to n - 1 do
+          let base = b * dim in
+          for i = 0 to dim - 1 do
+            let d = Array.unsafe_get xd (base + i) -. Array.unsafe_get mu i in
+            Array.unsafe_set var i (Array.unsafe_get var i +. (d *. d /. nf))
+          done
+        done;
+        let inv_std = Vec.init dim (fun i -> 1. /. sqrt (var.(i) +. bn.eps)) in
+        let xhat = Mat.create ~rows:n ~cols:dim in
+        let xh = Mat.raw xhat in
+        (* Normalize and scale-shift in one pass; [out] may alias [x]
+           (each cell is read before it is overwritten). *)
+        let out = if reuse_input then x else Mat.create ~rows:n ~cols:dim in
+        let od = Mat.raw out in
+        for b = 0 to n - 1 do
+          let base = b * dim in
+          for i = 0 to dim - 1 do
+            let h =
+              (Array.unsafe_get xd (base + i) -. Array.unsafe_get mu i)
+              *. Array.unsafe_get inv_std i
+            in
+            Array.unsafe_set xh (base + i) h;
+            Array.unsafe_set od (base + i)
+              ((Array.unsafe_get gamma i *. h) +. Array.unsafe_get beta i)
+          done
+        done;
+        bn_update_running bn mu var;
+        (out, C_bn { xhat; inv_std; batch_stats = true })
+      end
+      else begin
+        let inv_std =
+          Vec.init dim (fun i -> 1. /. sqrt (bn.running_var.(i) +. bn.eps))
+        in
+        let xhat = Mat.create ~rows:n ~cols:dim in
+        let xh = Mat.raw xhat and rm = bn.running_mean in
+        let out = if reuse_input then x else Mat.create ~rows:n ~cols:dim in
+        let od = Mat.raw out in
+        for b = 0 to n - 1 do
+          let base = b * dim in
+          for i = 0 to dim - 1 do
+            let h =
+              (Array.unsafe_get xd (base + i) -. Array.unsafe_get rm i)
+              *. Array.unsafe_get inv_std i
+            in
+            Array.unsafe_set xh (base + i) h;
+            Array.unsafe_set od (base + i)
+              ((Array.unsafe_get gamma i *. h) +. Array.unsafe_get beta i)
+          done
+        done;
+        (out, C_bn { xhat; inv_std; batch_stats = false })
+      end
+  | Leaky_relu slope ->
+      (* Sign-preserving, so the backward mask is the same whether it
+         reads pre- or post-activation values: under reuse the cache
+         simply holds the (overwritten) output. *)
+      let out = if reuse_input then x else Mat.create ~rows:n ~cols:(Mat.cols x) in
+      let xd = Mat.raw x and od = Mat.raw out in
+      for i = 0 to Array.length xd - 1 do
+        let v = Array.unsafe_get xd i in
+        Array.unsafe_set od i (if v >= 0. then v else slope *. v)
+      done;
+      (out, C_leaky (slope, out))
+  | Relu ->
+      (* out > 0 exactly where x > 0, so caching the output keeps the
+         backward mask identical under reuse. *)
+      let out = if reuse_input then x else Mat.create ~rows:n ~cols:(Mat.cols x) in
+      let xd = Mat.raw x and od = Mat.raw out in
+      for i = 0 to Array.length xd - 1 do
+        Array.unsafe_set od i (Float.max 0. (Array.unsafe_get xd i))
+      done;
+      (out, C_relu out)
+  | Tanh ->
+      let out = if reuse_input then x else Mat.create ~rows:n ~cols:(Mat.cols x) in
+      let xd = Mat.raw x and od = Mat.raw out in
+      for i = 0 to Array.length xd - 1 do
+        Array.unsafe_set od i (Float.tanh (Array.unsafe_get xd i))
+      done;
+      (out, C_tanh out)
+
+(* Cache-free eval-mode forward: skips the activation caches and, for
+   batch-norm, the xhat matrix that only backward consumes. The running
+   statistics fold into one per-channel affine map — the same folded
+   form the abstract interpreter uses for its batch-norm transfer. *)
+let forward_eval ?(reuse_input = false) layer x =
+  let n = Mat.rows x in
+  if n = 0 then invalid_arg "Layer.forward: empty batch";
+  match layer with
+  | Dense d ->
+      if Mat.cols x <> Mat.cols d.w then invalid_arg "Layer.forward: dims";
+      Mat.mat_mul_nt_bias x d.w d.b
+  | Batch_norm bn ->
+      let dim = Vec.dim bn.gamma in
+      if Mat.cols x <> dim then invalid_arg "Layer.forward: dims";
+      let scale =
+        Vec.init dim (fun i -> bn.gamma.(i) /. sqrt (bn.running_var.(i) +. bn.eps))
+      in
+      let shift =
+        Vec.init dim (fun i -> bn.beta.(i) -. (scale.(i) *. bn.running_mean.(i)))
+      in
+      let out = if reuse_input then x else Mat.create ~rows:n ~cols:dim in
+      let xd = Mat.raw x and od = Mat.raw out in
+      for b = 0 to n - 1 do
+        let base = b * dim in
+        for i = 0 to dim - 1 do
+          Array.unsafe_set od (base + i)
+            ((Array.unsafe_get scale i *. Array.unsafe_get xd (base + i))
+            +. Array.unsafe_get shift i)
+        done
+      done;
+      out
+  | Leaky_relu slope ->
+      let out = if reuse_input then x else Mat.create ~rows:n ~cols:(Mat.cols x) in
+      let xd = Mat.raw x and od = Mat.raw out in
+      for i = 0 to Array.length xd - 1 do
+        let v = Array.unsafe_get xd i in
+        Array.unsafe_set od i (if v >= 0. then v else slope *. v)
+      done;
+      out
+  | Relu ->
+      let out = if reuse_input then x else Mat.create ~rows:n ~cols:(Mat.cols x) in
+      let xd = Mat.raw x and od = Mat.raw out in
+      for i = 0 to Array.length xd - 1 do
+        Array.unsafe_set od i (Float.max 0. (Array.unsafe_get xd i))
+      done;
+      out
+  | Tanh ->
+      let out = if reuse_input then x else Mat.create ~rows:n ~cols:(Mat.cols x) in
+      let xd = Mat.raw x and od = Mat.raw out in
+      for i = 0 to Array.length xd - 1 do
+        Array.unsafe_set od i (Float.tanh (Array.unsafe_get xd i))
+      done;
+      out
+
+let backward ?(input_grad = true) ?(reuse_dout = false) layer cache dout =
+  let n = Mat.rows dout in
+  (* With [~reuse_dout:true] the element-wise layers write their input
+     gradient into [dout]'s storage (every cell is read before it is
+     overwritten), sparing one major-heap matrix per layer. Only valid
+     when the caller is done with [dout] — inside an MLP backward walk
+     each intermediate gradient is consumed exactly once. *)
+  match (layer, cache) with
+  | Dense d, C_dense x ->
+      if Mat.rows x <> n then invalid_arg "Layer.backward: batch size";
+      (* dw += doutᵀ·x, db += column sums, dx = dout·w — three batched
+         kernels instead of 3n vector ops. The dx GEMM is skipped when the
+         caller does not consume input gradients (a fit's first layer). *)
+      Mat.mat_mul_tn_acc ~dst:d.dw dout x;
+      Mat.col_sum_acc ~dst:d.db dout;
+      if input_grad then Mat.mat_mul dout d.w else dout
+  | Batch_norm bn, C_bn c ->
+      let dim = Vec.dim bn.gamma in
+      if Mat.rows c.xhat <> n then invalid_arg "Layer.backward: batch size";
+      if Mat.cols dout <> dim then invalid_arg "Layer.backward: dims";
+      let dod = Mat.raw dout and xh = Mat.raw c.xhat in
+      (* Parameter gradients are identical in both statistic regimes. *)
+      let dgamma = bn.dgamma and dbeta = bn.dbeta in
+      for b = 0 to n - 1 do
+        let base = b * dim in
+        for i = 0 to dim - 1 do
+          let g = Array.unsafe_get dod (base + i) in
+          Array.unsafe_set dgamma i
+            (Array.unsafe_get dgamma i
+            +. (g *. Array.unsafe_get xh (base + i)));
+          Array.unsafe_set dbeta i (Array.unsafe_get dbeta i +. g)
+        done
+      done;
+      if not c.batch_stats then begin
+        (* Running statistics are constants: the map is affine. *)
+        let dx = if reuse_dout then dout else Mat.create ~rows:n ~cols:dim in
+        let dxd = Mat.raw dx and gamma = bn.gamma and istd = c.inv_std in
+        for b = 0 to n - 1 do
+          let base = b * dim in
+          for i = 0 to dim - 1 do
+            Array.unsafe_set dxd (base + i)
+              (Array.unsafe_get dod (base + i)
+              *. Array.unsafe_get gamma i *. Array.unsafe_get istd i)
+          done
+        done;
+        dx
+      end
+      else begin
+        (* Full batch-norm backward through the batch mean and variance.
+           dxhat is element-wise in dout, so under reuse it overwrites
+           dout in place; the final dx map is element-wise in dxhat and
+           lands in the same storage again. *)
+        let nf = float_of_int n in
+        let sum_dxhat = Vec.create dim in
+        let sum_dxhat_xhat = Vec.create dim in
+        let dxhat = if reuse_dout then dout else Mat.create ~rows:n ~cols:dim in
+        let dxh = Mat.raw dxhat and gamma = bn.gamma in
+        for b = 0 to n - 1 do
+          let base = b * dim in
+          for i = 0 to dim - 1 do
+            Array.unsafe_set dxh (base + i)
+              (Array.unsafe_get dod (base + i) *. Array.unsafe_get gamma i)
+          done
+        done;
+        for b = 0 to n - 1 do
+          let base = b * dim in
+          for i = 0 to dim - 1 do
+            let g = Array.unsafe_get dxh (base + i) in
+            Array.unsafe_set sum_dxhat i (Array.unsafe_get sum_dxhat i +. g);
+            Array.unsafe_set sum_dxhat_xhat i
+              (Array.unsafe_get sum_dxhat_xhat i
+              +. (g *. Array.unsafe_get xh (base + i)))
+          done
+        done;
+        let dx = if reuse_dout then dxhat else Mat.create ~rows:n ~cols:dim in
+        let dxd = Mat.raw dx and istd = c.inv_std in
+        for b = 0 to n - 1 do
+          let base = b * dim in
+          for i = 0 to dim - 1 do
+            Array.unsafe_set dxd (base + i)
+              (Array.unsafe_get istd i /. nf
+              *. ((nf *. Array.unsafe_get dxh (base + i))
+                  -. Array.unsafe_get sum_dxhat i
+                  -. (Array.unsafe_get xh (base + i)
+                     *. Array.unsafe_get sum_dxhat_xhat i)))
+          done
+        done;
+        dx
+      end
+  | Leaky_relu slope, C_leaky (slope', x) ->
+      assert (slope = slope');
+      if Mat.rows x <> n || Mat.cols x <> Mat.cols dout then
+        invalid_arg "Layer.backward: dims";
+      let dx = if reuse_dout then dout else Mat.create ~rows:n ~cols:(Mat.cols dout) in
+      let dxd = Mat.raw dx and dod = Mat.raw dout and xd = Mat.raw x in
+      for i = 0 to Array.length dod - 1 do
+        let g = Array.unsafe_get dod i in
+        Array.unsafe_set dxd i
+          (if Array.unsafe_get xd i >= 0. then g else slope *. g)
+      done;
+      dx
+  | Relu, C_relu x ->
+      if Mat.rows x <> n || Mat.cols x <> Mat.cols dout then
+        invalid_arg "Layer.backward: dims";
+      let dx = if reuse_dout then dout else Mat.create ~rows:n ~cols:(Mat.cols dout) in
+      let dxd = Mat.raw dx and dod = Mat.raw dout and xd = Mat.raw x in
+      for i = 0 to Array.length dod - 1 do
+        Array.unsafe_set dxd i
+          (if Array.unsafe_get xd i > 0. then Array.unsafe_get dod i else 0.)
+      done;
+      dx
+  | Tanh, C_tanh y ->
+      if Mat.rows y <> n || Mat.cols y <> Mat.cols dout then
+        invalid_arg "Layer.backward: dims";
+      let dx = if reuse_dout then dout else Mat.create ~rows:n ~cols:(Mat.cols dout) in
+      let dxd = Mat.raw dx and dod = Mat.raw dout and yd = Mat.raw y in
+      for i = 0 to Array.length dod - 1 do
+        let t = Array.unsafe_get yd i in
+        Array.unsafe_set dxd i
+          (Array.unsafe_get dod i *. (1. -. (t *. t)))
+      done;
+      dx
+  | (Dense _ | Batch_norm _ | Leaky_relu _ | Relu | Tanh), _ ->
+      invalid_arg "Layer.backward: cache does not match layer"
+
+(* ------------------------------------------------------------------ *)
+(* Per-sample reference passes (the pre-batching implementation) *)
+
+let forward_rows mode layer batch =
+  let n = Array.length batch in
+  if n = 0 then invalid_arg "Layer.forward_rows: empty batch";
   match layer with
   | Dense d ->
       let out =
@@ -111,7 +441,7 @@ let forward mode layer batch =
             y)
           batch
       in
-      (out, C_dense batch)
+      (out, R_dense batch)
   | Batch_norm bn ->
       let dim = Vec.dim bn.gamma in
       let use_batch_stats = mode = Train && n > 1 in
@@ -138,16 +468,8 @@ let forward mode layer batch =
               Vec.init dim (fun i -> (bn.gamma.(i) *. xh.(i)) +. bn.beta.(i)))
             xhat
         in
-        (* Fold the batch statistics into the running estimates. *)
-        for i = 0 to dim - 1 do
-          bn.running_mean.(i) <-
-            ((1. -. bn.momentum) *. bn.running_mean.(i))
-            +. (bn.momentum *. mu.(i));
-          bn.running_var.(i) <-
-            ((1. -. bn.momentum) *. bn.running_var.(i))
-            +. (bn.momentum *. var.(i))
-        done;
-        (out, C_bn { x = batch; xhat; inv_std; mu; batch_stats = true })
+        bn_update_running bn mu var;
+        (out, R_bn { xhat; inv_std; batch_stats = true })
       end
       else begin
         let inv_std =
@@ -166,39 +488,31 @@ let forward mode layer batch =
               Vec.init dim (fun i -> (bn.gamma.(i) *. xh.(i)) +. bn.beta.(i)))
             xhat
         in
-        ( out,
-          C_bn
-            {
-              x = batch;
-              xhat;
-              inv_std;
-              mu = Vec.copy bn.running_mean;
-              batch_stats = false;
-            } )
+        (out, R_bn { xhat; inv_std; batch_stats = false })
       end
   | Leaky_relu slope ->
-      (Array.map (leaky_fwd slope) batch, C_leaky (slope, batch))
-  | Relu -> (Array.map (Array.map (fun v -> Float.max 0. v)) batch, C_relu batch)
+      (Array.map (leaky_fwd slope) batch, R_leaky (slope, batch))
+  | Relu -> (Array.map (Array.map (fun v -> Float.max 0. v)) batch, R_relu batch)
   | Tanh ->
       let out = Array.map (Array.map Float.tanh) batch in
-      (out, C_tanh out)
+      (out, R_tanh out)
 
-let backward layer cache dout =
+let backward_rows layer cache dout =
   match (layer, cache) with
-  | Dense d, C_dense xs ->
+  | Dense d, R_dense xs ->
       let n = Array.length xs in
-      if Array.length dout <> n then invalid_arg "Layer.backward: batch size";
-      let dx = Array.make n [||] in
+      if Array.length dout <> n then
+        invalid_arg "Layer.backward_rows: batch size";
       for b = 0 to n - 1 do
         Mat.outer_acc d.dw dout.(b) xs.(b);
-        Vec.axpy ~alpha:1. ~x:dout.(b) ~y:d.db;
-        dx.(b) <- Mat.mat_tvec d.w dout.(b)
+        Vec.axpy ~alpha:1. ~x:dout.(b) ~y:d.db
       done;
-      dx
-  | Batch_norm bn, C_bn c ->
-      let n = Array.length c.x in
+      Array.map (fun dy -> Mat.mat_tvec d.w dy) dout
+  | Batch_norm bn, R_bn c ->
+      let n = Array.length c.xhat in
       let dim = Vec.dim bn.gamma in
-      if Array.length dout <> n then invalid_arg "Layer.backward: batch size";
+      if Array.length dout <> n then
+        invalid_arg "Layer.backward_rows: batch size";
       (* Parameter gradients are identical in both statistic regimes. *)
       for b = 0 to n - 1 do
         for i = 0 to dim - 1 do
@@ -238,24 +552,24 @@ let backward layer cache dout =
                     -. (c.xhat.(b).(i) *. sum_dxhat_xhat.(i)))))
           dout
       end
-  | Leaky_relu slope, C_leaky (slope', xs) ->
+  | Leaky_relu slope, R_leaky (slope', xs) ->
       assert (slope = slope');
       Array.mapi
         (fun b dy ->
           Array.mapi (fun i g -> if xs.(b).(i) >= 0. then g else slope *. g) dy)
         dout
-  | Relu, C_relu xs ->
+  | Relu, R_relu xs ->
       Array.mapi
         (fun b dy ->
           Array.mapi (fun i g -> if xs.(b).(i) > 0. then g else 0.) dy)
         dout
-  | Tanh, C_tanh ys ->
+  | Tanh, R_tanh ys ->
       Array.mapi
         (fun b dy ->
           Array.mapi (fun i g -> g *. (1. -. (ys.(b).(i) *. ys.(b).(i)))) dy)
         dout
   | (Dense _ | Batch_norm _ | Leaky_relu _ | Relu | Tanh), _ ->
-      invalid_arg "Layer.backward: cache does not match layer"
+      invalid_arg "Layer.backward_rows: cache does not match layer"
 
 let zero_grad = function
   | Dense d ->

@@ -42,6 +42,10 @@ type cache
 (** Opaque per-layer activation cache produced by {!forward} and consumed
     by {!backward}. *)
 
+type rows_cache
+(** Cache of the per-sample reference path ({!forward_rows} /
+    {!backward_rows}). *)
+
 val dense : rng:Canopy_util.Prng.t -> in_dim:int -> out_dim:int -> t
 (** He-initialized fully-connected layer. *)
 
@@ -58,18 +62,48 @@ val tanh : t
 val out_dim : in_dim:int -> t -> int
 (** Output dimension of the layer given its input dimension. *)
 
-val forward : mode -> t -> Vec.t array -> Vec.t array * cache
-(** Batched forward pass. In [Train] mode, a batch-norm layer uses the
-    batch statistics and folds them into its running statistics. *)
+val forward : ?reuse_input:bool -> mode -> t -> Mat.t -> Mat.t * cache
+(** Batched forward pass over a [batch × dim] activation matrix: a dense
+    layer is one GEMM ([x·wᵀ] plus a bias broadcast), batch-norm and
+    activations are column/element-wise passes. In [Train] mode a
+    batch-norm layer with batch size > 1 uses the batch statistics and
+    folds them into its running statistics. With [~reuse_input:true]
+    (default false) an element-wise layer may write its output into the
+    input's storage instead of allocating — only valid when the caller
+    no longer needs the input values, as inside an MLP chain where the
+    input is the previous layer's freshly-allocated output. *)
+
+val forward_eval : ?reuse_input:bool -> t -> Mat.t -> Mat.t
+(** Cache-free [Eval]-mode forward (no running-stat update): like
+    {!forward} with [Eval] but skips the per-layer cache — in particular
+    the batch-norm xhat matrix only backward consumes; the running
+    statistics fold into one per-channel affine map (the same folded
+    form the abstract-interpretation transfers use, so results differ
+    from {!forward} by rounding only). [reuse_input] as in {!forward}. *)
 
 val forward1 : mode -> t -> Vec.t -> Vec.t
 (** Single-sample forward without a cache (no running-stat update even in
     [Train] mode); convenient for action selection. *)
 
-val backward : t -> cache -> Vec.t array -> Vec.t array
+val backward : ?input_grad:bool -> ?reuse_dout:bool -> t -> cache -> Mat.t -> Mat.t
 (** [backward layer cache dout] accumulates parameter gradients into the
-    layer and returns the gradient with respect to the layer input. Must be
-    called with the cache of the matching {!forward} invocation. *)
+    layer and returns the gradient with respect to the layer input, both
+    as [batch × dim] matrices. Must be called with the cache of the
+    matching {!forward} invocation. With [~input_grad:false] a dense
+    layer skips the input-gradient GEMM and returns an unspecified
+    matrix — only valid when the caller discards the result. With
+    [~reuse_dout:true] (default false) an element-wise layer may write
+    the returned gradient into [dout]'s storage — only valid when the
+    caller is done with [dout], as inside an MLP backward walk where
+    each intermediate gradient is consumed exactly once. *)
+
+val forward_rows : mode -> t -> Vec.t array -> Vec.t array * rows_cache
+(** Per-sample reference forward (the pre-batching implementation, one
+    [mat_vec] per sample). Semantically identical to {!forward} — kept as
+    an independent implementation for equivalence tests and benchmarks. *)
+
+val backward_rows : t -> rows_cache -> Vec.t array -> Vec.t array
+(** Per-sample reference backward; see {!forward_rows}. *)
 
 val zero_grad : t -> unit
 val params : t -> (float array * float array) list

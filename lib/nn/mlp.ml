@@ -55,27 +55,89 @@ let forward t x =
   List.fold_left (fun acc layer -> Layer.forward1 Layer.Eval layer acc) x
     t.layers
 
+(* Inside a chain every intermediate activation is owned by the chain
+   (each layer's input is the previous layer's freshly-allocated output),
+   so element-wise layers may overwrite it in place. Only the caller's
+   input matrix — the first layer's input — must stay intact. *)
+let forward_batch t x =
+  if Mat.cols x <> t.in_dim then invalid_arg "Mlp.forward_batch: input dim";
+  let _, out =
+    List.fold_left
+      (fun (first, acc) layer ->
+        (false, Layer.forward_eval ~reuse_input:(not first) layer acc))
+      (true, x) t.layers
+  in
+  out
+
 type tape = Layer.cache list (* in layer order *)
 
+(* Unlike {!forward_batch}, the training pass leaves caches behind:
+   activation layers cache their own output matrix, so the next layer
+   may only overwrite its input when the previous layer does not hold
+   on to it (dense caches its input, batch-norm a fresh xhat). The
+   first layer's input is the caller's and is never reused. *)
+let train_reuse_ok = function
+  | Some (Layer.Dense _ | Layer.Batch_norm _) -> true
+  | Some (Layer.Leaky_relu _ | Layer.Relu | Layer.Tanh) | None -> false
+
 let forward_train t batch =
+  if Mat.cols batch <> t.in_dim then
+    invalid_arg "Mlp.forward_train: input dim";
+  let _, out, rev_caches =
+    List.fold_left
+      (fun (prev, acc, caches) layer ->
+        let out, cache =
+          Layer.forward ~reuse_input:(train_reuse_ok prev) Layer.Train layer
+            acc
+        in
+        (Some layer, out, cache :: caches))
+      (None, batch, []) t.layers
+  in
+  (out, List.rev rev_caches)
+
+let backward ?(input_grad = true) t tape dout =
+  let rev_layers = List.rev t.layers in
+  let rev_caches = List.rev tape in
+  (* The last step of the walk is the first layer of the net: its input
+     gradient is the network's, which fits don't consume. Intermediate
+     gradients are owned by the walk — each is consumed exactly once —
+     so every step but the first may overwrite its [dout] in place; the
+     first gets the caller's matrix, which must stay intact. *)
+  let rec go first grad layers caches =
+    match (layers, caches) with
+    | [], [] -> grad
+    | [ layer ], [ cache ] ->
+        Layer.backward ~input_grad ~reuse_dout:(not first) layer cache grad
+    | layer :: layers, cache :: caches ->
+        go false
+          (Layer.backward ~reuse_dout:(not first) layer cache grad)
+          layers caches
+    | _ -> invalid_arg "Mlp.backward: tape length"
+  in
+  go true dout rev_layers rev_caches
+
+type rows_tape = Layer.rows_cache list (* in layer order *)
+
+let forward_train_rows t batch =
   Array.iter
     (fun x ->
-      if Vec.dim x <> t.in_dim then invalid_arg "Mlp.forward_train: input dim")
+      if Vec.dim x <> t.in_dim then
+        invalid_arg "Mlp.forward_train_rows: input dim")
     batch;
   let out, rev_caches =
     List.fold_left
       (fun (acc, caches) layer ->
-        let out, cache = Layer.forward Layer.Train layer acc in
+        let out, cache = Layer.forward_rows Layer.Train layer acc in
         (out, cache :: caches))
       (batch, []) t.layers
   in
   (out, List.rev rev_caches)
 
-let backward t tape dout =
+let backward_rows t tape dout =
   let rev_layers = List.rev t.layers in
   let rev_caches = List.rev tape in
   List.fold_left2
-    (fun grad layer cache -> Layer.backward layer cache grad)
+    (fun grad layer cache -> Layer.backward_rows layer cache grad)
     dout rev_layers rev_caches
 
 let zero_grad t = List.iter Layer.zero_grad t.layers

@@ -30,12 +30,34 @@ val layers : t -> Layer.t list
 val forward : t -> Vec.t -> Vec.t
 (** Single-sample inference ([Eval] mode; batch-norm uses running stats). *)
 
+val forward_batch : t -> Mat.t -> Mat.t
+(** Batched inference over a [batch × in_dim] matrix ([Eval] mode, no
+    cache, no running-stat update); one GEMM per dense layer,
+    element-wise layers applied in place on the chain's intermediates
+    (the input matrix itself is never mutated). *)
+
 type tape
 (** Activation record from a batched training-mode pass. *)
 
-val forward_train : t -> Vec.t array -> Vec.t array * tape
-val backward : t -> tape -> Vec.t array -> Vec.t array
-(** Accumulates parameter gradients and returns input gradients. *)
+val forward_train : t -> Mat.t -> Mat.t * tape
+(** Training-mode forward over a [batch × in_dim] matrix; batch-norm
+    layers use batch statistics (batch > 1) and update running stats. *)
+
+val backward : ?input_grad:bool -> t -> tape -> Mat.t -> Mat.t
+(** Accumulates parameter gradients and returns input gradients, both as
+    [batch × dim] matrices. Pass [~input_grad:false] when the input
+    gradient is not consumed (e.g. a critic fit): the first layer then
+    skips its input-gradient GEMM and the return value is unspecified. *)
+
+type rows_tape
+(** Activation record from the per-sample reference pass. *)
+
+val forward_train_rows : t -> Vec.t array -> Vec.t array * rows_tape
+(** Per-sample reference implementation of {!forward_train} (one
+    [mat_vec] per sample); kept for equivalence tests and benchmarks. *)
+
+val backward_rows : t -> rows_tape -> Vec.t array -> Vec.t array
+(** Per-sample reference implementation of {!backward}. *)
 
 val zero_grad : t -> unit
 val params : t -> (float array * float array) list

@@ -51,12 +51,29 @@ let step t params =
           let s = slot_for t idx n in
           let bc1 = 1. -. (beta1 ** float_of_int t.t_step) in
           let bc2 = 1. -. (beta2 ** float_of_int t.t_step) in
+          (* lr·(m/bc1)/(√(v/bc2)+eps) = step·m/(√v+eps′) with the
+             bias-correction divisions hoisted out of the loop; same
+             value up to rounding, one sqrt and one division per
+             element instead of three divisions. Array lengths were
+             validated above, so the flat accesses are in bounds. *)
+          let sb2 = sqrt bc2 in
+          let step_size = t.lr *. sb2 /. bc1 in
+          let eps' = eps *. sb2 in
+          let one_m_b1 = 1. -. beta1 and one_m_b2 = 1. -. beta2 in
+          let sm = s.m and sv = s.v in
           for i = 0 to n - 1 do
-            let g = grad.(i) in
-            s.m.(i) <- (beta1 *. s.m.(i)) +. ((1. -. beta1) *. g);
-            s.v.(i) <- (beta2 *. s.v.(i)) +. ((1. -. beta2) *. g *. g);
-            let mhat = s.m.(i) /. bc1 and vhat = s.v.(i) /. bc2 in
-            value.(i) <- value.(i) -. (t.lr *. mhat /. (sqrt vhat +. eps))
+            let g = Array.unsafe_get grad i in
+            let m =
+              (beta1 *. Array.unsafe_get sm i) +. (one_m_b1 *. g)
+            in
+            let v =
+              (beta2 *. Array.unsafe_get sv i) +. (one_m_b2 *. g *. g)
+            in
+            Array.unsafe_set sm i m;
+            Array.unsafe_set sv i v;
+            Array.unsafe_set value i
+              (Array.unsafe_get value i
+              -. (step_size *. m /. (sqrt v +. eps')))
           done)
     params
 
@@ -68,7 +85,12 @@ let clip_gradients ~norm params =
   let total =
     List.fold_left
       (fun acc (_, grad) ->
-        Array.fold_left (fun acc g -> acc +. (g *. g)) acc grad)
+        let s = ref acc in
+        for i = 0 to Array.length grad - 1 do
+          let g = Array.unsafe_get grad i in
+          s := !s +. (g *. g)
+        done;
+        !s)
       0. params
   in
   let total = sqrt total in
@@ -77,7 +99,7 @@ let clip_gradients ~norm params =
     List.iter
       (fun (_, grad) ->
         for i = 0 to Array.length grad - 1 do
-          grad.(i) <- grad.(i) *. scale
+          Array.unsafe_set grad i (Array.unsafe_get grad i *. scale)
         done)
       params
   end

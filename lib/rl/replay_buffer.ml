@@ -4,6 +4,7 @@ type transition = {
   reward : float;
   next_state : float array;
   terminal : bool;
+  truncated : bool;
 }
 
 type t = {

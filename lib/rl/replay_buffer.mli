@@ -6,6 +6,16 @@ type transition = {
   reward : float;
   next_state : float array;
   terminal : bool;
+      (** the environment reached a true absorbing state: the return after
+          this transition is exactly [reward], so TD targets must not
+          bootstrap past it *)
+  truncated : bool;
+      (** the episode was cut off by an artificial horizon (e.g. the
+          trace's [duration_ms] time limit) while the MDP itself would
+          have continued; TD targets should still bootstrap from
+          [next_state]. Distinguishing this from [terminal] avoids the
+          classic time-limit bias (treating every episode end as
+          absorbing zeroes the bootstrap and skews value estimates). *)
 }
 
 type t

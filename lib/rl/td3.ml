@@ -1,4 +1,5 @@
 open Canopy_nn
+open Canopy_tensor
 module Prng = Canopy_util.Prng
 
 type config = {
@@ -35,6 +36,8 @@ let default_config ~state_dim ~action_dim =
     buffer_capacity = 50_000;
     warmup = 256;
   }
+
+type kernel = Batched | Per_sample
 
 type t = {
   cfg : config;
@@ -102,85 +105,159 @@ let observe t tr =
     invalid_arg "Td3.observe: state dim";
   Replay_buffer.add t.buffer tr
 
-(* Q-value of a (state, action) batch under a critic, eval mode. *)
+(* Q-value of a single (state, action) pair under a critic, eval mode. *)
 let q_eval critic state action =
   (Mlp.forward critic (Array.append state action)).(0)
 
-let critic_update t (batch : Replay_buffer.transition array) =
+let q_values t ~state ~action =
+  (q_eval t.critic1 state action, q_eval t.critic2 state action)
+
+(* Target-policy smoothing noise, clipped. Both kernels draw this in
+   row-major order (per transition, then per action dimension) so their
+   PRNG streams — and hence their parameter trajectories — coincide. *)
+let smoothing_noise t =
+  let cfg = t.cfg in
+  Canopy_util.Mathx.clamp ~lo:(-.cfg.noise_clip) ~hi:cfg.noise_clip
+    (Prng.gaussian_scaled t.rng ~mu:0. ~sigma:cfg.policy_noise)
+
+(* A transition bootstraps through its next state unless it landed in a
+   true absorbing state. Time-limit truncation ([truncated = true]) is not
+   absorbing: the MDP would have continued, so the TD target keeps the
+   [gamma * min Q'] term. *)
+let bootstraps tr = not tr.Replay_buffer.terminal
+
+(* ------------------------------------------------------------------ *)
+(* Batched kernels: one GEMM-backed pass per network per direction.    *)
+(* ------------------------------------------------------------------ *)
+
+let states_of batch = Mat.of_rows (Array.map (fun tr -> tr.Replay_buffer.state) batch)
+
+let critic_update_batched t (batch : Replay_buffer.transition array) =
   let cfg = t.cfg in
   let n = Array.length batch in
+  let next_states =
+    Mat.of_rows (Array.map (fun tr -> tr.Replay_buffer.next_state) batch)
+  in
   (* Bellman targets with target-policy smoothing and clipped double-Q. *)
-  let targets =
-    Array.map
-      (fun tr ->
-        let a' = Mlp.forward t.actor_target tr.Replay_buffer.next_state in
-        let a' =
-          Array.map
-            (fun x ->
-              let noise =
-                Canopy_util.Mathx.clamp ~lo:(-.cfg.noise_clip)
-                  ~hi:cfg.noise_clip
-                  (Prng.gaussian_scaled t.rng ~mu:0. ~sigma:cfg.policy_noise)
-              in
-              clamp_action (x +. noise))
-            a'
-        in
-        let q1 = q_eval t.critic1_target tr.next_state a' in
-        let q2 = q_eval t.critic2_target tr.next_state a' in
-        let bootstrap = if tr.terminal then 0. else cfg.gamma *. Float.min q1 q2 in
-        tr.reward +. bootstrap)
-      batch
-  in
+  let a' = Mlp.forward_batch t.actor_target next_states in
+  for i = 0 to n - 1 do
+    for j = 0 to cfg.action_dim - 1 do
+      Mat.set a' i j (clamp_action (Mat.get a' i j +. smoothing_noise t))
+    done
+  done;
+  let next_inputs = Mat.concat_cols next_states a' in
+  let q1' = Mlp.forward_batch t.critic1_target next_inputs in
+  let q2' = Mlp.forward_batch t.critic2_target next_inputs in
+  let targets = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let tr = batch.(i) in
+    let bootstrap =
+      if bootstraps tr then
+        cfg.gamma *. Float.min (Mat.get q1' i 0) (Mat.get q2' i 0)
+      else 0.
+    in
+    targets.(i) <- tr.reward +. bootstrap
+  done;
   let inputs =
-    Array.map
-      (fun tr -> Array.append tr.Replay_buffer.state tr.action)
-      batch
+    Mat.concat_cols (states_of batch)
+      (Mat.of_rows (Array.map (fun tr -> tr.Replay_buffer.action) batch))
   in
+  let inv_n = 1. /. float_of_int n in
   let fit critic opt =
     Mlp.zero_grad critic;
     let preds, tape = Mlp.forward_train critic inputs in
     let dout =
-      Array.mapi
-        (fun i q -> [| 2. *. (q.(0) -. targets.(i)) /. float_of_int n |])
-        preds
+      Mat.init ~rows:n ~cols:1 (fun i _ ->
+          2. *. (Mat.get preds i 0 -. targets.(i)) *. inv_n)
     in
-    ignore (Mlp.backward critic tape dout);
+    ignore (Mlp.backward ~input_grad:false critic tape dout);
     let params = Mlp.params critic in
     Optimizer.clip_gradients ~norm:10. params;
-    Optimizer.step opt params;
-    (* Report the loss for monitoring. *)
-    Array.to_list preds
-    |> List.mapi (fun i q -> (q.(0) -. targets.(i)) ** 2.)
-    |> Canopy_util.Mathx.fsum_list
-    |> fun l -> l /. float_of_int n
+    Optimizer.step opt params
   in
-  let l1 = fit t.critic1 t.opt_critic1 in
-  let l2 = fit t.critic2 t.opt_critic2 in
-  ignore l1;
-  ignore l2
+  fit t.critic1 t.opt_critic1;
+  fit t.critic2 t.opt_critic2
 
-let actor_update t (batch : Replay_buffer.transition array) =
+let actor_update_batched t (batch : Replay_buffer.transition array) =
   let cfg = t.cfg in
   let n = Array.length batch in
-  let states = Array.map (fun tr -> tr.Replay_buffer.state) batch in
+  let states = states_of batch in
   Mlp.zero_grad t.actor;
   let actions, actor_tape = Mlp.forward_train t.actor states in
   (* Deterministic policy gradient: maximize Q1(s, pi(s)), i.e. descend
      -Q1. The critic is only a conduit for gradients here; its own
      gradient accumulators are zeroed again before its next fit. *)
   Mlp.zero_grad t.critic1;
+  let critic_inputs = Mat.concat_cols states actions in
+  let _, critic_tape = Mlp.forward_train t.critic1 critic_inputs in
+  let dout = Mat.init ~rows:n ~cols:1 (fun _ _ -> -1. /. float_of_int n) in
+  let dinputs = Mlp.backward t.critic1 critic_tape dout in
+  let daction = Mat.cols_slice dinputs ~pos:cfg.state_dim ~len:cfg.action_dim in
+  ignore (Mlp.backward ~input_grad:false t.actor actor_tape daction);
+  let params = Mlp.params t.actor in
+  Optimizer.clip_gradients ~norm:10. params;
+  Optimizer.step t.opt_actor params
+
+(* ------------------------------------------------------------------ *)
+(* Per-sample reference kernels (the pre-batching implementation).     *)
+(* Kept as an independent code path for equivalence tests and the      *)
+(* batched-vs-reference benchmark.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let critic_update_per_sample t (batch : Replay_buffer.transition array) =
+  let cfg = t.cfg in
+  let n = Array.length batch in
+  let targets = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let tr = batch.(i) in
+    let a' = Mlp.forward t.actor_target tr.Replay_buffer.next_state in
+    let a' = Array.map (fun x -> clamp_action (x +. smoothing_noise t)) a' in
+    let q1 = q_eval t.critic1_target tr.next_state a' in
+    let q2 = q_eval t.critic2_target tr.next_state a' in
+    let bootstrap =
+      if bootstraps tr then cfg.gamma *. Float.min q1 q2 else 0.
+    in
+    targets.(i) <- tr.reward +. bootstrap
+  done;
+  let inputs =
+    Array.map (fun tr -> Array.append tr.Replay_buffer.state tr.action) batch
+  in
+  let fit critic opt =
+    Mlp.zero_grad critic;
+    let preds, tape = Mlp.forward_train_rows critic inputs in
+    let dout =
+      Array.mapi
+        (fun i q -> [| 2. *. (q.(0) -. targets.(i)) /. float_of_int n |])
+        preds
+    in
+    ignore (Mlp.backward_rows critic tape dout);
+    let params = Mlp.params critic in
+    Optimizer.clip_gradients ~norm:10. params;
+    Optimizer.step opt params
+  in
+  fit t.critic1 t.opt_critic1;
+  fit t.critic2 t.opt_critic2
+
+let actor_update_per_sample t (batch : Replay_buffer.transition array) =
+  let cfg = t.cfg in
+  let n = Array.length batch in
+  let states = Array.map (fun tr -> tr.Replay_buffer.state) batch in
+  Mlp.zero_grad t.actor;
+  let actions, actor_tape = Mlp.forward_train_rows t.actor states in
+  Mlp.zero_grad t.critic1;
   let critic_inputs =
     Array.mapi (fun i s -> Array.append s actions.(i)) states
   in
-  let _, critic_tape = Mlp.forward_train t.critic1 critic_inputs in
-  let dout = Array.make n [| -1. /. float_of_int n |] in
-  let dinputs = Mlp.backward t.critic1 critic_tape dout in
+  let _, critic_tape = Mlp.forward_train_rows t.critic1 critic_inputs in
+  (* Each row needs its own gradient cell: [Array.make n [| ... |]] would
+     alias one array across all rows, so every in-place write during
+     backprop would be applied n times. *)
+  let dout = Array.init n (fun _ -> [| -1. /. float_of_int n |]) in
+  let dinputs = Mlp.backward_rows t.critic1 critic_tape dout in
   let daction =
-    Array.map
-      (fun din -> Array.sub din cfg.state_dim cfg.action_dim)
-      dinputs
+    Array.map (fun din -> Array.sub din cfg.state_dim cfg.action_dim) dinputs
   in
-  ignore (Mlp.backward t.actor actor_tape daction);
+  ignore (Mlp.backward_rows t.actor actor_tape daction);
   let params = Mlp.params t.actor in
   Optimizer.clip_gradients ~norm:10. params;
   Optimizer.step t.opt_actor params
@@ -191,16 +268,20 @@ let soft_updates t =
   Mlp.soft_update ~tau ~src:t.critic1 ~dst:t.critic1_target;
   Mlp.soft_update ~tau ~src:t.critic2 ~dst:t.critic2_target
 
-let update t =
+let update ?(kernel = Batched) t =
   if Replay_buffer.length t.buffer >= max t.cfg.warmup t.cfg.batch_size
   then begin
     t.update_calls <- t.update_calls + 1;
     let batch =
       Replay_buffer.sample t.buffer t.rng ~batch_size:t.cfg.batch_size
     in
-    critic_update t batch;
+    (match kernel with
+    | Batched -> critic_update_batched t batch
+    | Per_sample -> critic_update_per_sample t batch);
     if t.update_calls mod t.cfg.policy_delay = 0 then begin
-      actor_update t batch;
+      (match kernel with
+      | Batched -> actor_update_batched t batch
+      | Per_sample -> actor_update_per_sample t batch);
       soft_updates t
     end
   end

@@ -46,10 +46,24 @@ val select_action : ?explore:bool -> t -> float array -> float array
 val observe : t -> Replay_buffer.transition -> unit
 (** Record a transition; cheap, no learning. *)
 
-val update : t -> unit
+type kernel =
+  | Batched  (** GEMM-backed minibatch kernels; the deployed hot path *)
+  | Per_sample
+      (** one [mat_vec] per sample — the pre-batching reference
+          implementation, kept for equivalence tests and benchmarks *)
+
+val update : ?kernel:kernel -> t -> unit
 (** One TD3 gradient step (both critics; actor and targets every
     [policy_delay] calls). No-op until [warmup] transitions have been
-    observed. *)
+    observed. [kernel] (default {!Batched}) selects the implementation;
+    both draw PRNG noise in the same order and produce identical
+    parameter updates up to floating-point association — in practice
+    bit-for-bit, because the batched kernels accumulate in the same
+    order as the reference. *)
+
+val q_values : t -> state:float array -> action:float array -> float * float
+(** [(Q1, Q2)] of a (state, action) pair under the live critics, eval
+    mode. Diagnostic accessor, e.g. for checking bootstrap semantics. *)
 
 val updates_done : t -> int
 val buffer_size : t -> int

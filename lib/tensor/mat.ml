@@ -4,6 +4,12 @@ let create ~rows ~cols =
   if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: dims";
   { rows; cols; data = Array.make (rows * cols) 0. }
 
+(* Internal: uninitialized allocation, only for kernels that overwrite
+   every cell before the matrix escapes. *)
+let create_uninit ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: dims";
+  { rows; cols; data = Array.create_float (rows * cols) }
+
 let init ~rows ~cols f =
   let m = create ~rows ~cols in
   for i = 0 to rows - 1 do
@@ -97,22 +103,424 @@ let mat_tvec m y =
   done;
   out
 
+(* The batched kernels below validate every dimension up front and then
+   run on the flat arrays with unsafe accesses: the index arithmetic is
+   affine in loop counters whose bounds were just checked, and dropping
+   the per-element bounds checks is a large fraction of the batching
+   speedup these kernels exist to provide. *)
+
+(* dst.(dbase+j) += s *. x.(xbase+j) for j < len; updates touch distinct
+   cells so the unrolling cannot change the result. *)
+let[@inline] saxpy_row ~dst ~dbase ~s ~x ~xbase ~len =
+  let j4 = len - (len land 3) in
+  let j = ref 0 in
+  while !j < j4 do
+    let d = dbase + !j and v = xbase + !j in
+    Array.unsafe_set dst d
+      (Array.unsafe_get dst d +. (s *. Array.unsafe_get x v));
+    Array.unsafe_set dst (d + 1)
+      (Array.unsafe_get dst (d + 1) +. (s *. Array.unsafe_get x (v + 1)));
+    Array.unsafe_set dst (d + 2)
+      (Array.unsafe_get dst (d + 2) +. (s *. Array.unsafe_get x (v + 2)));
+    Array.unsafe_set dst (d + 3)
+      (Array.unsafe_get dst (d + 3) +. (s *. Array.unsafe_get x (v + 3)));
+    j := !j + 4
+  done;
+  for j = j4 to len - 1 do
+    Array.unsafe_set dst (dbase + j)
+      (Array.unsafe_get dst (dbase + j) +. (s *. Array.unsafe_get x (xbase + j)))
+  done
+
+(* dst.(dbase+j) += s0*x0 + s1*x1 + s2*x2 + s3*x3 row-wise: four source
+   rows are folded into [dst] per pass, quartering the load/store traffic
+   on [dst] relative to four single-row saxpys. The four products are
+   summed before the add to [dst], so the accumulation order differs from
+   the per-sample reference by rounding only. *)
+let[@inline] saxpy_row4 ~dst ~dbase ~s0 ~s1 ~s2 ~s3 ~x ~x0 ~x1 ~x2 ~x3 ~len =
+  for j = 0 to len - 1 do
+    Array.unsafe_set dst (dbase + j)
+      (Array.unsafe_get dst (dbase + j)
+      +. (s0 *. Array.unsafe_get x (x0 + j))
+      +. (s1 *. Array.unsafe_get x (x1 + j))
+      +. (s2 *. Array.unsafe_get x (x2 + j))
+      +. (s3 *. Array.unsafe_get x (x3 + j)))
+  done
+
+(* Two (resp. four) dst rows fold the same four source rows per pass: the
+   four [x] loads are shared between all the accumulation chains. *)
+let[@inline] saxpy_row4x2 ~dst ~d0 ~d1 ~s0 ~s1 ~s2 ~s3 ~t0 ~t1 ~t2 ~t3 ~x ~x0
+    ~x1 ~x2 ~x3 ~len =
+  for j = 0 to len - 1 do
+    let bv0 = Array.unsafe_get x (x0 + j) in
+    let bv1 = Array.unsafe_get x (x1 + j) in
+    let bv2 = Array.unsafe_get x (x2 + j) in
+    let bv3 = Array.unsafe_get x (x3 + j) in
+    Array.unsafe_set dst (d0 + j)
+      (Array.unsafe_get dst (d0 + j)
+      +. (s0 *. bv0) +. (s1 *. bv1) +. (s2 *. bv2) +. (s3 *. bv3));
+    Array.unsafe_set dst (d1 + j)
+      (Array.unsafe_get dst (d1 + j)
+      +. (t0 *. bv0) +. (t1 *. bv1) +. (t2 *. bv2) +. (t3 *. bv3))
+  done
+
+let[@inline] saxpy_row4x4 ~dst ~d0 ~d1 ~d2 ~d3 ~s0 ~s1 ~s2 ~s3 ~t0 ~t1 ~t2 ~t3
+    ~u0 ~u1 ~u2 ~u3 ~w0 ~w1 ~w2 ~w3 ~x ~x0 ~x1 ~x2 ~x3 ~len =
+  for j = 0 to len - 1 do
+    let bv0 = Array.unsafe_get x (x0 + j) in
+    let bv1 = Array.unsafe_get x (x1 + j) in
+    let bv2 = Array.unsafe_get x (x2 + j) in
+    let bv3 = Array.unsafe_get x (x3 + j) in
+    Array.unsafe_set dst (d0 + j)
+      (Array.unsafe_get dst (d0 + j)
+      +. (s0 *. bv0) +. (s1 *. bv1) +. (s2 *. bv2) +. (s3 *. bv3));
+    Array.unsafe_set dst (d1 + j)
+      (Array.unsafe_get dst (d1 + j)
+      +. (t0 *. bv0) +. (t1 *. bv1) +. (t2 *. bv2) +. (t3 *. bv3));
+    Array.unsafe_set dst (d2 + j)
+      (Array.unsafe_get dst (d2 + j)
+      +. (u0 *. bv0) +. (u1 *. bv1) +. (u2 *. bv2) +. (u3 *. bv3));
+    Array.unsafe_set dst (d3 + j)
+      (Array.unsafe_get dst (d3 + j)
+      +. (w0 *. bv0) +. (w1 *. bv1) +. (w2 *. bv2) +. (w3 *. bv3))
+  done
+
+let mat_mul_into ~dst a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mat_mul_into: dims";
+  if dst.rows <> a.rows || dst.cols <> b.cols then
+    invalid_arg "Mat.mat_mul_into: dst";
+  Array.fill dst.data 0 (Array.length dst.data) 0.;
+  let ad = a.data and bd = b.data and od = dst.data in
+  let i4 = a.rows - (a.rows land 3) in
+  let k4 = a.cols - (a.cols land 3) in
+  let i = ref 0 in
+  while !i < i4 do
+    let ab0 = !i * a.cols in
+    let ab1 = ab0 + a.cols in
+    let ab2 = ab1 + a.cols in
+    let ab3 = ab2 + a.cols in
+    let ob0 = !i * b.cols in
+    let ob1 = ob0 + b.cols in
+    let ob2 = ob1 + b.cols in
+    let ob3 = ob2 + b.cols in
+    let k = ref 0 in
+    while !k < k4 do
+      let x0 = !k * b.cols in
+      saxpy_row4x4 ~dst:od ~d0:ob0 ~d1:ob1 ~d2:ob2 ~d3:ob3
+        ~s0:(Array.unsafe_get ad (ab0 + !k))
+        ~s1:(Array.unsafe_get ad (ab0 + !k + 1))
+        ~s2:(Array.unsafe_get ad (ab0 + !k + 2))
+        ~s3:(Array.unsafe_get ad (ab0 + !k + 3))
+        ~t0:(Array.unsafe_get ad (ab1 + !k))
+        ~t1:(Array.unsafe_get ad (ab1 + !k + 1))
+        ~t2:(Array.unsafe_get ad (ab1 + !k + 2))
+        ~t3:(Array.unsafe_get ad (ab1 + !k + 3))
+        ~u0:(Array.unsafe_get ad (ab2 + !k))
+        ~u1:(Array.unsafe_get ad (ab2 + !k + 1))
+        ~u2:(Array.unsafe_get ad (ab2 + !k + 2))
+        ~u3:(Array.unsafe_get ad (ab2 + !k + 3))
+        ~w0:(Array.unsafe_get ad (ab3 + !k))
+        ~w1:(Array.unsafe_get ad (ab3 + !k + 1))
+        ~w2:(Array.unsafe_get ad (ab3 + !k + 2))
+        ~w3:(Array.unsafe_get ad (ab3 + !k + 3))
+        ~x:bd ~x0 ~x1:(x0 + b.cols)
+        ~x2:(x0 + (2 * b.cols))
+        ~x3:(x0 + (3 * b.cols))
+        ~len:b.cols;
+      k := !k + 4
+    done;
+    for k = k4 to a.cols - 1 do
+      let s = Array.unsafe_get ad (ab0 + k) in
+      let t = Array.unsafe_get ad (ab1 + k) in
+      let u = Array.unsafe_get ad (ab2 + k) in
+      let w = Array.unsafe_get ad (ab3 + k) in
+      let xb = k * b.cols in
+      for j = 0 to b.cols - 1 do
+        let bv = Array.unsafe_get bd (xb + j) in
+        Array.unsafe_set od (ob0 + j)
+          (Array.unsafe_get od (ob0 + j) +. (s *. bv));
+        Array.unsafe_set od (ob1 + j)
+          (Array.unsafe_get od (ob1 + j) +. (t *. bv));
+        Array.unsafe_set od (ob2 + j)
+          (Array.unsafe_get od (ob2 + j) +. (u *. bv));
+        Array.unsafe_set od (ob3 + j)
+          (Array.unsafe_get od (ob3 + j) +. (w *. bv))
+      done
+    done;
+    i := !i + 4
+  done;
+  for i = i4 to a.rows - 1 do
+    let abase = i * a.cols in
+    let obase = i * b.cols in
+    let k = ref 0 in
+    while !k < k4 do
+      let x0 = !k * b.cols in
+      saxpy_row4 ~dst:od ~dbase:obase
+        ~s0:(Array.unsafe_get ad (abase + !k))
+        ~s1:(Array.unsafe_get ad (abase + !k + 1))
+        ~s2:(Array.unsafe_get ad (abase + !k + 2))
+        ~s3:(Array.unsafe_get ad (abase + !k + 3))
+        ~x:bd ~x0 ~x1:(x0 + b.cols)
+        ~x2:(x0 + (2 * b.cols))
+        ~x3:(x0 + (3 * b.cols))
+        ~len:b.cols;
+      k := !k + 4
+    done;
+    for k = k4 to a.cols - 1 do
+      let aik = Array.unsafe_get ad (abase + k) in
+      if aik <> 0. then
+        saxpy_row ~dst:od ~dbase:obase ~s:aik ~x:bd ~xbase:(k * b.cols)
+          ~len:b.cols
+    done
+  done
+
 let mat_mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mat_mul: dims";
-  let out = create ~rows:a.rows ~cols:b.cols in
+  (* [mat_mul_into] zero-fills before accumulating. *)
+  let out = create_uninit ~rows:a.rows ~cols:b.cols in
+  mat_mul_into ~dst:out a b;
+  out
+
+(* dst <- a · bᵀ. Row-major makes this the cache-friendly GEMM shape: the
+   inner product walks one row of [a] and one row of [b], both contiguous.
+   It is the batched dense forward ([x · wᵀ] for an [out×in] weight
+   matrix). Register-blocked over four rows of [b]: each [a] element is
+   loaded once per four output cells and the four accumulator chains are
+   independent. Every cell still sums in ascending k order, so each
+   output row is bit-identical to a per-row [mat_vec]. *)
+let mat_mul_nt_into ~dst a b =
+  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_into: dims";
+  if dst.rows <> a.rows || dst.cols <> b.rows then
+    invalid_arg "Mat.mat_mul_nt_into: dst";
+  let inner = a.cols in
+  let ad = a.data and bd = b.data and od = dst.data in
+  let j4 = b.rows - (b.rows land 3) in
+  let k4 = inner - (inner land 3) in
+  (* Four rows of [b] at a time (each [a] load feeds four independent
+     accumulator chains), with the k loop unrolled ×4 to amortize the
+     loop overhead. Each accumulator still sums its products in ascending
+     k order, so every cell is bit-identical to the scalar dot. *)
   for i = 0 to a.rows - 1 do
-    for k = 0 to a.cols - 1 do
-      let aik = a.data.((i * a.cols) + k) in
-      if aik <> 0. then begin
-        let bbase = k * b.cols in
-        let obase = i * b.cols in
-        for j = 0 to b.cols - 1 do
-          out.data.(obase + j) <- out.data.(obase + j) +. (aik *. b.data.(bbase + j))
-        done
-      end
+    let abase = i * inner in
+    let obase = i * dst.cols in
+    let j = ref 0 in
+    while !j < j4 do
+      let b0 = !j * inner in
+      let b1 = b0 + inner in
+      let b2 = b1 + inner in
+      let b3 = b2 + inner in
+      let s0 = ref 0. and s1 = ref 0. and s2 = ref 0. and s3 = ref 0. in
+      let k = ref 0 in
+      while !k < k4 do
+        let av = Array.unsafe_get ad (abase + !k) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + !k));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + !k));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b2 + !k));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b3 + !k));
+        let av = Array.unsafe_get ad (abase + !k + 1) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + !k + 1));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + !k + 1));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b2 + !k + 1));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b3 + !k + 1));
+        let av = Array.unsafe_get ad (abase + !k + 2) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + !k + 2));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + !k + 2));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b2 + !k + 2));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b3 + !k + 2));
+        let av = Array.unsafe_get ad (abase + !k + 3) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + !k + 3));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + !k + 3));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b2 + !k + 3));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b3 + !k + 3));
+        k := !k + 4
+      done;
+      while !k < inner do
+        let av = Array.unsafe_get ad (abase + !k) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + !k));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + !k));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b2 + !k));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b3 + !k));
+        incr k
+      done;
+      Array.unsafe_set od (obase + !j) !s0;
+      Array.unsafe_set od (obase + !j + 1) !s1;
+      Array.unsafe_set od (obase + !j + 2) !s2;
+      Array.unsafe_set od (obase + !j + 3) !s3;
+      j := !j + 4
+    done;
+    for j = j4 to b.rows - 1 do
+      let bbase = j * inner in
+      let acc = ref 0. in
+      for k = 0 to inner - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get ad (abase + k) *. Array.unsafe_get bd (bbase + k))
+      done;
+      Array.unsafe_set od (obase + j) !acc
+    done
+  done
+
+let mat_mul_nt a b =
+  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_into: dims";
+  let out = create_uninit ~rows:a.rows ~cols:b.rows in
+  mat_mul_nt_into ~dst:out a b;
+  out
+
+(* a · bᵀ with a broadcast row added: out[i,j] = bias[j] + Σk a[i,k]b[j,k].
+   Fusing the bias into the GEMM epilogue saves a full extra pass over the
+   output. Seeding the accumulator with the bias instead of adding it last
+   changes the result only by rounding relative to dot-then-add. *)
+let mat_mul_nt_bias a b bias =
+  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_bias: dims";
+  if Array.length bias <> b.rows then invalid_arg "Mat.mat_mul_nt_bias: bias";
+  let dst = create_uninit ~rows:a.rows ~cols:b.rows in
+  let inner = a.cols in
+  let ad = a.data and bd = b.data and od = dst.data in
+  let j4 = b.rows - (b.rows land 3) in
+  let k4 = inner - (inner land 3) in
+  for i = 0 to a.rows - 1 do
+    let abase = i * inner in
+    let obase = i * dst.cols in
+    let j = ref 0 in
+    while !j < j4 do
+      let b0 = !j * inner in
+      let b1 = b0 + inner in
+      let b2 = b1 + inner in
+      let b3 = b2 + inner in
+      let s0 = ref (Array.unsafe_get bias !j) in
+      let s1 = ref (Array.unsafe_get bias (!j + 1)) in
+      let s2 = ref (Array.unsafe_get bias (!j + 2)) in
+      let s3 = ref (Array.unsafe_get bias (!j + 3)) in
+      let k = ref 0 in
+      while !k < k4 do
+        let av = Array.unsafe_get ad (abase + !k) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + !k));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + !k));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b2 + !k));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b3 + !k));
+        let av = Array.unsafe_get ad (abase + !k + 1) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + !k + 1));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + !k + 1));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b2 + !k + 1));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b3 + !k + 1));
+        let av = Array.unsafe_get ad (abase + !k + 2) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + !k + 2));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + !k + 2));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b2 + !k + 2));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b3 + !k + 2));
+        let av = Array.unsafe_get ad (abase + !k + 3) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + !k + 3));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + !k + 3));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b2 + !k + 3));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b3 + !k + 3));
+        k := !k + 4
+      done;
+      while !k < inner do
+        let av = Array.unsafe_get ad (abase + !k) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + !k));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + !k));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b2 + !k));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b3 + !k));
+        incr k
+      done;
+      Array.unsafe_set od (obase + !j) !s0;
+      Array.unsafe_set od (obase + !j + 1) !s1;
+      Array.unsafe_set od (obase + !j + 2) !s2;
+      Array.unsafe_set od (obase + !j + 3) !s3;
+      j := !j + 4
+    done;
+    for j = j4 to b.rows - 1 do
+      let bbase = j * inner in
+      let acc = ref (Array.unsafe_get bias j) in
+      for k = 0 to inner - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get ad (abase + k) *. Array.unsafe_get bd (bbase + k))
+      done;
+      Array.unsafe_set od (obase + j) !acc
     done
   done;
-  out
+  dst
+
+(* dst <- dst + aᵀ · b, the batched weight-gradient kernel
+   (dw += doutᵀ · x). Register-blocked over four samples (rows of [a]/[b])
+   per pass; the four per-sample contributions to a cell are summed before
+   the add to [dst], so the result matches a sequence of per-sample
+   [outer_acc]s to rounding rather than bit for bit. *)
+let mat_mul_tn_acc ~dst a b =
+  if a.rows <> b.rows then invalid_arg "Mat.mat_mul_tn_acc: dims";
+  if dst.rows <> a.cols || dst.cols <> b.cols then
+    invalid_arg "Mat.mat_mul_tn_acc: dst";
+  let ad = a.data and bd = b.data and od = dst.data in
+  let i4 = a.cols - (a.cols land 3) in
+  let i2 = a.cols - (a.cols land 1) in
+  let k4 = a.rows - (a.rows land 3) in
+  let k = ref 0 in
+  while !k < k4 do
+    let a0 = !k * a.cols in
+    let a1 = a0 + a.cols in
+    let a2 = a1 + a.cols in
+    let a3 = a2 + a.cols in
+    let x0 = !k * b.cols in
+    let x1 = x0 + b.cols in
+    let x2 = x1 + b.cols in
+    let x3 = x2 + b.cols in
+    let i = ref 0 in
+    while !i < i4 do
+      let d0 = !i * dst.cols in
+      saxpy_row4x4 ~dst:od ~d0 ~d1:(d0 + dst.cols) ~d2:(d0 + (2 * dst.cols))
+        ~d3:(d0 + (3 * dst.cols))
+        ~s0:(Array.unsafe_get ad (a0 + !i))
+        ~s1:(Array.unsafe_get ad (a1 + !i))
+        ~s2:(Array.unsafe_get ad (a2 + !i))
+        ~s3:(Array.unsafe_get ad (a3 + !i))
+        ~t0:(Array.unsafe_get ad (a0 + !i + 1))
+        ~t1:(Array.unsafe_get ad (a1 + !i + 1))
+        ~t2:(Array.unsafe_get ad (a2 + !i + 1))
+        ~t3:(Array.unsafe_get ad (a3 + !i + 1))
+        ~u0:(Array.unsafe_get ad (a0 + !i + 2))
+        ~u1:(Array.unsafe_get ad (a1 + !i + 2))
+        ~u2:(Array.unsafe_get ad (a2 + !i + 2))
+        ~u3:(Array.unsafe_get ad (a3 + !i + 2))
+        ~w0:(Array.unsafe_get ad (a0 + !i + 3))
+        ~w1:(Array.unsafe_get ad (a1 + !i + 3))
+        ~w2:(Array.unsafe_get ad (a2 + !i + 3))
+        ~w3:(Array.unsafe_get ad (a3 + !i + 3))
+        ~x:bd ~x0 ~x1 ~x2 ~x3 ~len:b.cols;
+      i := !i + 4
+    done;
+    while !i < i2 do
+      saxpy_row4x2 ~dst:od ~d0:(!i * dst.cols) ~d1:((!i + 1) * dst.cols)
+        ~s0:(Array.unsafe_get ad (a0 + !i))
+        ~s1:(Array.unsafe_get ad (a1 + !i))
+        ~s2:(Array.unsafe_get ad (a2 + !i))
+        ~s3:(Array.unsafe_get ad (a3 + !i))
+        ~t0:(Array.unsafe_get ad (a0 + !i + 1))
+        ~t1:(Array.unsafe_get ad (a1 + !i + 1))
+        ~t2:(Array.unsafe_get ad (a2 + !i + 1))
+        ~t3:(Array.unsafe_get ad (a3 + !i + 1))
+        ~x:bd ~x0 ~x1 ~x2 ~x3 ~len:b.cols;
+      i := !i + 2
+    done;
+    for i = i2 to a.cols - 1 do
+      saxpy_row4 ~dst:od ~dbase:(i * dst.cols)
+        ~s0:(Array.unsafe_get ad (a0 + i))
+        ~s1:(Array.unsafe_get ad (a1 + i))
+        ~s2:(Array.unsafe_get ad (a2 + i))
+        ~s3:(Array.unsafe_get ad (a3 + i))
+        ~x:bd ~x0 ~x1 ~x2 ~x3 ~len:b.cols
+    done;
+    k := !k + 4
+  done;
+  for k = k4 to a.rows - 1 do
+    let abase = k * a.cols in
+    let bbase = k * b.cols in
+    for i = 0 to a.cols - 1 do
+      let aki = Array.unsafe_get ad (abase + i) in
+      if aki <> 0. then
+        saxpy_row ~dst:od ~dbase:(i * dst.cols) ~s:aki ~x:bd ~xbase:bbase
+          ~len:b.cols
+    done
+  done
 
 let outer_acc m y x =
   if m.rows <> Array.length y || m.cols <> Array.length x then
@@ -132,6 +540,68 @@ let axpy ~alpha ~x ~y =
   for i = 0 to Array.length x.data - 1 do
     y.data.(i) <- y.data.(i) +. (alpha *. x.data.(i))
   done
+
+let add_row m v =
+  if m.cols <> Array.length v then invalid_arg "Mat.add_row: dims";
+  let d = m.data in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      Array.unsafe_set d (base + j)
+        (Array.unsafe_get d (base + j) +. Array.unsafe_get v j)
+    done
+  done
+
+let col_sum_acc ~dst m =
+  if m.cols <> Array.length dst then invalid_arg "Mat.col_sum_acc: dims";
+  let d = m.data in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      Array.unsafe_set dst j
+        (Array.unsafe_get dst j +. Array.unsafe_get d (base + j))
+    done
+  done
+
+let map_into ~dst f m =
+  check_same "map_into" dst m;
+  for i = 0 to Array.length m.data - 1 do
+    dst.data.(i) <- f m.data.(i)
+  done
+
+let set_row m i v =
+  if i < 0 || i >= m.rows then invalid_arg "Mat.set_row: index";
+  if Array.length v <> m.cols then invalid_arg "Mat.set_row: dims";
+  Array.blit v 0 m.data (i * m.cols) m.cols
+
+let of_rows rows_a =
+  let n = Array.length rows_a in
+  if n = 0 then invalid_arg "Mat.of_rows: empty";
+  let cols = Array.length rows_a.(0) in
+  if cols = 0 then invalid_arg "Mat.of_rows: empty row";
+  let m = create ~rows:n ~cols in
+  for i = 0 to n - 1 do
+    set_row m i rows_a.(i)
+  done;
+  m
+
+let concat_cols a b =
+  if a.rows <> b.rows then invalid_arg "Mat.concat_cols: rows";
+  let out = create ~rows:a.rows ~cols:(a.cols + b.cols) in
+  for i = 0 to a.rows - 1 do
+    Array.blit a.data (i * a.cols) out.data (i * out.cols) a.cols;
+    Array.blit b.data (i * b.cols) out.data ((i * out.cols) + a.cols) b.cols
+  done;
+  out
+
+let cols_slice m ~pos ~len =
+  if pos < 0 || len <= 0 || pos + len > m.cols then
+    invalid_arg "Mat.cols_slice: range";
+  let out = create ~rows:m.rows ~cols:len in
+  for i = 0 to m.rows - 1 do
+    Array.blit m.data ((i * m.cols) + pos) out.data (i * len) len
+  done;
+  out
 
 let frobenius m =
   sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)

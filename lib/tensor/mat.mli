@@ -40,12 +40,68 @@ val mat_tvec : t -> Vec.t -> Vec.t
 
 val mat_mul : t -> t -> t
 
+val mat_mul_into : dst:t -> t -> t -> unit
+(** [mat_mul_into ~dst a b] computes [dst <- a·b] into the preallocated
+    [dst] ([a.rows × b.cols]) without allocating. *)
+
+val mat_mul_nt : t -> t -> t
+(** [mat_mul_nt a b] is [a·bᵀ] ([a.rows × b.rows]); requires
+    [cols a = cols b]. The batched dense forward: for a [batch × in]
+    activation matrix [x] and an [out × in] weight matrix [w],
+    [mat_mul_nt x w] is the [batch × out] pre-activation, with each row
+    bit-identical to [mat_vec w row]. *)
+
+val mat_mul_nt_into : dst:t -> t -> t -> unit
+(** Allocation-free {!mat_mul_nt} into [dst] ([a.rows × b.rows]). *)
+
+val mat_mul_nt_bias : t -> t -> Vec.t -> t
+(** [mat_mul_nt_bias a b bias] is [a·bᵀ] with [bias] (length [rows b])
+    added to every row — the fused dense forward
+    [x·wᵀ + b]. The bias seeds the accumulator instead of being added
+    after the dot product, so results differ from
+    {!mat_mul_nt}-then-{!add_row} by rounding only. *)
+
+val mat_mul_tn_acc : dst:t -> t -> t -> unit
+(** [mat_mul_tn_acc ~dst a b] accumulates [dst <- dst + aᵀ·b]; requires
+    [rows a = rows b] and [dst] of shape [a.cols × b.cols]. The batched
+    weight-gradient kernel ([dw += doutᵀ·x]). Register-blocked: the
+    per-sample outer products are folded four rows at a time, so it
+    matches a row-ascending sequence of {!outer_acc} calls to rounding
+    (≲1e-15 relative), not bit for bit. *)
+
 val outer_acc : t -> Vec.t -> Vec.t -> unit
 (** [outer_acc m y x] accumulates the outer product [y xᵀ] into [m]
     ([m.(i).(j) += y.(i) * x.(j)]); used for weight gradients. *)
 
 val axpy : alpha:float -> x:t -> y:t -> unit
 (** In-place [y <- alpha*x + y]. *)
+
+val add_row : t -> Vec.t -> unit
+(** [add_row m v] adds the row vector [v] to every row of [m] in place
+    (bias broadcast); requires [cols m = dim v]. *)
+
+val col_sum_acc : dst:Vec.t -> t -> unit
+(** [col_sum_acc ~dst m] accumulates each column sum of [m] into [dst]
+    ([dst.(j) += Σ_i m.(i).(j)]); the batched bias gradient. *)
+
+val map_into : dst:t -> (float -> float) -> t -> unit
+(** Element-wise map into a preallocated matrix of the same shape
+    ([dst] and the source may be the same matrix). *)
+
+val set_row : t -> int -> Vec.t -> unit
+(** [set_row m i v] overwrites row [i] of [m] with [v] (blit). *)
+
+val of_rows : Vec.t array -> t
+(** Pack an array of equal-length rows into a fresh [n × dim] matrix.
+    Like {!of_arrays} but blit-based; rows must be non-empty. *)
+
+val concat_cols : t -> t -> t
+(** [concat_cols a b] is the horizontal concatenation [a | b]; requires
+    equal row counts. Used to build [(state | action)] critic inputs. *)
+
+val cols_slice : t -> pos:int -> len:int -> t
+(** [cols_slice m ~pos ~len] copies columns [pos..pos+len-1] into a fresh
+    matrix (e.g. the action block of a critic input gradient). *)
 
 val frobenius : t -> float
 val approx_equal : ?eps:float -> t -> t -> bool

@@ -282,7 +282,7 @@ let test_ibp_batchnorm_running_stats () =
   let batch =
     Array.init 16 (fun _ -> Array.init 6 (fun _ -> Prng.uniform rng (-1.) 1.))
   in
-  ignore (Mlp.forward_train net batch);
+  ignore (Mlp.forward_train net (Canopy_tensor.Mat.of_arrays batch));
   let box =
     Box.of_intervals (Array.init 6 (fun _ -> Interval.make (-0.5) 0.5))
   in

@@ -45,6 +45,26 @@ let test_lint_catch_all () =
   let diags = lint "let v = try f x with _ -> 0\n" in
   Alcotest.(check (list string)) "flagged" [ "catch-all-exn" ] (rules_of diags)
 
+let test_lint_array_make_alias () =
+  let diags = lint "let dout = Array.make n [| -1. /. float_of_int n |]\n" in
+  Alcotest.(check (list string))
+    "array literal" [ "array-make-alias" ] (rules_of diags);
+  let diags = lint "let grid = Array.make rows (Array.make cols 0.)\n" in
+  Alcotest.(check (list string))
+    "nested make" [ "array-make-alias" ] (rules_of diags);
+  let diags = lint "let m = Array.make (rows * cols) [| 0. |]\n" in
+  Alcotest.(check (list string))
+    "parenthesized count" [ "array-make-alias" ] (rules_of diags)
+
+let test_lint_array_make_scalar_clean () =
+  let fixture =
+    "let a = Array.make n 0.\n\
+     let b = Array.make (capacity t) None\n\
+     let c = Array.make n first\n\
+     let d = Array.make_matrix rows cols 0.\n"
+  in
+  check_int "scalar/identity fills clean" 0 (List.length (lint fixture))
+
 (* ------------------------------------------------------------------ *)
 (* Lint: negatives *)
 
@@ -238,6 +258,8 @@ let suite =
     ("lint: int_of_float", `Quick, test_lint_int_of_float);
     ("lint: Obj.magic", `Quick, test_lint_obj_magic);
     ("lint: catch-all handler", `Quick, test_lint_catch_all);
+    ("lint: Array.make aliasing", `Quick, test_lint_array_make_alias);
+    ("lint: Array.make scalar clean", `Quick, test_lint_array_make_scalar_clean);
     ("lint: typed comparators clean", `Quick, test_lint_typed_comparators_clean);
     ("lint: comments/strings ignored", `Quick,
      test_lint_ignores_comments_and_strings);

@@ -47,16 +47,17 @@ let test_batch_norm_identity_init () =
 
 let test_batch_norm_normalizes_batch () =
   let bn = Layer.batch_norm ~dim:1 () in
-  let batch = [| [| 10. |]; [| 20. |]; [| 30. |] |] in
+  let batch = Mat.of_arrays [| [| 10. |]; [| 20. |]; [| 30. |] |] in
   let out, _ = Layer.forward Layer.Train bn batch in
-  let mean = (out.(0).(0) +. out.(1).(0) +. out.(2).(0)) /. 3. in
+  let o i = Mat.get out i 0 in
+  let mean = (o 0 +. o 1 +. o 2) /. 3. in
   check_bool "batch output centered" true (Float.abs mean < 1e-9);
-  check_bool "ordered" true (out.(0).(0) < out.(1).(0) && out.(1).(0) < out.(2).(0))
+  check_bool "ordered" true (o 0 < o 1 && o 1 < o 2)
 
 let test_batch_norm_updates_running_stats () =
   match Layer.batch_norm ~momentum:0.5 ~dim:1 () with
   | Layer.Batch_norm bn as layer ->
-      let batch = [| [| 10. |]; [| 20. |] |] in
+      let batch = Mat.of_arrays [| [| 10. |]; [| 20. |] |] in
       ignore (Layer.forward Layer.Train layer batch);
       (* running mean moves halfway from 0 toward the batch mean 15 *)
       check_float "running mean" 7.5 bn.running_mean.(0)
@@ -79,12 +80,13 @@ let loss_of net batch =
      makes repeated forwards impure — so gradient-check networks avoid BN
      batch mode by using batch size 1 (falls back to running stats). *)
   let out, _ = Mlp.forward_train net batch in
-  Array.fold_left (fun acc o -> acc +. Vec.sum o) 0. out
+  Array.fold_left ( +. ) 0. (Mat.raw out)
 
-let gradient_check ?(eps = 2e-3) net batch =
+let gradient_check ?(eps = 2e-3) net rows =
+  let batch = Mat.of_arrays rows in
   Mlp.zero_grad net;
   let out, tape = Mlp.forward_train net batch in
-  let dout = Array.map (fun o -> Array.map (fun _ -> 1.) o) out in
+  let dout = Mat.init ~rows:(Mat.rows out) ~cols:(Mat.cols out) (fun _ _ -> 1.) in
   ignore (Mlp.backward net tape dout);
   let params = Mlp.params net in
   List.iteri
@@ -179,9 +181,97 @@ let test_backward_input_gradient () =
             db = Vec.create 2 };
       ]
   in
-  let _, tape = Mlp.forward_train net [| [| 0.1; 0.2 |] |] in
-  let dx = Mlp.backward net tape [| [| 1.; 1. |] |] in
-  Alcotest.(check (array (float 1e-9))) "input grad" [| 4.; 6. |] dx.(0)
+  let _, tape = Mlp.forward_train net (Mat.of_arrays [| [| 0.1; 0.2 |] |]) in
+  let dx = Mlp.backward net tape (Mat.of_arrays [| [| 1.; 1. |] |]) in
+  Alcotest.(check (array (float 1e-9))) "input grad" [| 4.; 6. |] (Mat.row dx 0)
+
+(* ------------------------------------------------------------------ *)
+(* Batched kernels vs the per-sample reference path. The batched
+   implementation accumulates in the same order as the reference, so the
+   two must agree to ~1e-9 (in practice bitwise) — otherwise the
+   verifier's certificates would describe a different network than the
+   one training deploys. *)
+
+let batched_vs_rows_once net ~n ~in_dim ~out_dim ~seed =
+  let rows =
+    Array.init n (fun i ->
+        Array.init in_dim (fun j ->
+            Float.sin (float_of_int (((seed + i) * in_dim) + j))))
+  in
+  let dout_rows =
+    Array.init n (fun i ->
+        Array.init out_dim (fun j ->
+            Float.cos (float_of_int (((seed + i) * out_dim) + j))))
+  in
+  let refnet = Mlp.copy net in
+  (* batched pass *)
+  Mlp.zero_grad net;
+  let out_b, tape = Mlp.forward_train net (Mat.of_rows rows) in
+  let din_b = Mlp.backward net tape (Mat.of_rows dout_rows) in
+  (* per-sample reference pass *)
+  Mlp.zero_grad refnet;
+  let out_r, rtape = Mlp.forward_train_rows refnet rows in
+  let din_r = Mlp.backward_rows refnet rtape dout_rows in
+  let check_rows what m vs =
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check (array (float 1e-9)))
+          (Printf.sprintf "%s row %d" what i)
+          v (Mat.row m i))
+      vs
+  in
+  check_rows "forward" out_b out_r;
+  check_rows "input grad" din_b din_r;
+  List.iteri
+    (fun pi ((v_b, g_b), (v_r, g_r)) ->
+      Alcotest.(check (array (float 1e-9)))
+        (Printf.sprintf "param %d value" pi)
+        v_r v_b;
+      Alcotest.(check (array (float 1e-9)))
+        (Printf.sprintf "param %d grad" pi)
+        g_r g_b)
+    (List.combine (Mlp.params net) (Mlp.params refnet));
+  (* running statistics must have moved identically (eval forwards agree) *)
+  let x = Array.init in_dim (fun j -> 0.1 *. float_of_int (j + 1)) in
+  Alcotest.(check (array (float 1e-9)))
+    "eval forward after training pass" (Mlp.forward refnet x)
+    (Mlp.forward net x)
+
+let test_batched_matches_rows_actor () =
+  (* dense + batch-norm + leaky-relu + tanh, i.e. every layer kind *)
+  let net = Mlp.actor ~rng:(rng ()) ~in_dim:4 ~hidden:8 ~out_dim:2 in
+  batched_vs_rows_once net ~n:5 ~in_dim:4 ~out_dim:2 ~seed:17
+
+let test_batched_matches_rows_critic () =
+  let net = Mlp.critic ~rng:(rng ()) ~state_dim:5 ~action_dim:2 ~hidden:8 in
+  batched_vs_rows_once net ~n:7 ~in_dim:7 ~out_dim:1 ~seed:23
+
+let test_batched_matches_rows_relu_stack () =
+  let r = rng () in
+  let net =
+    Mlp.create ~in_dim:3
+      [
+        Layer.dense ~rng:r ~in_dim:3 ~out_dim:6;
+        Layer.relu;
+        Layer.batch_norm ~momentum:0.3 ~dim:6 ();
+        Layer.dense ~rng:r ~in_dim:6 ~out_dim:2;
+      ]
+  in
+  batched_vs_rows_once net ~n:9 ~in_dim:3 ~out_dim:2 ~seed:31
+
+let test_forward_batch_matches_forward1 () =
+  let net = Mlp.actor ~rng:(rng ()) ~in_dim:3 ~hidden:8 ~out_dim:1 in
+  let rows =
+    Array.init 6 (fun i ->
+        Array.init 3 (fun j -> Float.sin (float_of_int ((i * 3) + j))))
+  in
+  let out = Mlp.forward_batch net (Mat.of_rows rows) in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check (array (float 1e-9)))
+        (Printf.sprintf "sample %d" i)
+        (Mlp.forward net x) (Mat.row out i))
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Mlp structure *)
@@ -309,12 +399,11 @@ let test_mlp_regression_learns () =
   let initial = loss () in
   for _ = 1 to 300 do
     Mlp.zero_grad net;
-    let batch = Array.map (fun x -> [| x |]) data in
+    let batch = Mat.init ~rows:32 ~cols:1 (fun i _ -> data.(i)) in
     let preds, tape = Mlp.forward_train net batch in
     let dout =
-      Array.mapi
-        (fun i p -> [| 2. *. (p.(0) -. ((2. *. data.(i)) -. 1.)) /. 32. |])
-        preds
+      Mat.init ~rows:32 ~cols:1 (fun i _ ->
+          2. *. (Mat.get preds i 0 -. ((2. *. data.(i)) -. 1.)) /. 32.)
     in
     ignore (Mlp.backward net tape dout);
     Optimizer.step opt (Mlp.params net)
@@ -357,7 +446,7 @@ let test_checkpoint_preserves_running_stats () =
         Layer.batch_norm ~dim:2 () ]
   in
   (* push some batches through to move the running statistics *)
-  ignore (Mlp.forward_train net [| [| 5.; 1. |]; [| 7.; -1. |] |]);
+  ignore (Mlp.forward_train net (Mat.of_arrays [| [| 5.; 1. |]; [| 7.; -1. |] |]));
   let restored = Checkpoint.of_string (Checkpoint.to_string net) in
   let x = [| 2.; 3. |] in
   Alcotest.(check (array (float 1e-12)))
@@ -382,6 +471,10 @@ let suite =
     ("gradient: batchnorm eval path", `Quick, test_grad_batchnorm_eval_path);
     ("gradient: batchnorm batch stats", `Quick, test_grad_batchnorm_batch_stats);
     ("input gradient", `Quick, test_backward_input_gradient);
+    ("batched = rows: actor", `Quick, test_batched_matches_rows_actor);
+    ("batched = rows: critic", `Quick, test_batched_matches_rows_critic);
+    ("batched = rows: relu+bn stack", `Quick, test_batched_matches_rows_relu_stack);
+    ("forward_batch = forward1", `Quick, test_forward_batch_matches_forward1);
     ("mlp actor shape", `Quick, test_mlp_actor_shape);
     ("mlp critic shape", `Quick, test_mlp_critic_shape);
     ("mlp bad shape rejected", `Quick, test_mlp_bad_shape_rejected);

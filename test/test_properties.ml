@@ -36,7 +36,7 @@ let test_checkpoint_roundtrip_random_nets () =
       Array.init 8 (fun _ ->
           Array.init (Mlp.in_dim net) (fun _ -> Prng.uniform rng (-2.) 2.))
     in
-    ignore (Mlp.forward_train net batch);
+    ignore (Mlp.forward_train net (Canopy_tensor.Mat.of_arrays batch));
     let restored = Checkpoint.of_string (Checkpoint.to_string net) in
     for _ = 1 to 10 do
       let x =

@@ -8,13 +8,14 @@ module Prng = Canopy_util.Prng
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-let tr ?(r = 0.) ?(terminal = false) s a =
+let tr ?(r = 0.) ?(terminal = false) ?(truncated = false) s a =
   {
     Replay_buffer.state = s;
     action = a;
     reward = r;
     next_state = s;
     terminal;
+    truncated;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -118,7 +119,7 @@ let test_td3_learns_bandit () =
     let r = -.((a0 -. 0.6) ** 2.) in
     Td3.observe agent
       { Replay_buffer.state = s; action = [| a0 |]; reward = r;
-        next_state = s; terminal = true };
+        next_state = s; terminal = true; truncated = false };
     Td3.update agent
   done;
   let a = (Td3.select_action agent s).(0) in
@@ -144,7 +145,7 @@ let test_td3_state_dependent_bandit () =
     let r = -.((a0 -. target) ** 2.) in
     Td3.observe agent
       { Replay_buffer.state = s; action = [| a0 |]; reward = r;
-        next_state = s; terminal = true };
+        next_state = s; terminal = true; truncated = false };
     Td3.update agent
   done;
   let a_pos = (Td3.select_action agent [| 1. |]).(0) in
@@ -165,6 +166,103 @@ let test_td3_updates_counted () =
   done;
   check_int "updates counted" 10 (Td3.updates_done agent);
   check_int "buffer size" 100 (Td3.buffer_size agent)
+
+let rand_vec rng n =
+  let v = Array.make n 0. in
+  for i = 0 to n - 1 do
+    v.(i) <- Prng.uniform rng (-1.) 1.
+  done;
+  v
+
+let test_td3_kernels_agree () =
+  (* Batched and per-sample kernels draw PRNG noise in the same order and
+     accumulate floating-point sums in the same order, so two agents with
+     identical seeds and replay contents must follow identical parameter
+     trajectories under either kernel. *)
+  let make () =
+    let rng = Prng.create 42 in
+    let agent = Td3.create ~rng (td3_config ~state_dim:3) in
+    let data = Prng.create 43 in
+    for i = 1 to 128 do
+      Td3.observe agent
+        {
+          Replay_buffer.state = rand_vec data 3;
+          action = rand_vec data 1;
+          reward = Prng.uniform data (-1.) 1.;
+          next_state = rand_vec data 3;
+          terminal = i mod 7 = 0;
+          truncated = i mod 5 = 0;
+        }
+    done;
+    agent
+  in
+  let batched = make () and reference = make () in
+  for _ = 1 to 12 do
+    Td3.update ~kernel:Td3.Batched batched;
+    Td3.update ~kernel:Td3.Per_sample reference
+  done;
+  check_int "both updated" (Td3.updates_done reference)
+    (Td3.updates_done batched);
+  List.iteri
+    (fun pi ((v_b, _), (v_r, _)) ->
+      Alcotest.(check (array (float 1e-9)))
+        (Printf.sprintf "actor param %d" pi)
+        v_r v_b)
+    (List.combine
+       (Canopy_nn.Mlp.params (Td3.actor batched))
+       (Canopy_nn.Mlp.params (Td3.actor reference)));
+  let s = [| 0.2; -0.4; 0.6 |] in
+  Alcotest.(check (array (float 1e-9)))
+    "greedy action"
+    (Td3.select_action reference s)
+    (Td3.select_action batched s)
+
+let test_td3_truncation_bootstraps () =
+  (* Time-limit bias: a transition with reward 1 looping on one state has
+     discounted return 1/(1-gamma) if the episode merely hit a time limit
+     (bootstrap continues), but exactly 1 if it truly terminated. The
+     critics must learn very different Q-values in the two cases. *)
+  let q_after ~terminal ~truncated =
+    let rng = Prng.create 21 in
+    let agent =
+      Td3.create ~rng
+        {
+          (td3_config ~state_dim:1) with
+          gamma = 0.8;
+          tau = 0.1;
+          actor_lr = 1e-3;
+          critic_lr = 1e-2;
+        }
+    in
+    let s = [| 0.5 |] and a = [| 0.2 |] in
+    for _ = 1 to 128 do
+      Td3.observe agent
+        {
+          Replay_buffer.state = s;
+          action = a;
+          reward = 1.;
+          next_state = s;
+          terminal;
+          truncated;
+        }
+    done;
+    for _ = 1 to 600 do
+      Td3.update agent
+    done;
+    let q1, q2 = Td3.q_values agent ~state:s ~action:a in
+    Float.min q1 q2
+  in
+  let q_term = q_after ~terminal:true ~truncated:false in
+  let q_trunc = q_after ~terminal:false ~truncated:true in
+  (* terminal: Q -> 1; truncated: Q -> 1/(1-0.8) = 5 *)
+  check_bool
+    (Printf.sprintf "terminal Q near 1 (got %.3f)" q_term)
+    true
+    (q_term > 0.5 && q_term < 2.);
+  check_bool
+    (Printf.sprintf "truncated Q bootstraps past reward (got %.3f)" q_trunc)
+    true
+    (q_trunc > q_term +. 1.)
 
 let test_td3_save_load_actor () =
   let rng = Prng.create 16 in
@@ -199,5 +297,7 @@ let suite =
     ("td3 learns bandit", `Slow, test_td3_learns_bandit);
     ("td3 state-dependent bandit", `Slow, test_td3_state_dependent_bandit);
     ("td3 update counting", `Quick, test_td3_updates_counted);
+    ("td3 batched = per-sample kernels", `Quick, test_td3_kernels_agree);
+    ("td3 truncation bootstraps", `Slow, test_td3_truncation_bootstraps);
     ("td3 save/load actor", `Quick, test_td3_save_load_actor);
   ]

@@ -121,6 +121,84 @@ let test_mat_identity_mul () =
   Alcotest.check mat "I * Mᵀ" (Mat.transpose m23)
     (Mat.mat_mul id (Mat.transpose m23))
 
+let test_mat_mul_into () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let dst = Mat.init ~rows:2 ~cols:2 (fun _ _ -> 99.) in
+  Mat.mat_mul_into ~dst a b;
+  Alcotest.check mat "overwrites dst"
+    (Mat.of_arrays [| [| 19.; 22. |]; [| 43.; 50. |] |])
+    dst
+
+let test_mat_mul_nt () =
+  let a = Mat.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let b = Mat.of_arrays [| [| 1.; 0.; 1. |]; [| 0.; 1.; 0. |] |] in
+  (* a·bᵀ computed two ways *)
+  Alcotest.check mat "nt = mul with transpose"
+    (Mat.mat_mul a (Mat.transpose b))
+    (Mat.mat_mul_nt a b);
+  let dst = Mat.create ~rows:2 ~cols:2 in
+  Mat.mat_mul_nt_into ~dst a b;
+  Alcotest.check mat "nt_into" (Mat.mat_mul_nt a b) dst;
+  (* each row is exactly mat_vec of the other operand *)
+  Alcotest.check vec "row = mat_vec" (Mat.mat_vec b (Mat.row a 1))
+    (Mat.row (Mat.mat_mul_nt a b) 1)
+
+let test_mat_mul_tn_acc () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  let b = Mat.of_arrays [| [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |] in
+  let dst = Mat.init ~rows:2 ~cols:2 (fun _ _ -> 1. ) in
+  Mat.mat_mul_tn_acc ~dst a b;
+  Alcotest.check mat "accumulates aᵀ·b"
+    (Mat.add
+       (Mat.init ~rows:2 ~cols:2 (fun _ _ -> 1.))
+       (Mat.mat_mul (Mat.transpose a) b))
+    dst
+
+let test_mat_row_ops () =
+  let m = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Mat.add_row m [| 10.; 20. |];
+  Alcotest.check mat "add_row broadcasts"
+    (Mat.of_arrays [| [| 11.; 22. |]; [| 13.; 24. |] |])
+    m;
+  let dst = [| 1.; 1. |] in
+  Mat.col_sum_acc ~dst m;
+  Alcotest.check vec "col_sum_acc" [| 25.; 47. |] dst;
+  Mat.set_row m 0 [| -1.; -2. |];
+  Alcotest.check vec "set_row" [| -1.; -2. |] (Mat.row m 0);
+  let sq = Mat.create ~rows:2 ~cols:2 in
+  Mat.map_into ~dst:sq (fun x -> x *. x) m;
+  Alcotest.check mat "map_into" (Mat.map (fun x -> x *. x) m) sq;
+  Mat.map_into ~dst:m (fun x -> -.x) m;
+  Alcotest.check vec "map_into in place" [| 1.; 2. |] (Mat.row m 0)
+
+let test_mat_pack_slice () =
+  let m = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.check mat "of_rows" (Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |]) m;
+  let c = Mat.concat_cols m (Mat.of_arrays [| [| 5. |]; [| 6. |] |]) in
+  Alcotest.check mat "concat_cols"
+    (Mat.of_arrays [| [| 1.; 2.; 5. |]; [| 3.; 4.; 6. |] |])
+    c;
+  Alcotest.check mat "cols_slice middle"
+    (Mat.of_arrays [| [| 2. |]; [| 4. |] |])
+    (Mat.cols_slice c ~pos:1 ~len:1);
+  Alcotest.check mat "cols_slice roundtrip" m (Mat.cols_slice c ~pos:0 ~len:2)
+
+let test_mat_kernel_dim_checks () =
+  let a = Mat.create ~rows:2 ~cols:3 in
+  Alcotest.check_raises "nt dims"
+    (Invalid_argument "Mat.mat_mul_nt_into: dims") (fun () ->
+      ignore (Mat.mat_mul_nt a (Mat.create ~rows:2 ~cols:4)));
+  Alcotest.check_raises "tn dims" (Invalid_argument "Mat.mat_mul_tn_acc: dims")
+    (fun () ->
+      Mat.mat_mul_tn_acc ~dst:(Mat.create ~rows:3 ~cols:3) a
+        (Mat.create ~rows:3 ~cols:3));
+  Alcotest.check_raises "add_row dims" (Invalid_argument "Mat.add_row: dims")
+    (fun () -> Mat.add_row a [| 1. |]);
+  Alcotest.check_raises "concat rows"
+    (Invalid_argument "Mat.concat_cols: rows") (fun () ->
+      ignore (Mat.concat_cols a (Mat.create ~rows:3 ~cols:1)))
+
 let test_mat_outer_acc () =
   let m = Mat.create ~rows:2 ~cols:3 in
   Mat.outer_acc m [| 1.; 2. |] [| 3.; 4.; 5. |];
@@ -197,6 +275,33 @@ let qcheck =
     Test.make ~name:"vec add commutes" ~count:100
       (make Gen.(pair (gen_vecn 5) (gen_vecn 5)))
       (fun (a, b) -> Vec.approx_equal (Vec.add a b) (Vec.add b a));
+    Test.make ~name:"mat_mul_nt a b = a · bᵀ" ~count:100
+      (make Gen.(pair (gen_mat 3 5) (gen_mat 4 5)))
+      (fun (a, b) ->
+        Mat.approx_equal ~eps:1e-9 (Mat.mat_mul_nt a b)
+          (Mat.mat_mul a (Mat.transpose b)));
+    Test.make ~name:"mat_mul_tn_acc dst a b = dst + aᵀ · b" ~count:100
+      (make
+         Gen.(
+           let* dst = gen_mat 4 3 in
+           let* a = gen_mat 5 4 in
+           let* b = gen_mat 5 3 in
+           return (dst, a, b)))
+      (fun (dst0, a, b) ->
+        let dst = Mat.copy dst0 in
+        Mat.mat_mul_tn_acc ~dst a b;
+        Mat.approx_equal ~eps:1e-6 dst
+          (Mat.add dst0 (Mat.mat_mul (Mat.transpose a) b)));
+    Test.make ~name:"col_sum_acc = fold of rows" ~count:100
+      (make (gen_mat 6 3))
+      (fun m ->
+        let dst = Vec.create 3 in
+        Mat.col_sum_acc ~dst m;
+        let expect = Vec.create 3 in
+        for i = 0 to 5 do
+          Vec.axpy ~alpha:1. ~x:(Mat.row m i) ~y:expect
+        done;
+        Vec.approx_equal ~eps:1e-9 dst expect);
   ]
 
 let suite =
@@ -217,6 +322,12 @@ let suite =
     ("mat mat_tvec", `Quick, test_mat_tvec);
     ("mat mat_mul", `Quick, test_mat_mul);
     ("mat identity mul", `Quick, test_mat_identity_mul);
+    ("mat mat_mul_into", `Quick, test_mat_mul_into);
+    ("mat mat_mul_nt", `Quick, test_mat_mul_nt);
+    ("mat mat_mul_tn_acc", `Quick, test_mat_mul_tn_acc);
+    ("mat row ops", `Quick, test_mat_row_ops);
+    ("mat pack/concat/slice", `Quick, test_mat_pack_slice);
+    ("mat kernel dim checks", `Quick, test_mat_kernel_dim_checks);
     ("mat outer_acc", `Quick, test_mat_outer_acc);
     ("mat axpy/frobenius", `Quick, test_mat_axpy_frobenius);
     ("mat raw shares storage", `Quick, test_mat_raw_shares);
