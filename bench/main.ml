@@ -827,10 +827,13 @@ let table3 () =
     "the paper's 256-wide actor, whose latency grows linearly with N as@.";
   Format.printf "in the Section-6.6 complexity model.@."
 
+(* [--smoke]: tiny iteration counts for the perf-tracking experiments
+   (kernels, certify) so dune's @check can exercise them end to end;
+   their JSON records then go to temp files to keep checkouts clean. *)
+let smoke_mode = ref false
+
 (* ------------------------------------------------------------------ *)
 (* kernels: batched vs per-sample training kernels (BENCH_train_step) *)
-
-let kernels_smoke = ref false
 
 let kernels () =
   header "kernels: batched vs per-sample training-step timings";
@@ -955,7 +958,7 @@ let kernels () =
      across runs; a sustained-throughput measurement wants the heap in
      steady state, so both are disabled here (for every kernel alike). *)
   let cfg =
-    if !kernels_smoke then
+    if !smoke_mode then
       Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~stabilize:false
         ~compaction:false ()
     else
@@ -1006,7 +1009,7 @@ let kernels () =
       | Some s ->
           Format.printf "TD3 update speedup, batched vs per-sample, b%d: %.2fx%s@."
             b s
-            (if b = 64 && not !kernels_smoke then
+            (if b = 64 && not !smoke_mode then
                if s >= 3. then "  (>= 3x: OK)" else "  (below 3x target!)"
              else "")
       | None -> ())
@@ -1016,7 +1019,7 @@ let kernels () =
      runs (tiny iteration counts, e.g. under dune's @check) exercise the
      emitter but write to a temp file to keep checkouts clean. *)
   let json_path =
-    if !kernels_smoke then Filename.temp_file "canopy-bench-train-step" ".json"
+    if !smoke_mode then Filename.temp_file "canopy-bench-train-step" ".json"
     else "BENCH_train_step.json"
   in
   let oc = open_out json_path in
@@ -1026,7 +1029,7 @@ let kernels () =
       Printf.fprintf oc
         "{\n  \"bench\": \"train_step\",\n  \"mode\": %S,\n  \"hidden\": %d,\n\
         \  \"state_dim\": %d,\n  \"action_dim\": %d,\n  \"entries\": [\n"
-        (if !kernels_smoke then "smoke" else "full")
+        (if !smoke_mode then "smoke" else "full")
         hidden state_dim action_dim;
       let last = List.length measured - 1 in
       List.iteri
@@ -1043,6 +1046,165 @@ let kernels () =
       Option.iter
         (fun s -> Printf.fprintf oc ",\n  \"speedup_update_b256\": %.3f" s)
         s256;
+      Printf.fprintf oc "\n}\n");
+  Format.printf "wrote %s@." json_path
+
+(* ------------------------------------------------------------------ *)
+(* certify: batched IR engine vs per-slice reference (BENCH_certify) *)
+
+let certify_bench () =
+  header "certify: batched verifier IR vs per-slice reference";
+  let open Bechamel in
+  let state_dim = history * Canopy_orca.Observation.feature_count in
+  let property = Property.performance () in
+  let state = Array.make state_dim 0.4 in
+  (* Certificate construction at the paper's verification width
+     (hidden 256, as in Table 3) and at the training width the
+     per-step certificate actually runs at inside the C3 loop
+     (hidden 64, matching Td3.default_config). Each (shape, workload)
+     point is measured under both engines; the fused-IR cache is warm
+     after the first call of each kernel, which is exactly the regime
+     certify runs in between gradient updates. *)
+  let make_cert ~hidden ~engine ~domain ~n_components =
+    let rng = Canopy_util.Prng.create 9 in
+    let actor =
+      Canopy_nn.Mlp.actor ~rng ~in_dim:state_dim ~hidden ~out_dim:1
+    in
+    fun () ->
+      ignore
+        (Certify.certify ~engine ~domain ~actor ~property ~n_components
+           ~history ~state ~cwnd_tcp:100. ~prev_cwnd:90. ())
+  in
+  let make_adaptive ~hidden ~engine =
+    let rng = Canopy_util.Prng.create 9 in
+    let actor =
+      Canopy_nn.Mlp.actor ~rng ~in_dim:state_dim ~hidden ~out_dim:1
+    in
+    fun () ->
+      ignore
+        (Certify.certify_adaptive ~engine ~domain:Certify.Box_domain ~actor
+           ~property ~initial_components:2 ~max_components:50 ~history ~state
+           ~cwnd_tcp:100. ~prev_cwnd:90. ())
+  in
+  let engines =
+    [ ("batched", Certify.Batched); ("per_slice", Certify.Per_slice) ]
+  in
+  let tests =
+    List.concat_map
+      (fun (ename, engine) ->
+        [
+          ( Printf.sprintf "cert_box_N5_%s" ename,
+            make_cert ~hidden:256 ~engine ~domain:Certify.Box_domain
+              ~n_components:5 );
+          ( Printf.sprintf "cert_box_N20_%s" ename,
+            make_cert ~hidden:256 ~engine ~domain:Certify.Box_domain
+              ~n_components:20 );
+          ( Printf.sprintf "cert_zono_N5_%s" ename,
+            make_cert ~hidden:256 ~engine ~domain:Certify.Zonotope_domain
+              ~n_components:5 );
+          ( Printf.sprintf "cert_adaptive_%s" ename,
+            make_adaptive ~hidden:256 ~engine );
+          ( Printf.sprintf "train_cert_N5_%s" ename,
+            make_cert ~hidden:64 ~engine ~domain:Certify.Box_domain
+              ~n_components:5 );
+          ( Printf.sprintf "train_cert_N20_%s" ename,
+            make_cert ~hidden:64 ~engine ~domain:Certify.Box_domain
+              ~n_components:20 );
+        ])
+      engines
+  in
+  let grouped =
+    Test.make_grouped ~name:"certify"
+      (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) tests)
+  in
+  (* Same steady-state-heap rationale as the kernels experiment. *)
+  let cfg =
+    if !smoke_mode then
+      Benchmark.cfg ~limit:10 ~quota:(Time.second 0.05) ~stabilize:false
+        ~compaction:false ()
+    else
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:false
+        ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let ns_of name =
+    match Hashtbl.find_opt results ("certify/" ^ name) with
+    | Some result -> (
+        match Analyze.OLS.estimates result with
+        | Some [ ns ] when ns > 0. -> Some ns
+        | _ -> None)
+    | None -> None
+  in
+  Format.printf "%-26s %-14s %-14s@." "kernel" "ns/cert" "certs/s";
+  let measured =
+    List.filter_map
+      (fun (name, _) ->
+        match ns_of name with
+        | Some ns ->
+            Format.printf "%-26s %14.0f %14.1f@." name ns (1e9 /. ns);
+            Some (name, ns)
+        | None ->
+            Format.printf "%-26s (no estimate)@." name;
+            None)
+      tests
+  in
+  let speedup base =
+    match
+      ( List.assoc_opt (base ^ "_per_slice") measured,
+        List.assoc_opt (base ^ "_batched") measured )
+    with
+    | Some ref_ns, Some bat_ns when bat_ns > 0. -> Some (ref_ns /. bat_ns)
+    | _ -> None
+  in
+  let bases =
+    [
+      "cert_box_N5"; "cert_box_N20"; "cert_zono_N5"; "cert_adaptive";
+      "train_cert_N5"; "train_cert_N20";
+    ]
+  in
+  let speedups = List.map (fun b -> (b, speedup b)) bases in
+  List.iter
+    (fun (b, s) ->
+      match s with
+      | Some s ->
+          Format.printf "certify speedup, batched vs per-slice, %s: %.2fx%s@."
+            b s
+            (if b = "cert_box_N5" && not !smoke_mode then
+               if s >= 3. then "  (>= 3x: OK)" else "  (below 3x target!)"
+             else "")
+      | None -> ())
+    speedups;
+  let json_path =
+    if !smoke_mode then Filename.temp_file "canopy-bench-certify" ".json"
+    else "BENCH_certify.json"
+  in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"bench\": \"certify\",\n  \"mode\": %S,\n  \"hidden\": 256,\n\
+        \  \"train_hidden\": 64,\n  \"state_dim\": %d,\n  \"entries\": [\n"
+        (if !smoke_mode then "smoke" else "full")
+        state_dim;
+      let last = List.length measured - 1 in
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc "    {\"name\": %S, \"ns_per_cert\": %.1f}%s\n"
+            name ns
+            (if i = last then "" else ","))
+        measured;
+      Printf.fprintf oc "  ]";
+      List.iter
+        (fun (b, s) ->
+          Option.iter
+            (fun s -> Printf.fprintf oc ",\n  \"speedup_%s\": %.3f" b s)
+            s)
+        speedups;
       Printf.fprintf oc "\n}\n");
   Format.printf "wrote %s@." json_path
 
@@ -1111,6 +1273,7 @@ let ablation () =
      concrete counterexample exists) vs possibly spurious
      over-approximation? *)
   let real = ref 0 and open_ = ref 0 in
+  let refute_rng = Canopy_util.Prng.create 2027 in
   List.iter
     (fun (cwnd_tcp, prev_cwnd) ->
       let cert =
@@ -1121,8 +1284,8 @@ let ablation () =
         (fun comp ->
           if not comp.Certify.certified then
             match
-              Certify.refute ~actor:model.actor ~property ~history ~state
-                ~cwnd_tcp ~prev_cwnd comp
+              Certify.refute ~rng:refute_rng ~actor:model.actor ~property
+                ~history ~state ~cwnd_tcp ~prev_cwnd comp
             with
             | Certify.Violation _ -> incr real
             | Certify.Unknown -> incr open_)
@@ -1180,13 +1343,14 @@ let experiments =
     ("fig14", fig14);
     ("table3", table3);
     ("kernels", kernels);
+    ("certify", certify_bench);
     ("ablation", ablation);
     ("traces", traces_fig);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  kernels_smoke := List.mem "--smoke" args;
+  smoke_mode := List.mem "--smoke" args;
   let names = List.filter (fun a -> a <> "--smoke") args in
   let requested =
     match names with

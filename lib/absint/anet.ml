@@ -1,0 +1,212 @@
+open Canopy_tensor
+open Canopy_nn
+
+type act = Linear | Leaky_relu of float | Relu | Tanh
+
+type stage = {
+  w : Mat.t;
+  b : Vec.t;
+  abs_w : Mat.t;
+  act : act;
+}
+
+type t = {
+  in_dim : int;
+  out_dim : int;
+  stages : stage list;
+  source_generation : int;
+}
+
+let in_dim t = t.in_dim
+let out_dim t = t.out_dim
+let stages t = t.stages
+let source_generation t = t.source_generation
+
+(* ------------------------------------------------------------------ *)
+(* Extraction: fold every run of affine layers (dense, inference-mode  *)
+(* batch norm) into a single fused stage, flushed at each activation.  *)
+(* ------------------------------------------------------------------ *)
+
+(* The pending affine (w, b) is owned by the builder: compositions may
+   mutate it freely, but a dense layer adopted with no pending prefix
+   must be copied — the layer's arrays are mutable and live on in the
+   network. *)
+let adopt_dense pending (d : Layer.dense) =
+  match pending with
+  | None -> (Mat.copy d.w, Vec.copy d.b)
+  | Some (w0, b0) ->
+      (* (W·x + b) ∘ (W0·x + b0) = (W·W0)·x + (W·b0 + b) *)
+      let w = Mat.mat_mul d.w w0 in
+      let b = Mat.mat_vec d.w b0 in
+      Vec.axpy ~alpha:1. ~x:d.b ~y:b;
+      (w, b)
+
+(* Inference-mode batch norm is x_i ↦ scale_i·x_i + shift_i with
+   scale_i = γ_i/√(σ²_i + ε), shift_i = β_i − scale_i·μ_i — the same
+   folding as [Ibp.propagate_layer] and [Layer.bn_affine]. Composing it
+   onto a pending affine row-scales W and rewrites b per channel. *)
+let adopt_batch_norm pending ~dim (bn : Layer.batch_norm) =
+  let scale =
+    Vec.init dim (fun i -> bn.gamma.(i) /. sqrt (bn.running_var.(i) +. bn.eps))
+  in
+  let shift =
+    Vec.init dim (fun i -> bn.beta.(i) -. (scale.(i) *. bn.running_mean.(i)))
+  in
+  match pending with
+  | None ->
+      let w =
+        Mat.init ~rows:dim ~cols:dim (fun i j ->
+            if i = j then scale.(i) else 0.)
+      in
+      (w, Vec.copy shift)
+  | Some (w0, b0) ->
+      let w =
+        Mat.init ~rows:dim ~cols:(Mat.cols w0) (fun i j ->
+            scale.(i) *. Mat.get w0 i j)
+      in
+      let b = Vec.init dim (fun i -> (scale.(i) *. b0.(i)) +. shift.(i)) in
+      (w, b)
+
+let identity_affine dim =
+  ( Mat.init ~rows:dim ~cols:dim (fun i j -> if i = j then 1. else 0.),
+    Vec.create dim )
+
+let stage_of ~act (w, b) = { w; b; abs_w = Mat.abs w; act }
+
+let of_mlp net =
+  let source_generation = Mlp.generation net in
+  let pending = ref None in
+  let dim = ref (Mlp.in_dim net) in
+  let rev_stages = ref [] in
+  let flush act =
+    let affine =
+      match !pending with Some wb -> wb | None -> identity_affine !dim
+    in
+    pending := None;
+    rev_stages := stage_of ~act affine :: !rev_stages
+  in
+  List.iter
+    (fun layer ->
+      match layer with
+      | Layer.Dense d ->
+          pending := Some (adopt_dense !pending d);
+          dim := Mat.rows d.w
+      | Layer.Batch_norm bn ->
+          pending := Some (adopt_batch_norm !pending ~dim:!dim bn)
+      | Layer.Leaky_relu slope -> flush (Leaky_relu slope)
+      | Layer.Relu -> flush Relu
+      | Layer.Tanh -> flush Tanh)
+    (Mlp.layers net);
+  (* A trailing affine run (e.g. a critic's linear head) becomes a
+     stage with no activation; nets ending in an activation need no
+     extra stage. *)
+  (match !pending with Some _ -> flush Linear | None -> ());
+  {
+    in_dim = Mlp.in_dim net;
+    out_dim = Mlp.out_dim net;
+    stages = List.rev !rev_stages;
+    source_generation;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cache keyed on the network's physical identity and its parameter    *)
+(* generation: rollout steps between gradient updates re-certify the   *)
+(* same frozen actor, so extraction amortizes to once per update.      *)
+(* ------------------------------------------------------------------ *)
+
+let cache : (Mlp.t * t) option ref = ref None
+
+let cached net =
+  match !cache with
+  | Some (src, ir) when src == net && ir.source_generation = Mlp.generation net
+    ->
+      ir
+  | _ ->
+      let ir = of_mlp net in
+      cache := Some (net, ir);
+      ir
+
+(* ------------------------------------------------------------------ *)
+(* Concrete and abstract evaluation over the fused stages.             *)
+(* ------------------------------------------------------------------ *)
+
+let act_fn = function
+  | Linear -> fun x -> x
+  | Leaky_relu slope -> fun x -> if x >= 0. then x else slope *. x
+  | Relu -> Float.max 0.
+  | Tanh -> Float.tanh
+
+let forward t x =
+  if Vec.dim x <> t.in_dim then invalid_arg "Anet.forward: input dim";
+  List.fold_left
+    (fun acc stage ->
+      let y = Mat.mat_vec stage.w acc in
+      Vec.axpy ~alpha:1. ~x:stage.b ~y;
+      match stage.act with
+      | Linear -> y
+      | act ->
+          Vec.map_into ~dst:y (act_fn act) y;
+          y)
+    x t.stages
+
+(* Monotone activation over center–radius pairs, in place: the endpoint
+   formula lo = f(c−r), hi = f(c+r), c' = (hi+lo)/2, r' = (hi−lo)/2 —
+   the same arithmetic as [Box.map_monotone], applied to every cell of
+   the [K × dim] batch at once. *)
+let apply_act_batch act c r =
+  let f = act_fn act in
+  let cd = Mat.raw c and rd = Mat.raw r in
+  for i = 0 to Array.length cd - 1 do
+    let ci = Array.unsafe_get cd i and ri = Array.unsafe_get rd i in
+    let lo = f (ci -. ri) and hi = f (ci +. ri) in
+    Array.unsafe_set cd i (0.5 *. (hi +. lo));
+    Array.unsafe_set rd i (0.5 *. (hi -. lo))
+  done
+
+(* One fused stage over the whole batch: two GEMMs — c' = c·Wᵀ + b and
+   r' = r·|W|ᵀ — then the elementwise activation. |W| is precomputed at
+   extraction, so no per-slice [Mat.abs] allocation survives in the hot
+   path. Soundness of the radius GEMM: each output radius is a
+   non-negatively weighted sum of input radii, so it is the exact image
+   of the interval under the affine map up to the same rounding as the
+   per-slice [Box.affine] reference (see DESIGN.md §8). *)
+let propagate_batch t ~centers ~radii =
+  List.fold_left
+    (fun (c, r) stage ->
+      let rows = Mat.rows c and cols = Mat.rows stage.w in
+      let c' = Mat.create_uninit ~rows ~cols in
+      let r' = Mat.create_uninit ~rows ~cols in
+      Mat.mat_mul_nt_bias_into ~dst:c' c stage.w stage.b;
+      Mat.mat_mul_nt_into ~dst:r' r stage.abs_w;
+      (match stage.act with
+      | Linear -> ()
+      | act -> apply_act_batch act c' r');
+      (c', r'))
+    (centers, radii) t.stages
+
+let check_box t box =
+  if Box.dim box <> t.in_dim then invalid_arg "Anet.propagate: input dim"
+
+let batch_of_boxes boxes =
+  ( Mat.of_rows (Array.map Box.center boxes),
+    Mat.of_rows (Array.map Box.dev boxes) )
+
+let propagate t box =
+  check_box t box;
+  let centers, radii = batch_of_boxes [| box |] in
+  let c, r = propagate_batch t ~centers ~radii in
+  Box.make ~center:(Mat.row c 0) ~dev:(Mat.row r 0)
+
+let output_intervals t boxes =
+  if t.out_dim <> 1 then invalid_arg "Anet.output_intervals: out_dim";
+  if Array.length boxes = 0 then [||]
+  else begin
+    Array.iter (check_box t) boxes;
+    let centers, radii = batch_of_boxes boxes in
+    let c, r = propagate_batch t ~centers ~radii in
+    Array.init (Array.length boxes) (fun k ->
+        let ck = Mat.get c k 0 and rk = Mat.get r k 0 in
+        Interval.make (ck -. rk) (ck +. rk))
+  end
+
+let output_interval t box = (output_intervals t [| box |]).(0)

@@ -135,19 +135,50 @@ let propagate net t =
       | Canopy_nn.Layer.Tanh -> tanh acc)
     t (Canopy_nn.Mlp.layers net)
 
-let output_interval net box =
-  if Canopy_nn.Mlp.out_dim net <> 1 then
-    invalid_arg "Zonotope.output_interval: out_dim";
-  let zono = dimension (propagate net (of_box box)) 0 in
-  (* Reduced product with the box domain: both are sound, so their
-     intersection is sound and never looser than either. The box's
-     per-dimension monotone transformers can beat the zonotope's linear
-     relaxations on saturated activations, and vice versa on affine
-     cancellation. *)
-  let ibp = Ibp.output_interval net box in
+(* Reduced product with the box domain: both are sound, so their
+   intersection is sound and never looser than either. The box's
+   per-dimension monotone transformers can beat the zonotope's linear
+   relaxations on saturated activations, and vice versa on affine
+   cancellation. *)
+let meet_ibp zono ibp =
   match Interval.intersect zono ibp with
   | Some tight -> tight
   | None ->
       (* Both are sound over-approximations of a non-empty set, so they
          must overlap; guard against FP rounding at the boundary. *)
       Interval.hull zono ibp
+
+let output_interval net box =
+  if Canopy_nn.Mlp.out_dim net <> 1 then
+    invalid_arg "Zonotope.output_interval: out_dim";
+  let zono = dimension (propagate net (of_box box)) 0 in
+  meet_ibp zono (Ibp.output_interval net box)
+
+(* The IR-based path: one fused affine (exact on zonotopes) per stage
+   instead of a dense/batch-norm pair, sharing the extraction — and the
+   folded batch-norm arithmetic — with the box engine. *)
+let propagate_anet ir t =
+  if dim t <> Anet.in_dim ir then
+    invalid_arg "Zonotope.propagate_anet: input dim";
+  List.fold_left
+    (fun acc (stage : Anet.stage) ->
+      let acc = affine stage.w stage.b acc in
+      match stage.act with
+      | Anet.Linear -> acc
+      | Anet.Leaky_relu slope -> leaky_relu ~slope acc
+      | Anet.Relu -> relu acc
+      | Anet.Tanh -> tanh acc)
+    t (Anet.stages ir)
+
+let output_intervals_anet ir boxes =
+  if Anet.out_dim ir <> 1 then
+    invalid_arg "Zonotope.output_intervals_anet: out_dim";
+  (* The zonotope transfer is inherently per-box (each box spawns its own
+     noise symbols), but the reduced-product partner is the batched
+     center–radius pass, evaluated for the whole workload in one shot. *)
+  let ibp = Anet.output_intervals ir boxes in
+  Array.mapi
+    (fun k box ->
+      let zono = dimension (propagate_anet ir (of_box box)) 0 in
+      meet_ibp zono ibp.(k))
+    boxes

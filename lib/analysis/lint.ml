@@ -22,6 +22,10 @@ let rules =
     ( "missing-mli",
       "library module has no .mli; interfaces are required under lib/ so \
        the public surface stays explicit" );
+    ( "mlp-layer-walk",
+      "direct `Mlp.layers` traversal re-forks the batch-norm folding \
+       arithmetic; outside lib/nn only the Anet IR builder may walk the \
+       layer list — go through Canopy_absint.Anet instead" );
   ]
 
 let is_ident_char = function
@@ -186,6 +190,10 @@ let check_array_make_alias line =
     Some (List.assoc "array-make-alias" rules)
   else None
 
+let check_mlp_layer_walk line =
+  if contains line "Mlp.layers" then Some (List.assoc "mlp-layer-walk" rules)
+  else None
+
 let line_rules =
   [
     ("polymorphic-compare", check_polymorphic_compare);
@@ -196,9 +204,26 @@ let line_rules =
     ("array-make-alias", check_array_make_alias);
   ]
 
+(* [mlp-layer-walk] is the one path-scoped line rule: the layer list is
+   the private business of lib/nn, and the single sanctioned external
+   consumer is the verifier-IR builder (anet.ml), which owns the one
+   restatement of the batch-norm folding arithmetic. *)
+let mlp_layer_walk_exempt path =
+  let has_prefix p =
+    String.length path >= String.length p
+    && String.sub path 0 (String.length p) = p
+  in
+  has_prefix (Filename.concat "lib" "nn" ^ Filename.dir_sep)
+  || Filename.basename path = "anet.ml"
+
+let line_rules_for path =
+  if mlp_layer_walk_exempt path then line_rules
+  else line_rules @ [ ("mlp-layer-walk", check_mlp_layer_walk) ]
+
 let check_source ~path contents =
   let stripped = Sources.strip contents in
   let original = Array.of_list (String.split_on_char '\n' contents) in
+  let line_rules = line_rules_for path in
   let diags = ref [] in
   Array.iteri
     (fun idx line ->

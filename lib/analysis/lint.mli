@@ -8,7 +8,12 @@
       out-of-range values; reviewed call sites go in the baseline;
     - [obj-magic]: any use of [Obj.magic];
     - [catch-all-exn]: [with _ ->] exception handlers;
-    - [missing-mli]: a module under [lib/] with no interface file.
+    - [array-make-alias]: [Array.make] seeded with a mutable value;
+    - [missing-mli]: a module under [lib/] with no interface file;
+    - [mlp-layer-walk]: [Mlp.layers] traversal outside [lib/nn] and the
+      verifier-IR builder ([anet.ml]) — every other consumer must go
+      through [Canopy_absint.Anet] so the batch-norm folding arithmetic
+      is never re-forked (grandfathered sites live in the baseline).
 
     All rules run on lexically stripped source (comments, strings and
     char literals blanked), so matches in comments or string literals are

@@ -246,6 +246,97 @@ let zono_mlp_check rng trial =
             (iv out) (pp_vec x);
       }
 
+(* --- verifier-IR passes ------------------------------------------------ *)
+
+let anet_pool = { net = None; age = 0 }
+
+(* Mix in critic-shaped nets (no batch norm, linear head) so extraction
+   covers both the flush-on-activation and trailing-affine paths. *)
+let fresh_anet_net rng =
+  if Prng.bool rng then fresh_net rng
+  else
+    let state_dim = 2 + Prng.int rng 4 in
+    let hidden = 6 + Prng.int rng 10 in
+    Canopy_nn.Mlp.critic ~rng ~state_dim ~action_dim:1 ~hidden
+
+let pooled_anet rng =
+  (match anet_pool.net with
+  | Some _ when anet_pool.age < 20 -> anet_pool.age <- anet_pool.age + 1
+  | _ ->
+      anet_pool.net <- Some (fresh_anet_net rng);
+      anet_pool.age <- 0);
+  Option.get anet_pool.net
+
+(* f(x) ∈ F(X) over the batched center–radius pass: a random workload of
+   boxes through [Anet.output_intervals], then one box's sample checked
+   against its interval. Uses the generation cache on purpose — a stale
+   IR is exactly the kind of escape this audit must catch. *)
+let anet_batched_check rng trial =
+  let net = pooled_anet rng in
+  let ir = Anet.cached net in
+  let k = 1 + Prng.int rng 4 in
+  let boxes = Array.init k (fun _ -> net_box rng net) in
+  let outs = Anet.output_intervals ir boxes in
+  let j = Prng.int rng k in
+  let x = Box.sample rng boxes.(j) in
+  let y = (Canopy_nn.Mlp.forward net x).(0) in
+  if contains_tol ~tol:1e-9 outs.(j) y then None
+  else
+    Some
+      {
+        op = "anet.ibp.batched";
+        trial;
+        seed = 0;
+        detail =
+          Printf.sprintf
+            "anet.ibp.batched: forward %.17g escapes %s (box %d of %d) for x \
+             (%s)"
+            y (iv outs.(j)) j k (pp_vec x);
+      }
+
+(* Fused multi-dimensional propagate: every output dimension of the IR
+   image must contain the concrete forward (exercises critic heads with
+   out_dim-agnostic [Anet.propagate]). *)
+let anet_propagate_check rng trial =
+  let net = pooled_anet rng in
+  let ir = Anet.cached net in
+  let box = net_box rng net in
+  let x = Box.sample rng box in
+  let out = Anet.propagate ir box in
+  let y = Canopy_nn.Mlp.forward net x in
+  if box_contains_tol ~tol:1e-9 out y then None
+  else
+    Some
+      {
+        op = "anet.propagate";
+        trial;
+        seed = 0;
+        detail =
+          Printf.sprintf "anet.propagate: forward (%s) escapes %s for x (%s)"
+            (pp_vec y)
+            (Format.asprintf "%a" Box.pp out)
+            (pp_vec x);
+      }
+
+let anet_zono_check rng trial =
+  let net = pooled_anet rng in
+  let ir = Anet.cached net in
+  let box = net_box rng net in
+  let x = Box.sample rng box in
+  let out = (Zonotope.output_intervals_anet ir [| box |]).(0) in
+  let y = (Canopy_nn.Mlp.forward net x).(0) in
+  if contains_tol ~tol:1e-9 out y then None
+  else
+    Some
+      {
+        op = "anet.zonotope";
+        trial;
+        seed = 0;
+        detail =
+          Printf.sprintf "anet.zonotope: forward %.17g escapes %s for x (%s)"
+            y (iv out) (pp_vec x);
+      }
+
 let zono_activation_check name transform concrete rng trial =
   let dim = 2 + Prng.int rng 4 in
   let box = gen_box rng ~dim in
@@ -338,6 +429,9 @@ let ops : (string * (Prng.t -> int -> violation option)) list =
     ("zonotope.tanh", zono_activation_check "zonotope.tanh" Zonotope.tanh Float.tanh);
     ("zonotope.affine", zono_affine_check);
     ("zonotope.mlp", zono_mlp_check);
+    ("anet.propagate", anet_propagate_check);
+    ("anet.ibp.batched", anet_batched_check);
+    ("anet.zonotope", anet_zono_check);
   ]
 
 let op_names = List.map fst ops
@@ -346,6 +440,7 @@ let run ?(seed = 2026) ?(max_report = 25) ~samples () =
   if samples <= 0 then invalid_arg "Soundcheck.run: samples";
   ibp_pool.net <- None;
   zono_pool.net <- None;
+  anet_pool.net <- None;
   let rng = Prng.create seed in
   let table = Array.of_list ops in
   let nops = Array.length table in

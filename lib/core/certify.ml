@@ -4,6 +4,7 @@ module Observation = Canopy_orca.Observation
 module Agent_env = Canopy_orca.Agent_env
 
 type domain = Box_domain | Zonotope_domain
+type engine = Batched | Per_slice
 
 type component = {
   case : Property.case;
@@ -36,19 +37,27 @@ let cwnd_interval ~cwnd_tcp action =
     (fun a -> Agent_env.cwnd_of_action ~action:a ~cwnd_tcp)
     action
 
-let output_interval domain actor box =
-  match domain with
-  | Box_domain -> Ibp.output_interval actor box
-  | Zonotope_domain -> Zonotope.output_interval actor box
+(* The single domain/engine dispatch of the certification stack: certify,
+   certify_adaptive and Temporal.verify all obtain abstract action bounds
+   here, so a new domain (or engine) is added in exactly one place. *)
+let output_intervals ?(engine = Batched) ~domain ~actor boxes =
+  match engine with
+  | Per_slice ->
+      (* The pre-IR reference: one layer-by-layer propagation per box. *)
+      Array.map
+        (fun box ->
+          match domain with
+          | Box_domain -> Ibp.output_interval actor box
+          | Zonotope_domain -> Zonotope.output_interval actor box)
+        boxes
+  | Batched ->
+      let ir = Anet.cached actor in
+      (match domain with
+      | Box_domain -> Anet.output_intervals ir boxes
+      | Zonotope_domain -> Zonotope.output_intervals_anet ir boxes)
 
-(* Abstract action for one component: substitute [iv_of_observed] of each
-   delay dimension's concrete value into the state and propagate. *)
-let abstract_action ~domain ~actor ~history ~state iv_of_observed =
-  let box = ref (Box.of_point state) in
-  List.iter
-    (fun idx -> box := Box.with_dimension !box idx (iv_of_observed state.(idx)))
-    (delay_indices ~history);
-  output_interval domain actor !box
+let output_interval ?engine ~domain ~actor box =
+  (output_intervals ?engine ~domain ~actor [| box |]).(0)
 
 let target_of_case property case =
   match (property, case) with
@@ -61,6 +70,7 @@ let target_of_case property case =
 
 (* The full evaluation context of a step certificate. *)
 type ctx = {
+  engine : engine;
   domain : domain;
   actor : Mlp.t;
   property : Property.t;
@@ -71,31 +81,35 @@ type ctx = {
   cwnd_concrete : float; (* the unperturbed decision, for robustness *)
 }
 
-(* One component: [slice] is a sub-interval of the case's precondition
-   (the normalized-delay range for performance cases; the multiplicative
-   noise-factor range for robustness). *)
-let component_of_slice ctx case index slice =
+(* Abstract input for one component: substitute the slice (performance)
+   or its multiplicative image (robustness) into each delay dimension of
+   the concrete state. *)
+let box_of_slice ctx case slice =
+  let iv_of_observed =
+    match case with
+    | Property.Large_delay | Property.Small_delay -> fun _ -> slice
+    | Property.Noise -> fun observed -> Interval.scale observed slice
+  in
+  let box = ref (Box.of_point ctx.state) in
+  List.iter
+    (fun idx ->
+      box := Box.with_dimension !box idx (iv_of_observed ctx.state.(idx)))
+    (delay_indices ~history:ctx.history);
+  !box
+
+(* Finish a component from its abstract action: push through the CWND map
+   of Eq. 1 and compare against the postcondition (Eq. 7). *)
+let finish_component ctx case index slice action =
   let target = target_of_case ctx.property case in
-  let action, output =
+  let cwnd = cwnd_interval ~cwnd_tcp:ctx.cwnd_tcp action in
+  let output =
     match case with
     | Property.Large_delay | Property.Small_delay ->
-        let action =
-          abstract_action ~domain:ctx.domain ~actor:ctx.actor
-            ~history:ctx.history ~state:ctx.state (fun _ -> slice)
-        in
-        let cwnd = cwnd_interval ~cwnd_tcp:ctx.cwnd_tcp action in
-        (action, Interval.add_scalar (-.ctx.prev_cwnd) cwnd)
+        Interval.add_scalar (-.ctx.prev_cwnd) cwnd
     | Property.Noise ->
-        let action =
-          abstract_action ~domain:ctx.domain ~actor:ctx.actor
-            ~history:ctx.history ~state:ctx.state (fun observed ->
-              Interval.scale observed slice)
-        in
-        let cwnd = cwnd_interval ~cwnd_tcp:ctx.cwnd_tcp action in
-        ( action,
-          Interval.div_scalar
-            (Interval.add_scalar (-.ctx.cwnd_concrete) cwnd)
-            ctx.cwnd_concrete )
+        Interval.div_scalar
+          (Interval.add_scalar (-.ctx.cwnd_concrete) cwnd)
+          ctx.cwnd_concrete
   in
   let distance = Interval.overlap_fraction ~target output in
   {
@@ -109,11 +123,30 @@ let component_of_slice ctx case index slice =
     certified = distance >= 1.;
   }
 
-let make_ctx ~domain ~actor ~property ~history ~state ~cwnd_tcp ~prev_cwnd =
+(* Evaluate a workload of (case, index, slice) jobs in one engine call:
+   with the batched engine, every slice of every case goes through the
+   network together. *)
+let components_of_jobs ctx jobs =
+  let boxes =
+    Array.of_list
+      (List.map (fun (case, _, slice) -> box_of_slice ctx case slice) jobs)
+  in
+  let actions =
+    output_intervals ~engine:ctx.engine ~domain:ctx.domain ~actor:ctx.actor
+      boxes
+  in
+  List.mapi
+    (fun k (case, index, slice) ->
+      finish_component ctx case index slice actions.(k))
+    jobs
+
+let make_ctx ~engine ~domain ~actor ~property ~history ~state ~cwnd_tcp
+    ~prev_cwnd =
   let concrete_action =
     Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1. (Mlp.forward actor state).(0)
   in
   {
+    engine;
     domain;
     actor;
     property;
@@ -166,63 +199,106 @@ let summarize property components =
     fcs = certified_count = Array.length components;
   }
 
-let certify ?(domain = Box_domain) ~actor ~property ~n_components ~history
-    ~state ~cwnd_tcp ~prev_cwnd () =
+let certify ?(engine = Batched) ?(domain = Box_domain) ~actor ~property
+    ~n_components ~history ~state ~cwnd_tcp ~prev_cwnd () =
   validate ~n_components ~history ~state ~actor;
   let ctx =
-    make_ctx ~domain ~actor ~property ~history ~state ~cwnd_tcp ~prev_cwnd
+    make_ctx ~engine ~domain ~actor ~property ~history ~state ~cwnd_tcp
+      ~prev_cwnd
   in
-  let components =
+  let jobs =
     List.concat_map
       (fun case ->
         let precondition = Property.precondition_delay property case in
-        List.mapi (component_of_slice ctx case)
+        List.mapi
+          (fun index slice -> (case, index, slice))
           (Interval.split precondition n_components))
       (Property.cases property)
   in
-  summarize property components
+  summarize property (components_of_jobs ctx jobs)
 
 (* Adaptive subdivision (Section 8, future work (ii)): start from a
    coarse split and keep bisecting only the undecided components — the
    ones whose distance is strictly between 0 and 1 and may therefore be
    suffering from over-approximation. Components proved (D = 1) or
-   concretely refuted on their midpoint are left alone. *)
-let certify_adaptive ?(domain = Box_domain) ?(initial_components = 2)
-    ~actor ~property ~max_components ~history ~state ~cwnd_tcp ~prev_cwnd () =
+   concretely refuted on their midpoint are left alone.
+
+   Refinement proceeds in rounds so each round's open slices — across
+   every case — are evaluated in one engine call. Slots keep their
+   position (a split replaces its slot with the two ordered halves), so
+   the final components come out in slice order per case, exactly as the
+   depth-first reference did. *)
+type slot = Final of component | Open of Property.case * Interval.t
+
+let reindex components =
+  let counters = ref [] in
+  List.map
+    (fun c ->
+      let n = try List.assoc c.case !counters with Not_found -> 0 in
+      counters := (c.case, n + 1) :: List.remove_assoc c.case !counters;
+      { c with index = n })
+    components
+
+let certify_adaptive ?(engine = Batched) ?(domain = Box_domain)
+    ?(initial_components = 2) ~actor ~property ~max_components ~history
+    ~state ~cwnd_tcp ~prev_cwnd () =
   validate ~n_components:initial_components ~history ~state ~actor;
   if max_components < initial_components then
     invalid_arg "Certify.certify_adaptive: max_components";
   let ctx =
-    make_ctx ~domain ~actor ~property ~history ~state ~cwnd_tcp ~prev_cwnd
+    make_ctx ~engine ~domain ~actor ~property ~history ~state ~cwnd_tcp
+      ~prev_cwnd
   in
-  let components =
+  let budgets =
+    List.map (fun case -> (case, ref max_components)) (Property.cases property)
+  in
+  let undecided c = c.distance > 0. && c.distance < 1. in
+  let rec refine slots =
+    let jobs =
+      List.filter_map
+        (function Open (case, slice) -> Some (case, 0, slice) | Final _ -> None)
+        slots
+    in
+    if jobs = [] then
+      List.map (function Final c -> c | Open _ -> assert false) slots
+    else begin
+      let fresh = ref (components_of_jobs ctx jobs) in
+      let next =
+        List.concat_map
+          (function
+            | Final c -> [ Final c ]
+            | Open (case, slice) ->
+                let c =
+                  match !fresh with
+                  | c :: tl ->
+                      fresh := tl;
+                      c
+                  | [] -> assert false
+                in
+                let budget = List.assoc case budgets in
+                if undecided c && !budget > 0 && Interval.width slice > 1e-4
+                then begin
+                  decr budget;
+                  List.map
+                    (fun half -> Open (case, half))
+                    (Interval.split slice 2)
+                end
+                else [ Final c ])
+          slots
+      in
+      refine next
+    end
+  in
+  let slots =
     List.concat_map
       (fun case ->
         let precondition = Property.precondition_delay property case in
-        let budget = ref max_components in
-        let undecided c = c.distance > 0. && c.distance < 1. in
-        (* Worklist of slices to evaluate; splits consume budget. *)
-        let rec refine acc = function
-          | [] -> acc
-          | slice :: rest ->
-              let c = component_of_slice ctx case 0 slice in
-              if
-                undecided c && !budget > 0
-                && Interval.width slice > 1e-4
-              then begin
-                decr budget;
-                let halves = Interval.split slice 2 in
-                refine acc (halves @ rest)
-              end
-              else refine (c :: acc) rest
-        in
-        let slices = Interval.split precondition initial_components in
-        refine [] slices
-        |> List.rev
-        |> List.mapi (fun index c -> { c with index }))
+        List.map
+          (fun slice -> Open (case, slice))
+          (Interval.split precondition initial_components))
       (Property.cases property)
   in
-  summarize property components
+  summarize property (reindex (refine slots))
 
 let pp_component ppf c =
   Format.fprintf ppf "%s[%d]: a=%a out=%a Y=%a D=%.3f%s"
@@ -240,11 +316,24 @@ type refutation =
   | Violation of { state : float array; output : float }
   | Unknown
 
-let refute ?(samples = 64) ?(seed = 7) ~actor ~property ~history ~state
-    ~cwnd_tcp ~prev_cwnd component =
+let case_ordinal = function
+  | Property.Large_delay -> 0
+  | Property.Small_delay -> 1
+  | Property.Noise -> 2
+
+let refute ?(samples = 64) ~rng ~actor ~property ~history ~state ~cwnd_tcp
+    ~prev_cwnd component =
   if component.certified then Unknown
   else begin
-    let rng = Canopy_util.Prng.create seed in
+    (* Derive a per-component stream: one draw advances the caller's
+       sequence, and mixing in the component's identity ensures two
+       components refuted from the same caller state still replay
+       distinct, reproducible sample sequences. *)
+    let base = Canopy_util.Prng.int rng 0x3FFFFFFF in
+    let rng =
+      Canopy_util.Prng.create
+        (base + (8191 * component.index) + case_ordinal component.case)
+    in
     let indices = delay_indices ~history in
     let concrete_output candidate_state =
       let a =

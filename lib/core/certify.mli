@@ -19,6 +19,16 @@ type domain =
       (** affine forms (the Section-8 "more complex domains" extension):
           tighter on affine chains, costlier per pass *)
 
+type engine =
+  | Batched
+      (** the verifier-IR engine: the actor is normalized once per
+          parameter generation to fused affine stages
+          ({!Canopy_absint.Anet}) and a whole workload of boxes is pushed
+          through each stage as two GEMMs in center–radius form *)
+  | Per_slice
+      (** the pre-IR reference: one layer-by-layer propagation per box;
+          kept for equivalence tests and benchmarks *)
+
 type component = {
   case : Property.case;
   index : int;  (** slice number within the case, 0-based *)
@@ -43,7 +53,19 @@ type t = {
   fcs : bool;  (** all components certified at this step *)
 }
 
+val output_intervals :
+  ?engine:engine -> domain:domain -> actor:Mlp.t -> Box.t array -> Interval.t array
+(** The one engine entry point shared by {!certify}, {!certify_adaptive}
+    and [Temporal.verify]: abstract action bounds for a workload of input
+    boxes under the chosen domain. [engine] defaults to [Batched]. Adding
+    a domain (or engine) means extending exactly this dispatch. *)
+
+val output_interval :
+  ?engine:engine -> domain:domain -> actor:Mlp.t -> Box.t -> Interval.t
+(** {!output_intervals} on a single box. *)
+
 val certify :
+  ?engine:engine ->
   ?domain:domain ->
   actor:Mlp.t ->
   property:Property.t ->
@@ -59,10 +81,14 @@ val certify :
     state; [cwnd_tcp] the backbone's current suggestion (CWND_TCP of
     Eq. 1); [prev_cwnd] the window enforced at the previous step
     (CWND_{i−1} of the performance property; ignored for robustness).
-    [domain] defaults to the paper's box domain. Raises
+    [domain] defaults to the paper's box domain; [engine] to the batched
+    verifier-IR engine, which evaluates every slice of every case in a
+    single pass and agrees with [~engine:Per_slice] to reassociation
+    rounding (≤1e-9 relative — see DESIGN.md §8). Raises
     [Invalid_argument] on dimension mismatches or [n_components <= 0]. *)
 
 val certify_adaptive :
+  ?engine:engine ->
   ?domain:domain ->
   ?initial_components:int ->
   actor:Mlp.t ->
@@ -80,7 +106,8 @@ val certify_adaptive :
     spending at most [max_components] additional splits per case. Decided
     components (fully certified, or fully refuted) are never refined, so
     the effort concentrates where over-approximation may be hiding a
-    proof. *)
+    proof. Refinement runs in rounds; with the batched engine each
+    round's open slices across all cases are evaluated in one pass. *)
 
 val delay_indices : history:int -> int list
 (** Indices of the normalized-delay dimensions inside the flat state. *)
@@ -107,7 +134,7 @@ type refutation =
 
 val refute :
   ?samples:int ->
-  ?seed:int ->
+  rng:Canopy_util.Prng.t ->
   actor:Mlp.t ->
   property:Property.t ->
   history:int ->
@@ -121,4 +148,10 @@ val refute :
     worst concrete witness if any violates the postcondition. A returned
     [Violation] is a genuine property violation (no abstraction
     involved); [Unknown] leaves the component's status open. Certified
-    components always return [Unknown]. *)
+    components always return [Unknown].
+
+    The sample sequence is derived from one draw on [rng] (advancing the
+    caller's stream) mixed with the component's case and index, so
+    repeated refutations across steps and across components explore
+    fresh points instead of replaying one fixed sequence, while a caller
+    that reseeds its PRNG reproduces the run exactly. *)

@@ -13,6 +13,7 @@ type result = {
   loss_rate : float;
   fcc : float option;
   fcs : float option;
+  refuted : float option;
 }
 
 let pp_result ppf r =
@@ -21,9 +22,12 @@ let pp_result ppf r =
      loss=%5.2f%%"
     r.scheme r.trace (100. *. r.utilization) r.avg_thr_mbps r.avg_qdelay_ms
     r.p95_qdelay_ms (100. *. r.loss_rate);
-  match (r.fcc, r.fcs) with
+  (match (r.fcc, r.fcs) with
   | Some fcc, Some fcs -> Format.fprintf ppf " fcc=%.3f fcs=%.3f" fcc fcs
-  | _ -> ()
+  | _ -> ());
+  match r.refuted with
+  | Some rate -> Format.fprintf ppf " refuted=%.3f" rate
+  | None -> ()
 
 type step_record = {
   t_ms : int;
@@ -56,13 +60,18 @@ let buffer_pkts link =
 
 let clamp_action = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
 
-let eval_policy ?(name = "canopy") ?noise ?certificate ?shield
-    ?(collect_steps = false) ~actor ~history link =
+let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
+    ?certificate ?refute_seed ?shield ?(collect_steps = false) ~actor ~history
+    link =
   let delay_noise =
     Option.map
       (fun (seed, mu) -> (Canopy_util.Prng.create seed, mu))
       noise
   in
+  (* One PRNG for the whole run: Certify.refute derives a per-component
+     stream from it, so every step explores fresh sample points while
+     the run as a whole stays reproducible from [refute_seed]. *)
+  let refute_rng = Option.map Canopy_util.Prng.create refute_seed in
   let cfg =
     {
       (Agent_env.default_config ~trace:link.trace ~min_rtt_ms:link.min_rtt_ms
@@ -75,6 +84,7 @@ let eval_policy ?(name = "canopy") ?noise ?certificate ?shield
   let env = Agent_env.create cfg in
   let steps = ref [] in
   let fcc_acc = ref 0. and fcs_acc = ref 0 and nsteps = ref 0 in
+  let uncertified_acc = ref 0 and refuted_acc = ref 0 in
   let finished = ref false in
   while not !finished do
     let s = Agent_env.state env in
@@ -90,7 +100,8 @@ let eval_policy ?(name = "canopy") ?noise ?certificate ?shield
     let cert =
       Option.map
         (fun (property, n) ->
-          Certify.certify ~actor ~property ~n_components:n ~history ~state:s
+          Certify.certify ~engine ~actor ~property ~n_components:n ~history
+            ~state:s
             ~cwnd_tcp:(Agent_env.cwnd_tcp env)
             ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) ())
         certificate
@@ -98,7 +109,26 @@ let eval_policy ?(name = "canopy") ?noise ?certificate ?shield
     (match cert with
     | Some c ->
         fcc_acc := !fcc_acc +. c.Certify.fcc;
-        if c.Certify.fcs then incr fcs_acc
+        if c.Certify.fcs then incr fcs_acc;
+        (* Counterexample search over the step's uncertified components,
+           separating real violations from abstraction artifacts. *)
+        Option.iter
+          (fun rng ->
+            Array.iter
+              (fun comp ->
+                if not comp.Certify.certified then begin
+                  incr uncertified_acc;
+                  match
+                    Certify.refute ~rng ~actor
+                      ~property:c.Certify.property ~history ~state:s
+                      ~cwnd_tcp:(Agent_env.cwnd_tcp env)
+                      ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) comp
+                  with
+                  | Certify.Violation _ -> incr refuted_acc
+                  | Certify.Unknown -> ()
+                end)
+              c.Certify.components)
+          refute_rng
     | None -> ());
     incr nsteps;
     let res = Agent_env.step env ~action in
@@ -139,6 +169,15 @@ let eval_policy ?(name = "canopy") ?noise ?certificate ?shield
       fcs =
         (if certificate = None || !nsteps = 0 then None
          else Some (float_of_int !fcs_acc /. float_of_int !nsteps));
+      refuted =
+        (match refute_rng with
+        | None -> None
+        | Some _ when certificate = None -> None
+        | Some _ ->
+            if !uncertified_acc = 0 then Some 0.
+            else
+              Some
+                (float_of_int !refuted_acc /. float_of_int !uncertified_acc));
     }
   in
   (result, List.rev !steps)
@@ -158,6 +197,7 @@ let eval_tcp ~name make link =
     loss_rate = metrics.loss_rate;
     fcc = None;
     fcs = None;
+    refuted = None;
   }
 
 let cubic_scheme () = Canopy_cc.Cubic.to_controller (Canopy_cc.Cubic.create ())
@@ -191,6 +231,7 @@ let mean_results group results =
         loss_rate = mean (fun r -> r.loss_rate);
         fcc = mean_opt (fun r -> r.fcc);
         fcs = mean_opt (fun r -> r.fcs);
+        refuted = mean_opt (fun r -> r.refuted);
       }
 
 type noise_delta = {

@@ -15,6 +15,10 @@ type result = {
   loss_rate : float;
   fcc : float option;  (** mean fraction of certified components per step *)
   fcs : float option;  (** fraction of steps with a fully-satisfied certificate *)
+  refuted : float option;
+      (** among uncertified components across the run, the fraction with a
+          concrete counterexample ([Some 0.] when every component was
+          certified); [None] unless refutation was requested *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -46,7 +50,9 @@ val link : ?min_rtt_ms:int -> ?bdp:float -> ?duration_ms:int ->
 val eval_policy :
   ?name:string ->
   ?noise:int * float ->
+  ?engine:Certify.engine ->
   ?certificate:Property.t * int ->
+  ?refute_seed:int ->
   ?shield:Shield.t ->
   ?collect_steps:bool ->
   actor:Mlp.t ->
@@ -56,10 +62,13 @@ val eval_policy :
 (** Run the deterministic policy over the link. [noise (seed, mu)]
     perturbs the observed queueing delay as in Section 6.3;
     [certificate (property, n)] computes an n-component certificate at
-    every step (the paper uses n = 50 for evaluation); [shield] projects
-    each action through a runtime {!Shield} before it is applied;
-    [collect_steps] returns the per-step trajectory (with certificates
-    when enabled). *)
+    every step (the paper uses n = 50 for evaluation) on the chosen
+    [engine] (default the batched verifier-IR engine); [refute_seed]
+    additionally runs {!Certify.refute} over every uncertified component,
+    threading one PRNG through the whole run, and reports the refuted
+    fraction in [result.refuted]; [shield] projects each action through a
+    runtime {!Shield} before it is applied; [collect_steps] returns the
+    per-step trajectory (with certificates when enabled). *)
 
 val eval_tcp :
   name:string -> (unit -> Canopy_cc.Controller.t) -> link -> result

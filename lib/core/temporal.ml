@@ -42,7 +42,7 @@ let cwnd_interval ~cwnd_tcp action =
     (Canopy_util.Mathx.clamp ~lo:Agent_env.min_enforced
        ~hi:Agent_env.max_enforced (Interval.hi raw))
 
-let verify ?(env_model = default_env_model)
+let verify ?(env_model = default_env_model) ?(engine = Certify.Batched)
     ?(domain = Certify.Box_domain) ~actor ~property ~case ~horizon ~history
     ~state ~cwnd_tcp () =
   if horizon <= 0 then invalid_arg "Temporal.verify: horizon";
@@ -77,12 +77,14 @@ let verify ?(env_model = default_env_model)
   (* The most recent concrete frame anchors the wander of the non-delay
      features of synthesized future frames. *)
   let anchor = Array.sub state ((history - 1) * fc) fc in
+  (* The horizon is inherently sequential (each step's frame depends on
+     the previous window), so the engine sees one box per call — but the
+     batched engine still amortizes IR extraction across the whole
+     unrolling, and the domain dispatch lives in exactly one place. *)
   let propagate_state () =
     let ivs = Array.concat (List.map Array.copy !frames) in
     let box = Box.of_intervals ivs in
-    match domain with
-    | Certify.Box_domain -> Ibp.output_interval actor box
-    | Certify.Zonotope_domain -> Zonotope.output_interval actor box
+    Certify.output_interval ~engine ~domain ~actor box
   in
   let cwnd_tcp_iv = ref (Interval.of_point cwnd_tcp) in
   let bounds = ref [] in

@@ -57,6 +57,7 @@ type t = {
 
 val verify :
   ?env_model:env_model ->
+  ?engine:Certify.engine ->
   ?domain:Certify.domain ->
   actor:Mlp.t ->
   property:Property.t ->

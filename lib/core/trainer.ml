@@ -10,6 +10,7 @@ type config = {
   seed : int;
   lambda : float;
   property : Property.t;
+  engine : Certify.engine;
   n_components : int;
   history : int;
   hidden : int;
@@ -20,12 +21,13 @@ type config = {
 }
 
 let default_config ?(seed = 42) ?(lambda = 0.25)
-    ?(property = Property.performance ()) ?(n_components = 5)
-    ?(total_steps = 4000) ~envs () =
+    ?(property = Property.performance ()) ?(engine = Certify.Batched)
+    ?(n_components = 5) ?(total_steps = 4000) ~envs () =
   {
     seed;
     lambda;
     property;
+    engine;
     n_components;
     history = 5;
     hidden = 64;
@@ -119,7 +121,8 @@ let train ?on_epoch cfg =
     (* Certificate of the current policy in the current context,
        computed before the action is applied (Section 4.3). *)
     let cert =
-      Certify.certify ~actor:(Td3.actor agent) ~property:cfg.property
+      Certify.certify ~engine:cfg.engine ~actor:(Td3.actor agent)
+        ~property:cfg.property
         ~n_components:cfg.n_components ~history:cfg.history ~state:s
         ~cwnd_tcp:(Agent_env.cwnd_tcp env)
         ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) ()

@@ -15,6 +15,8 @@ type config = {
   seed : int;
   lambda : float;  (** verifier-reward weight, in [0,1] *)
   property : Property.t;
+  engine : Certify.engine;  (** abstract-interpretation engine for the
+      in-loop certificates (default [Batched]) *)
   n_components : int;  (** certificate slices during training (N) *)
   history : int;  (** k observation frames per state *)
   hidden : int;  (** actor/critic hidden width *)
@@ -28,6 +30,7 @@ val default_config :
   ?seed:int ->
   ?lambda:float ->
   ?property:Property.t ->
+  ?engine:Certify.engine ->
   ?n_components:int ->
   ?total_steps:int ->
   envs:Canopy_orca.Agent_env.config list ->

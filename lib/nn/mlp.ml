@@ -1,6 +1,14 @@
 open Canopy_tensor
 
-type t = { in_dim : int; out_dim : int; layers : Layer.t list }
+type t = {
+  in_dim : int;
+  out_dim : int;
+  layers : Layer.t list;
+  mutable generation : int;
+      (* Bumped whenever learned parameters or batch-norm running
+         statistics change, so derived read-only views (e.g. the
+         verifier IR in [Canopy_absint.Anet]) can cache against it. *)
+}
 
 let infer_out_dim in_dim layers =
   List.fold_left
@@ -20,7 +28,7 @@ let infer_out_dim in_dim layers =
 
 let create ~in_dim layers =
   if in_dim <= 0 then invalid_arg "Mlp.create: in_dim";
-  { in_dim; out_dim = infer_out_dim in_dim layers; layers }
+  { in_dim; out_dim = infer_out_dim in_dim layers; layers; generation = 0 }
 
 let actor ~rng ~in_dim ~hidden ~out_dim =
   create ~in_dim
@@ -49,6 +57,8 @@ let critic ~rng ~state_dim ~action_dim ~hidden =
 let in_dim t = t.in_dim
 let out_dim t = t.out_dim
 let layers t = t.layers
+let generation t = t.generation
+let bump_generation t = t.generation <- t.generation + 1
 
 let forward t x =
   if Vec.dim x <> t.in_dim then invalid_arg "Mlp.forward: input dim";
@@ -83,6 +93,8 @@ let train_reuse_ok = function
 let forward_train t batch =
   if Mat.cols batch <> t.in_dim then
     invalid_arg "Mlp.forward_train: input dim";
+  (* Train mode advances batch-norm running statistics. *)
+  bump_generation t;
   let _, out, rev_caches =
     List.fold_left
       (fun (prev, acc, caches) layer ->
@@ -124,6 +136,7 @@ let forward_train_rows t batch =
       if Vec.dim x <> t.in_dim then
         invalid_arg "Mlp.forward_train_rows: input dim")
     batch;
+  bump_generation t;
   let out, rev_caches =
     List.fold_left
       (fun (acc, caches) layer ->
@@ -159,6 +172,7 @@ let state_arrays layer =
 let soft_update ~tau ~src ~dst =
   if List.length src.layers <> List.length dst.layers then
     invalid_arg "Mlp.soft_update: shape mismatch";
+  bump_generation dst;
   List.iter2
     (fun ls ld ->
       let ss = state_arrays ls and ds = state_arrays ld in

@@ -27,6 +27,22 @@ val in_dim : t -> int
 val out_dim : t -> int
 val layers : t -> Layer.t list
 
+val generation : t -> int
+(** Parameter-generation counter. Starts at 0 and increments whenever the
+    network's mutable state changes: training-mode forwards (batch-norm
+    running statistics), {!soft_update} targets, optimizer steps (the
+    caller of [Optimizer.step] is responsible for calling
+    {!bump_generation}), and checkpoint loads. Derived read-only views —
+    most importantly the verifier IR in [Canopy_absint.Anet] — cache
+    against [(t, generation t)] and stay valid across the many rollout
+    steps between gradient updates. *)
+
+val bump_generation : t -> unit
+(** Record that parameters changed through a channel the network cannot
+    see itself (e.g. [Optimizer.step] mutating parameter arrays in
+    place). Forgetting a bump leaves stale cached IRs; the soundness
+    audit and the cache-staleness unit test guard the known channels. *)
+
 val forward : t -> Vec.t -> Vec.t
 (** Single-sample inference ([Eval] mode; batch-norm uses running stats). *)
 

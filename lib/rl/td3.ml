@@ -173,7 +173,8 @@ let critic_update_batched t (batch : Replay_buffer.transition array) =
     ignore (Mlp.backward ~input_grad:false critic tape dout);
     let params = Mlp.params critic in
     Optimizer.clip_gradients ~norm:10. params;
-    Optimizer.step opt params
+    Optimizer.step opt params;
+    Mlp.bump_generation critic
   in
   fit t.critic1 t.opt_critic1;
   fit t.critic2 t.opt_critic2
@@ -196,7 +197,8 @@ let actor_update_batched t (batch : Replay_buffer.transition array) =
   ignore (Mlp.backward ~input_grad:false t.actor actor_tape daction);
   let params = Mlp.params t.actor in
   Optimizer.clip_gradients ~norm:10. params;
-  Optimizer.step t.opt_actor params
+  Optimizer.step t.opt_actor params;
+  Mlp.bump_generation t.actor
 
 (* ------------------------------------------------------------------ *)
 (* Per-sample reference kernels (the pre-batching implementation).     *)
@@ -233,7 +235,8 @@ let critic_update_per_sample t (batch : Replay_buffer.transition array) =
     ignore (Mlp.backward_rows critic tape dout);
     let params = Mlp.params critic in
     Optimizer.clip_gradients ~norm:10. params;
-    Optimizer.step opt params
+    Optimizer.step opt params;
+    Mlp.bump_generation critic
   in
   fit t.critic1 t.opt_critic1;
   fit t.critic2 t.opt_critic2
@@ -260,7 +263,8 @@ let actor_update_per_sample t (batch : Replay_buffer.transition array) =
   ignore (Mlp.backward_rows t.actor actor_tape daction);
   let params = Mlp.params t.actor in
   Optimizer.clip_gradients ~norm:10. params;
-  Optimizer.step t.opt_actor params
+  Optimizer.step t.opt_actor params;
+  Mlp.bump_generation t.actor
 
 let soft_updates t =
   let tau = t.cfg.tau in

@@ -369,10 +369,11 @@ let mat_mul_nt a b =
    Fusing the bias into the GEMM epilogue saves a full extra pass over the
    output. Seeding the accumulator with the bias instead of adding it last
    changes the result only by rounding relative to dot-then-add. *)
-let mat_mul_nt_bias a b bias =
+let mat_mul_nt_bias_into ~dst a b bias =
   if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_bias: dims";
   if Array.length bias <> b.rows then invalid_arg "Mat.mat_mul_nt_bias: bias";
-  let dst = create_uninit ~rows:a.rows ~cols:b.rows in
+  if dst.rows <> a.rows || dst.cols <> b.rows then
+    invalid_arg "Mat.mat_mul_nt_bias_into: dst";
   let inner = a.cols in
   let ad = a.data and bd = b.data and od = dst.data in
   let j4 = b.rows - (b.rows land 3) in
@@ -438,7 +439,12 @@ let mat_mul_nt_bias a b bias =
       done;
       Array.unsafe_set od (obase + j) !acc
     done
-  done;
+  done
+
+let mat_mul_nt_bias a b bias =
+  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_bias: dims";
+  let dst = create_uninit ~rows:a.rows ~cols:b.rows in
+  mat_mul_nt_bias_into ~dst a b bias;
   dst
 
 (* dst <- dst + aᵀ · b, the batched weight-gradient kernel

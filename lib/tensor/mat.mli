@@ -9,6 +9,11 @@ type t
 val create : rows:int -> cols:int -> t
 (** Zero matrix. *)
 
+val create_uninit : rows:int -> cols:int -> t
+(** Uninitialized matrix. Only for staging buffers whose every cell is
+    overwritten before being read (e.g. the destinations of the [_into]
+    kernels); reading a cell before writing it is unspecified. *)
+
 val init : rows:int -> cols:int -> (int -> int -> float) -> t
 val of_arrays : float array array -> t
 (** Rows must be non-empty and rectangular. *)
@@ -60,6 +65,12 @@ val mat_mul_nt_bias : t -> t -> Vec.t -> t
     [x·wᵀ + b]. The bias seeds the accumulator instead of being added
     after the dot product, so results differ from
     {!mat_mul_nt}-then-{!add_row} by rounding only. *)
+
+val mat_mul_nt_bias_into : dst:t -> t -> t -> Vec.t -> unit
+(** Allocation-free {!mat_mul_nt_bias} into [dst] ([a.rows × b.rows]).
+    With {!mat_mul_nt_into} these are the two kernels of the batched
+    abstract-interpretation engine: centers go through the bias form,
+    radii through the plain [r·|W|ᵀ] form. *)
 
 val mat_mul_tn_acc : dst:t -> t -> t -> unit
 (** [mat_mul_tn_acc ~dst a b] accumulates [dst <- dst + aᵀ·b]; requires

@@ -306,6 +306,138 @@ let test_propagate_layer_relu () =
     (Box.dimension out 0)
 
 (* ------------------------------------------------------------------ *)
+(* Anet: the verifier IR *)
+
+let check_close label a b =
+  if not (Canopy_util.Mathx.approx_equal ~eps:1e-9 a b) then
+    Alcotest.failf "%s: %.17g <> %.17g" label a b
+
+let random_boxes rng n dim =
+  Array.init n (fun _ ->
+      Box.of_intervals
+        (Array.init dim (fun _ ->
+             let c = Prng.uniform rng (-1.) 1. in
+             let r = Prng.float rng 0.6 in
+             Interval.make (c -. r) (c +. r))))
+
+let test_anet_extraction_shape () =
+  let rng = Prng.create 41 in
+  let actor = Mlp.actor ~rng ~in_dim:6 ~hidden:12 ~out_dim:1 in
+  let ir = Anet.of_mlp actor in
+  check_bool "actor in_dim" true (Anet.in_dim ir = 6);
+  check_bool "actor out_dim" true (Anet.out_dim ir = 1);
+  (match Anet.stages ir with
+  | [ s1; s2; s3 ] ->
+      let is_leaky = function Anet.Leaky_relu _ -> true | _ -> false in
+      check_bool "stage 1 leaky" true (is_leaky s1.Anet.act);
+      check_bool "stage 2 leaky" true (is_leaky s2.Anet.act);
+      check_bool "stage 3 tanh" true (s3.Anet.act = Anet.Tanh)
+  | stages ->
+      Alcotest.failf "actor fused to %d stages, wanted 3"
+        (List.length stages));
+  let critic = Mlp.critic ~rng ~state_dim:5 ~action_dim:1 ~hidden:8 in
+  match List.rev (Anet.stages (Anet.of_mlp critic)) with
+  | last :: _ -> check_bool "critic ends linear" true (last.Anet.act = Anet.Linear)
+  | [] -> Alcotest.fail "critic IR has no stages"
+
+let test_anet_forward_matches_mlp () =
+  (* Extraction invariance: fusing dense∘batch-norm runs must not change
+     the concrete function, even after training batches have moved the
+     BN statistics. *)
+  let rng = Prng.create 43 in
+  for _ = 1 to 10 do
+    let net = random_net rng in
+    let batch =
+      Array.init 8 (fun _ -> Array.init 6 (fun _ -> Prng.uniform rng (-1.) 1.))
+    in
+    ignore (Mlp.forward_train net (Canopy_tensor.Mat.of_arrays batch));
+    let ir = Anet.of_mlp net in
+    for _ = 1 to 20 do
+      let x = Array.init 6 (fun _ -> Prng.uniform rng (-2.) 2.) in
+      check_close "fused forward" (Mlp.forward net x).(0) (Anet.forward ir x).(0)
+    done
+  done
+
+let test_anet_propagate_matches_ibp () =
+  (* The IR has no consecutive dense layers in these shapes, so the
+     fused bounds agree with layer-by-layer IBP to rounding. *)
+  let rng = Prng.create 47 in
+  for _ = 1 to 10 do
+    let net = random_net rng in
+    let ir = Anet.of_mlp net in
+    Array.iter
+      (fun box ->
+        let a = Box.dimension (Anet.propagate ir box) 0 in
+        let b = Ibp.output_interval net box in
+        check_close "lo" (Interval.lo b) (Interval.lo a);
+        check_close "hi" (Interval.hi b) (Interval.hi a))
+      (random_boxes rng 5 6)
+  done
+
+let test_anet_batched_matches_single () =
+  let rng = Prng.create 53 in
+  let net = random_net rng in
+  let ir = Anet.cached net in
+  let boxes = random_boxes rng 7 6 in
+  let batched = Anet.output_intervals ir boxes in
+  Array.iteri
+    (fun i box ->
+      let single = Anet.output_interval ir box in
+      check_close "batched lo" (Interval.lo single) (Interval.lo batched.(i));
+      check_close "batched hi" (Interval.hi single) (Interval.hi batched.(i)))
+    boxes
+
+let test_anet_zonotope_ir_path () =
+  let rng = Prng.create 59 in
+  for _ = 1 to 5 do
+    let net = random_net rng in
+    let ir = Anet.cached net in
+    let boxes = random_boxes rng 4 6 in
+    let fused = Zonotope.output_intervals_anet ir boxes in
+    Array.iteri
+      (fun i box ->
+        let single = Zonotope.output_interval net box in
+        check_close "zono lo" (Interval.lo single) (Interval.lo fused.(i));
+        check_close "zono hi" (Interval.hi single) (Interval.hi fused.(i)))
+      boxes
+  done
+
+let test_anet_cache_tracks_generation () =
+  let rng = Prng.create 61 in
+  let net = random_net rng in
+  let ir = Anet.cached net in
+  check_bool "cache hit is physical" true (Anet.cached net == ir);
+  let batch =
+    Array.init 4 (fun _ -> Array.init 6 (fun _ -> Prng.uniform rng (-1.) 1.))
+  in
+  ignore (Mlp.forward_train net (Canopy_tensor.Mat.of_arrays batch));
+  let ir' = Anet.cached net in
+  check_bool "generation bump invalidates" true (not (ir' == ir));
+  check_bool "snapshot records generation" true
+    (Anet.source_generation ir' = Mlp.generation net);
+  (* the old snapshot still reflects the pre-update parameters *)
+  check_bool "old snapshot is stale" true
+    (Anet.source_generation ir < Anet.source_generation ir')
+
+let test_anet_point_box_is_exact () =
+  let rng = Prng.create 67 in
+  let net = random_net rng in
+  let ir = Anet.of_mlp net in
+  let x = Array.init 6 (fun i -> 0.15 *. float_of_int (i - 2)) in
+  let out = Anet.output_interval ir (Box.of_point x) in
+  let concrete = (Mlp.forward net x).(0) in
+  check_bool "degenerate box pins the forward value" true
+    (Float.abs (Interval.lo out -. concrete) < 1e-9
+    && Float.abs (Interval.hi out -. concrete) < 1e-9)
+
+let test_anet_dimension_mismatch () =
+  let rng = Prng.create 71 in
+  let ir = Anet.of_mlp (random_net rng) in
+  Alcotest.check_raises "propagate dim"
+    (Invalid_argument "Anet.propagate: input dim") (fun () ->
+      ignore (Anet.propagate ir (Box.of_point [| 0. |])))
+
+(* ------------------------------------------------------------------ *)
 (* Property-based *)
 
 let gen_interval =
@@ -391,5 +523,13 @@ let suite =
     ("ibp sound after BN updates", `Quick, test_ibp_batchnorm_running_stats);
     ("ibp dimension mismatch", `Quick, test_ibp_dimension_mismatch);
     ("propagate_layer relu", `Quick, test_propagate_layer_relu);
+    ("anet extraction shape", `Quick, test_anet_extraction_shape);
+    ("anet forward = mlp forward", `Quick, test_anet_forward_matches_mlp);
+    ("anet propagate = ibp", `Quick, test_anet_propagate_matches_ibp);
+    ("anet batched = single", `Quick, test_anet_batched_matches_single);
+    ("anet zonotope IR path", `Quick, test_anet_zonotope_ir_path);
+    ("anet cache tracks generation", `Quick, test_anet_cache_tracks_generation);
+    ("anet point box exact", `Quick, test_anet_point_box_is_exact);
+    ("anet dimension mismatch", `Quick, test_anet_dimension_mismatch);
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck

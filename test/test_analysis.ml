@@ -56,6 +56,21 @@ let test_lint_array_make_alias () =
   Alcotest.(check (list string))
     "parenthesized count" [ "array-make-alias" ] (rules_of diags)
 
+let test_lint_mlp_layer_walk () =
+  let fixture = "let n = List.length (Mlp.layers net)\n" in
+  let at path = rules_of (Lint.check_source ~path fixture) in
+  let p parts = String.concat Filename.dir_sep parts in
+  Alcotest.(check (list string)) "flagged outside lib/nn"
+    [ "mlp-layer-walk" ]
+    (at (p [ "lib"; "core"; "certify.ml" ]));
+  Alcotest.(check (list string)) "flagged in bin"
+    [ "mlp-layer-walk" ]
+    (at (p [ "bin"; "check.ml" ]));
+  Alcotest.(check (list string)) "exempt under lib/nn" []
+    (at (p [ "lib"; "nn"; "mlp.ml" ]));
+  Alcotest.(check (list string)) "exempt in the IR builder" []
+    (at (p [ "lib"; "absint"; "anet.ml" ]))
+
 let test_lint_array_make_scalar_clean () =
   let fixture =
     "let a = Array.make n 0.\n\
@@ -179,6 +194,13 @@ let test_audit_determinism () =
   check_int "same violation count" a.violation_count b.violation_count;
   check_int "violations (expected clean)" 0 a.violation_count
 
+let test_audit_covers_anet_ops () =
+  (* The verifier-IR transfer functions are part of the audited surface. *)
+  List.iter
+    (fun op ->
+      check_bool (op ^ " registered") true (List.mem op Soundcheck.op_names))
+    [ "anet.propagate"; "anet.ibp.batched"; "anet.zonotope" ]
+
 (* ------------------------------------------------------------------ *)
 (* Netcheck *)
 
@@ -259,6 +281,7 @@ let suite =
     ("lint: Obj.magic", `Quick, test_lint_obj_magic);
     ("lint: catch-all handler", `Quick, test_lint_catch_all);
     ("lint: Array.make aliasing", `Quick, test_lint_array_make_alias);
+    ("lint: Mlp.layers walk", `Quick, test_lint_mlp_layer_walk);
     ("lint: Array.make scalar clean", `Quick, test_lint_array_make_scalar_clean);
     ("lint: typed comparators clean", `Quick, test_lint_typed_comparators_clean);
     ("lint: comments/strings ignored", `Quick,
@@ -271,6 +294,7 @@ let suite =
      test_baseline_survives_renumbering);
     ("audit: clean over 10k points", `Slow, test_audit_clean_10k);
     ("audit: deterministic", `Quick, test_audit_determinism);
+    ("audit: anet ops registered", `Quick, test_audit_covers_anet_ops);
     ("netcheck: fresh actor ok", `Quick, test_netcheck_accepts_fresh_actor);
     ("netcheck: dim mismatch", `Quick, test_netcheck_rejects_dim_mismatch);
     ("netcheck: non-finite weight", `Quick,

@@ -93,10 +93,11 @@ let test_property_case_mismatch () =
 (* ------------------------------------------------------------------ *)
 (* Certify: structure *)
 
-let certify ?(actor = constant_actor 0.) ?(property = Property.performance ())
-    ?(n = 5) ?(state = mid_state) ?(cwnd_tcp = 100.) ?(prev_cwnd = 100.) () =
-  Certify.certify ~actor ~property ~n_components:n ~history ~state ~cwnd_tcp
-    ~prev_cwnd ()
+let certify ?engine ?(actor = constant_actor 0.)
+    ?(property = Property.performance ()) ?(n = 5) ?(state = mid_state)
+    ?(cwnd_tcp = 100.) ?(prev_cwnd = 100.) () =
+  Certify.certify ?engine ~actor ~property ~n_components:n ~history ~state
+    ~cwnd_tcp ~prev_cwnd ()
 
 let test_certify_component_counts () =
   let c = certify ~n:5 () in
@@ -403,6 +404,7 @@ let test_eval_mean_results () =
       loss_rate = 0.;
       fcc = Some 0.5;
       fcs = None;
+      refuted = None;
     }
   in
   let m = Eval.mean_results "group" [ r "a" 0.4; r "b" 0.8 ] in
@@ -426,6 +428,7 @@ let test_eval_noise_delta () =
       loss_rate = 0.;
       fcc = None;
       fcs = None;
+      refuted = None;
     }
   in
   let noisy =
@@ -531,6 +534,91 @@ let test_load_or_train_caches () =
       check_float "same policy" (Mlp.forward actor1 x).(0)
         (Mlp.forward actor2 x).(0))
 
+(* ------------------------------------------------------------------ *)
+(* Engine equivalence: the batched IR path must reproduce the per-slice
+   reference bit-for-bit up to GEMM reassociation (≤ 1e-9) on every
+   certificate field, for both domains and both properties. The actor
+   shapes here (and everywhere in training) have no consecutive dense
+   layers, so IR fusion changes only the evaluation order. *)
+
+let check_interval_close label a b =
+  let ok =
+    Float.abs (Interval.lo a -. Interval.lo b) <= 1e-9
+    && Float.abs (Interval.hi a -. Interval.hi b) <= 1e-9
+  in
+  if not ok then
+    Alcotest.failf "%s: %a <> %a" label Interval.pp a Interval.pp b
+
+let check_certificates_match label (a : Certify.t) (b : Certify.t) =
+  Alcotest.(check int)
+    (label ^ ": component count")
+    (Array.length a.Certify.components)
+    (Array.length b.Certify.components);
+  Array.iteri
+    (fun i (ca : Certify.component) ->
+      let cb = b.Certify.components.(i) in
+      Alcotest.(check bool) (label ^ ": same case") true (ca.case = cb.case);
+      Alcotest.(check int) (label ^ ": same index") ca.index cb.index;
+      check_interval_close (label ^ ": slice") ca.slice cb.slice;
+      check_interval_close (label ^ ": action") ca.action cb.action;
+      check_interval_close (label ^ ": output") ca.output cb.output;
+      check_float (label ^ ": distance") ca.distance cb.distance;
+      Alcotest.(check bool)
+        (label ^ ": certified flag") ca.certified cb.certified)
+    a.Certify.components;
+  check_float (label ^ ": r_verifier") a.Certify.r_verifier b.Certify.r_verifier;
+  check_float (label ^ ": fcc") a.Certify.fcc b.Certify.fcc
+
+let engine_sweep_actors () =
+  let rng = Canopy_util.Prng.create 404 in
+  List.init 3 (fun _ ->
+      Mlp.actor ~rng ~in_dim:state_dim ~hidden:10 ~out_dim:1)
+
+let test_batched_matches_per_slice_certify () =
+  List.iter
+    (fun actor ->
+      List.iter
+        (fun (dname, domain) ->
+          List.iter
+            (fun (pname, property) ->
+              let run engine =
+                Certify.certify ~engine ~domain ~actor ~property
+                  ~n_components:5 ~history ~state:mid_state ~cwnd_tcp:100.
+                  ~prev_cwnd:90. ()
+              in
+              check_certificates_match
+                (Printf.sprintf "%s/%s" dname pname)
+                (run Certify.Per_slice) (run Certify.Batched))
+            [
+              ("performance", Property.performance ());
+              ("robustness", Property.robustness ());
+            ])
+        [
+          ("box", Certify.Box_domain);
+          ("zonotope", Certify.Zonotope_domain);
+        ])
+    (engine_sweep_actors ())
+
+let test_batched_matches_per_slice_adaptive () =
+  List.iter
+    (fun actor ->
+      List.iter
+        (fun (dname, domain) ->
+          let run engine =
+            Certify.certify_adaptive ~engine ~domain ~actor
+              ~property:(Property.performance ()) ~initial_components:2
+              ~max_components:24 ~history ~state:mid_state ~cwnd_tcp:100.
+              ~prev_cwnd:90. ()
+          in
+          check_certificates_match
+            (Printf.sprintf "adaptive/%s" dname)
+            (run Certify.Per_slice) (run Certify.Batched))
+        [
+          ("box", Certify.Box_domain);
+          ("zonotope", Certify.Zonotope_domain);
+        ])
+    (engine_sweep_actors ())
+
 let suite =
   [
     ("property defaults", `Quick, test_property_defaults);
@@ -574,6 +662,10 @@ let suite =
     ("trainer λ=0 identity", `Slow, test_trainer_combined_reward_identity_lambda0);
     ("trainer deterministic", `Slow, test_trainer_deterministic_given_seed);
     ("load_or_train caches", `Slow, test_load_or_train_caches);
+    ("batched = per-slice (certify)", `Quick,
+      test_batched_matches_per_slice_certify);
+    ("batched = per-slice (adaptive)", `Quick,
+      test_batched_matches_per_slice_adaptive);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -591,7 +683,8 @@ let test_refute_finds_real_violation () =
            && not comp.Certify.certified)
   in
   match
-    Certify.refute ~actor ~property:(Property.performance ()) ~history
+    Certify.refute ~rng:(Prng.create 11) ~actor
+      ~property:(Property.performance ()) ~history
       ~state:mid_state ~cwnd_tcp:100. ~prev_cwnd:100. uncertified
   with
   | Certify.Violation { state; output } ->
@@ -613,7 +706,8 @@ let test_refute_certified_is_unknown () =
     (fun comp ->
       if comp.Certify.certified then
         check_bool "certified never refuted" true
-          (Certify.refute ~actor ~property:(Property.performance ()) ~history
+          (Certify.refute ~rng:(Prng.create 11) ~actor
+             ~property:(Property.performance ()) ~history
              ~state:mid_state ~cwnd_tcp:100. ~prev_cwnd:100. comp
           = Certify.Unknown))
     c.Certify.components
@@ -625,8 +719,8 @@ let test_refute_witness_inside_slice () =
   Array.iter
     (fun comp ->
       match
-        Certify.refute ~actor ~property:(Property.performance ()) ~history
-          ~state:mid_state ~cwnd_tcp:100. ~prev_cwnd:90. comp
+        Certify.refute ~rng ~actor ~property:(Property.performance ())
+          ~history ~state:mid_state ~cwnd_tcp:100. ~prev_cwnd:90. comp
       with
       | Certify.Unknown -> ()
       | Certify.Violation { state; _ } ->
@@ -668,8 +762,13 @@ let test_refute_spurious_component_unknown () =
       ]
   in
   (* true action = tanh(30d − 30d + 0.05) = tanh(0.05) > 0 for all d:
-     the small-delay case (ΔCWND ≥ 0) truly holds with prev = cwnd_tcp *)
-  let c = certify ~actor ~cwnd_tcp:100. ~prev_cwnd:100. () in
+     the small-delay case (ΔCWND ≥ 0) truly holds with prev = cwnd_tcp.
+     The per-layer box walk widens the cancellation; the IR engine fuses
+     the two consecutive denses into W2·W1 = 0 and proves it exactly, so
+     this test pins the Per_slice reference. *)
+  let c =
+    certify ~engine:Certify.Per_slice ~actor ~cwnd_tcp:100. ~prev_cwnd:100. ()
+  in
   let small_uncertified =
     Array.to_list c.Certify.components
     |> List.filter (fun comp ->
@@ -681,14 +780,15 @@ let test_refute_spurious_component_unknown () =
   List.iter
     (fun comp ->
       check_bool "spurious component cannot be refuted" true
-        (Certify.refute ~actor ~property:(Property.performance ()) ~history
+        (Certify.refute ~rng:(Prng.create 11) ~actor
+           ~property:(Property.performance ()) ~history
            ~state:mid_state ~cwnd_tcp:100. ~prev_cwnd:100. comp
         = Certify.Unknown))
     small_uncertified;
   (* and the zonotope domain proves them (the cancellation is affine) *)
   let z =
-    Certify.certify ~domain:Certify.Zonotope_domain ~actor
-      ~property:(Property.performance ()) ~n_components:5 ~history
+    Certify.certify ~engine:Certify.Per_slice ~domain:Certify.Zonotope_domain
+      ~actor ~property:(Property.performance ()) ~n_components:5 ~history
       ~state:mid_state ~cwnd_tcp:100. ~prev_cwnd:100. ()
   in
   Array.iter
@@ -696,7 +796,16 @@ let test_refute_spurious_component_unknown () =
       if comp.Certify.case = Property.Small_delay then
         check_bool "zonotope certifies the cancellation" true
           comp.Certify.certified)
-    z.Certify.components
+    z.Certify.components;
+  (* so does the batched box engine: collapsing consecutive affines in
+     the IR removes exactly this over-approximation *)
+  let fused = certify ~actor ~cwnd_tcp:100. ~prev_cwnd:100. () in
+  Array.iter
+    (fun comp ->
+      if comp.Certify.case = Property.Small_delay then
+        check_bool "fused IR certifies the cancellation" true
+          comp.Certify.certified)
+    fused.Certify.components
 
 let refute_suite =
   [

@@ -456,6 +456,28 @@ let test_checkpoint_rejects_garbage () =
   Alcotest.check_raises "bad magic" (Failure "Checkpoint: bad magic")
     (fun () -> ignore (Checkpoint.of_string "not a checkpoint\n"))
 
+let test_generation_counter () =
+  (* The parameter-generation counter keys the verifier-IR cache: any
+     mutation path must bump it, and reads must not. *)
+  let net = Mlp.actor ~rng:(rng ()) ~in_dim:3 ~hidden:4 ~out_dim:1 in
+  Alcotest.(check int) "fresh net" 0 (Mlp.generation net);
+  ignore (Mlp.forward net [| 0.1; 0.2; 0.3 |]);
+  Alcotest.(check int) "eval forward does not bump" 0 (Mlp.generation net);
+  ignore (Mlp.forward_train net (Mat.of_arrays [| [| 0.1; 0.2; 0.3 |] |]));
+  Alcotest.(check int) "forward_train bumps" 1 (Mlp.generation net);
+  ignore (Mlp.forward_train_rows net [| [| 0.1; 0.2; 0.3 |] |]);
+  Alcotest.(check int) "forward_train_rows bumps" 2 (Mlp.generation net);
+  Mlp.bump_generation net;
+  Alcotest.(check int) "explicit bump" 3 (Mlp.generation net)
+
+let test_generation_soft_update_bumps_dst () =
+  let src = Mlp.actor ~rng:(rng ()) ~in_dim:3 ~hidden:4 ~out_dim:1 in
+  let dst = Mlp.copy src in
+  let src_gen = Mlp.generation src and dst_gen = Mlp.generation dst in
+  Mlp.soft_update ~tau:0.5 ~src ~dst;
+  Alcotest.(check int) "src untouched" src_gen (Mlp.generation src);
+  Alcotest.(check int) "dst bumped" (dst_gen + 1) (Mlp.generation dst)
+
 let suite =
   [
     ("dense forward", `Quick, test_dense_forward);
@@ -493,4 +515,7 @@ let suite =
     ("checkpoint file roundtrip", `Quick, test_checkpoint_roundtrip_file);
     ("checkpoint running stats", `Quick, test_checkpoint_preserves_running_stats);
     ("checkpoint rejects garbage", `Quick, test_checkpoint_rejects_garbage);
+    ("generation counter", `Quick, test_generation_counter);
+    ("generation: soft update bumps dst", `Quick,
+      test_generation_soft_update_bumps_dst);
   ]
