@@ -1,10 +1,12 @@
 (* canopy-check: correctness tooling for the repository itself.
 
-   - lint:     deterministic source-level analyzer with a checked-in
-               baseline; exits non-zero on findings not in the baseline.
-   - audit:    differential soundness sanitizer for the abstract
-               transformers backing every certificate.
-   - netcheck: static shape/finiteness validation of checkpoints. *)
+   - lint:       deterministic source-level analyzer with a checked-in
+                 baseline; exits non-zero on findings not in the baseline.
+   - audit:      differential soundness sanitizer for the abstract
+                 transformers backing every certificate.
+   - netcheck:   static shape/finiteness validation of checkpoints.
+   - faultcheck: fault-injection audit of the crash-safe training
+                 runtime (kill/resume, corruption, NaN recovery). *)
 
 open Cmdliner
 module A = Canopy_analysis
@@ -159,10 +161,58 @@ let netcheck_cmd =
     (Cmd.info "netcheck" ~doc:"validate network stacks and checkpoints")
     Term.(const run_netcheck $ ckpts)
 
+(* --- faultcheck ------------------------------------------------------- *)
+
+let run_faultcheck trials seed smoke =
+  let trials = if smoke then 6 else trials in
+  if trials <= 0 then begin
+    Format.eprintf "faultcheck: --trials must be positive (got %d)@." trials;
+    exit 2
+  end;
+  let outcome = A.Faultcheck.run ~seed ~trials () in
+  List.iter (fun msg -> Format.printf "faultcheck: FAIL %s@." msg)
+    outcome.failures;
+  Format.printf
+    "faultcheck: %d trials (%d kill/resume, %d corruption, %d nan-recovery, \
+     seed %d)@."
+    outcome.trials outcome.kill_resume outcome.corruption outcome.nan_recovery
+    seed;
+  if outcome.failures = [] then begin
+    Format.printf
+      "faultcheck: resume exact, corrupt checkpoints rejected, watchdog \
+       recovers@.";
+    0
+  end
+  else begin
+    Format.printf
+      "faultcheck: %d FAILURE(S) — the crash-safety guarantees do not hold@."
+      (List.length outcome.failures);
+    1
+  end
+
+let fc_trials =
+  Arg.(value & opt int 60
+       & info [ "trials" ] ~doc:"Randomized fault-injection trials.")
+
+let fc_seed = Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let fc_smoke =
+  Arg.(value & flag
+       & info [ "smoke" ] ~doc:"Quick mode for CI: run 6 trials.")
+
+let faultcheck_cmd =
+  Cmd.v
+    (Cmd.info "faultcheck"
+       ~doc:"fault-injection audit of the crash-safe training runtime")
+    Term.(const run_faultcheck $ fc_trials $ fc_seed $ fc_smoke)
+
 (* ---------------------------------------------------------------------- *)
 
 let cmd =
-  let doc = "correctness tooling: lint, verifier soundness audit, netcheck" in
-  Cmd.group (Cmd.info "canopy-check" ~doc) [ lint_cmd; audit_cmd; netcheck_cmd ]
+  let doc =
+    "correctness tooling: lint, verifier soundness audit, netcheck, faultcheck"
+  in
+  Cmd.group (Cmd.info "canopy-check" ~doc)
+    [ lint_cmd; audit_cmd; netcheck_cmd; faultcheck_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -4,7 +4,7 @@
 open Cmdliner
 
 let run lambda property_name p q mu epsilon n_components total_steps n_envs
-    duration_ms seed hidden out quiet verbose =
+    duration_ms seed hidden out snapshot_every snapshot resume quiet verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
   let property =
@@ -24,16 +24,22 @@ let run lambda property_name p q mu epsilon n_components total_steps n_envs
       hidden;
     }
   in
+  let snapshot_every =
+    match (snapshot_every, snapshot, resume) with
+    | None, None, None -> None
+    | None, _, _ -> Some 500 (* snapshotting requested without a period *)
+    | some, _, _ -> some
+  in
   let agent, _epochs =
     Canopy.Trainer.train
       ~on_epoch:(fun e ->
         if not quiet then
           Format.printf
             "epoch %3d (step %5d): raw=%6.3f verifier=%6.3f combined=%6.3f \
-             fcc=%5.3f@."
+             fcc=%5.3f rollbacks=%d@."
             e.Canopy.Trainer.epoch e.steps e.raw_reward e.verifier_reward
-            e.combined_reward e.fcc)
-      cfg
+            e.combined_reward e.fcc e.rollbacks)
+      ?snapshot_every ?snapshot_path:snapshot ?resume cfg
   in
   Canopy.Trainer.save_actor agent out;
   Format.printf "saved actor checkpoint to %s@." out
@@ -71,6 +77,25 @@ let out =
   Arg.(value & opt string "actor.ckpt"
        & info [ "o"; "out" ] ~doc:"Checkpoint output path.")
 
+let snapshot_every =
+  Arg.(value & opt (some int) None
+       & info [ "snapshot-every" ]
+           ~doc:"Steps between training snapshots; enables the divergence \
+                 watchdog. Defaults to 500 when --snapshot or --resume is \
+                 given.")
+
+let snapshot =
+  Arg.(value & opt (some string) None
+       & info [ "snapshot" ]
+           ~doc:"Persist a canopy-train v2 checkpoint here at every snapshot \
+                 boundary (atomic write).")
+
+let resume =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ]
+           ~doc:"Resume training from a canopy-train v2 checkpoint; the \
+                 run's config must match the checkpoint's fingerprint.")
+
 let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress epoch logs.")
 
 let verbose =
@@ -82,7 +107,7 @@ let cmd =
     (Cmd.info "canopy-train" ~doc)
     Term.(
       const run $ lambda $ property_name $ p $ q $ mu $ epsilon $ n_components
-      $ total_steps $ n_envs $ duration_ms $ seed $ hidden $ out $ quiet
-      $ verbose)
+      $ total_steps $ n_envs $ duration_ms $ seed $ hidden $ out
+      $ snapshot_every $ snapshot $ resume $ quiet $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,260 @@
+(* Fault-injection harness for the crash-safe training runtime — the
+   robustness analogue of the soundness audit: instead of sampling the
+   abstract transformers, it adversarially kills, corrupts and poisons a
+   miniature training loop and asserts the recovery machinery holds.
+
+   Three randomized trial kinds, cycled per trial index:
+
+   - kill/resume: a reference run snapshots at a random cadence; a second
+     agent is killed at a random boundary, restored from the file written
+     there, and run to completion. Every network must match the reference
+     bit-for-bit.
+   - corruption: an encoded checkpoint is truncated at a random offset or
+     bit-flipped at a random byte; decode must reject it (and accept the
+     pristine original).
+   - NaN injection: weights are poisoned mid-run; the finiteness probe
+     must detect it, and restore + reseed must leave a finite agent that
+     keeps training.
+
+   The environment here is a deterministic bandit whose state is a pure
+   function of the step index, so exact resume needs no environment
+   snapshot — precisely the property the real trainer gets by re-deriving
+   its env pool at snapshot boundaries. *)
+
+module Prng = Canopy_util.Prng
+module Atomic_file = Canopy_util.Atomic_file
+module Mlp = Canopy_nn.Mlp
+module Td3 = Canopy_rl.Td3
+module Replay_buffer = Canopy_rl.Replay_buffer
+module Agent_snapshot = Canopy_rl.Agent_snapshot
+
+type outcome = {
+  trials : int;
+  kill_resume : int;
+  corruption : int;
+  nan_recovery : int;
+  failures : string list;
+}
+
+let fingerprint = "faultcheck-bandit-v1"
+
+let agent_cfg =
+  {
+    (Td3.default_config ~state_dim:3 ~action_dim:1) with
+    hidden = 8;
+    batch_size = 16;
+    buffer_capacity = 256;
+    warmup = 32;
+  }
+
+let make_agent seed = Td3.create ~rng:(Prng.create seed) agent_cfg
+
+(* Deterministic bandit: state is a pure function of the step index and
+   the optimal action a pure function of the state. *)
+let state_of i =
+  let i = float_of_int i in
+  [| sin (0.1 *. i); cos (0.07 *. i); 0.5 *. sin (0.013 *. i) |]
+
+let target s = (0.6 *. s.(0)) -. (0.2 *. s.(1))
+
+(* Advance [agent] from step [from] (exclusive) to [until] (inclusive),
+   invoking [on_boundary] at multiples of [boundary_every]. *)
+let run_steps ?on_boundary ?fault_at ~boundary_every agent ~from ~until =
+  for i = from + 1 to until do
+    let s = state_of (i - 1) in
+    let a = Td3.select_action ~explore:true agent s in
+    let r = -.((a.(0) -. target s) ** 2.) in
+    Td3.observe agent
+      {
+        Replay_buffer.state = s;
+        action = a;
+        reward = r;
+        next_state = state_of i;
+        terminal = false;
+        truncated = false;
+      };
+    Td3.update agent;
+    (match fault_at with
+    | Some (step, inject) when step = i -> inject ()
+    | _ -> ());
+    if i mod boundary_every = 0 then
+      match on_boundary with Some f -> f i | None -> ()
+  done
+
+let net_bits net =
+  List.concat_map
+    (fun (value, _) -> Array.to_list (Array.map Int64.bits_of_float value))
+    (Mlp.params net)
+
+let agents_identical a b =
+  let snap_a = Td3.snapshot a and snap_b = Td3.snapshot b in
+  List.for_all2
+    (fun (name_a, net_a) (name_b, net_b) ->
+      name_a = name_b && net_bits net_a = net_bits net_b)
+    snap_a.Td3.nets snap_b.Td3.nets
+
+let all_finite net =
+  List.for_all
+    (fun (value, _) -> Array.for_all Float.is_finite value)
+    (Mlp.params net)
+
+let encode_at agent step =
+  Agent_snapshot.encode ~fingerprint
+    ~extra:[ ("faultstep", Printf.sprintf "%d\n" step) ]
+    agent
+
+let decode_step ~path sections =
+  match List.assoc_opt "faultstep" sections with
+  | Some payload -> (
+      match int_of_string_opt (String.trim payload) with
+      | Some n -> n
+      | None -> failwith (path ^ ": malformed faultstep section"))
+  | None -> failwith (path ^ ": missing faultstep section")
+
+(* --- trial kinds ------------------------------------------------------ *)
+
+let kill_resume_trial ~dir ~trial rng =
+  let seed = 1 + Prng.int rng 1_000_000 in
+  let total = 100 + Prng.int rng 60 in
+  let boundary_every = 10 + Prng.int rng 21 in
+  let path = Filename.concat dir (Printf.sprintf "trial-%d.ckpt" trial) in
+  (* Reference run: snapshot to [path] at every boundary (each write
+     atomically replaces the last, as in real training), remembering each
+     file image so the kill can strike any boundary. *)
+  let images = ref [] in
+  let reference = make_agent seed in
+  run_steps ~boundary_every reference ~from:0 ~until:total
+    ~on_boundary:(fun step ->
+      Atomic_file.write path (encode_at reference step);
+      images := (step, Agent_snapshot.read path) :: !images);
+  let images = Array.of_list (List.rev !images) in
+  if Array.length images = 0 then Error "no boundary reached"
+  else begin
+    let _, image = images.(Prng.int rng (Array.length images)) in
+    (* The killed process is gone; a fresh one (different init seed to
+       prove restore overwrites everything) restores from the file. *)
+    let resumed = make_agent (seed + 7919) in
+    let fp, sections = Agent_snapshot.decode image in
+    if fp <> fingerprint then Error "fingerprint mismatch on resume"
+    else begin
+      Agent_snapshot.restore resumed sections;
+      let from = decode_step ~path sections in
+      run_steps ~boundary_every resumed ~from ~until:total;
+      if agents_identical reference resumed then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "resume from step %d of %d diverged from the uninterrupted run"
+             from total)
+    end
+  end
+
+let corruption_trial ~dir ~trial rng =
+  let seed = 1 + Prng.int rng 1_000_000 in
+  let agent = make_agent seed in
+  run_steps ~boundary_every:max_int agent ~from:0 ~until:(40 + Prng.int rng 20);
+  let pristine = encode_at agent 40 in
+  match Agent_snapshot.decode pristine with
+  | exception Failure msg ->
+      Error (Printf.sprintf "pristine checkpoint rejected: %s" msg)
+  | _ ->
+      let n = String.length pristine in
+      let corrupt =
+        if Prng.bool rng then
+          (* Truncation: what a crash mid-write (without the atomic
+             rename) would have left behind. *)
+          String.sub pristine 0 (Prng.int rng n)
+        else begin
+          (* Single bit flip; xor 1 always changes the byte. *)
+          let b = Bytes.of_string pristine in
+          let pos = Prng.int rng n in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+          Bytes.to_string b
+        end
+      in
+      let rejected_in_memory =
+        match Agent_snapshot.decode corrupt with
+        | exception Failure _ -> true
+        | _ -> false
+      in
+      let path = Filename.concat dir (Printf.sprintf "corrupt-%d.ckpt" trial) in
+      Atomic_file.write path corrupt;
+      let rejected_from_file =
+        match Agent_snapshot.actor_of_file path with
+        | exception Failure _ -> true
+        | _ -> false
+      in
+      if rejected_in_memory && rejected_from_file then Ok ()
+      else Error "corrupted checkpoint was accepted"
+
+let nan_trial ~trial rng =
+  let seed = 1 + Prng.int rng 1_000_000 in
+  let agent = make_agent seed in
+  run_steps ~boundary_every:max_int agent ~from:0 ~until:50;
+  if not (Td3.finite agent) then Error "agent non-finite before injection"
+  else begin
+    let snap = Td3.snapshot agent in
+    (match Mlp.params (Td3.actor agent) with
+    | (value, _) :: _ -> value.(Prng.int rng (Array.length value)) <- Float.nan
+    | [] -> ());
+    if Td3.finite agent then Error "finiteness probe missed an injected NaN"
+    else begin
+      (* What the trainer's watchdog does: roll back, decorrelate, go on. *)
+      Td3.restore agent snap;
+      Td3.reseed agent ~salt:trial;
+      if not (Td3.finite agent) then
+        Error "restore left non-finite parameters"
+      else begin
+        run_steps ~boundary_every:max_int agent ~from:50 ~until:80;
+        if Td3.finite agent && all_finite (Td3.actor agent) then Ok ()
+        else Error "training diverged after rollback"
+      end
+    end
+  end
+
+(* --- driver ----------------------------------------------------------- *)
+
+let run ?(seed = 2026) ?(trials = 60) () =
+  if trials <= 0 then invalid_arg "Faultcheck.run: trials";
+  (* A unique scratch directory without a Unix dependency: temp_file
+     reserves a unique name, and the directory lives alongside it. *)
+  let marker = Filename.temp_file "canopy-faultcheck" ".tmp" in
+  let dir = marker ^ ".d" in
+  Atomic_file.mkdir_p dir;
+  let kill_resume = ref 0 and corruption = ref 0 and nan_recovery = ref 0 in
+  let failures = ref [] in
+  for trial = 0 to trials - 1 do
+    let rng = Prng.create ((seed * 1_000_003) + trial) in
+    let kind, result =
+      match trial mod 3 with
+      | 0 ->
+          incr kill_resume;
+          ("kill-resume", kill_resume_trial ~dir ~trial rng)
+      | 1 ->
+          incr corruption;
+          ("corruption", corruption_trial ~dir ~trial rng)
+      | _ ->
+          incr nan_recovery;
+          ("nan-recovery", nan_trial ~trial rng)
+    in
+    match result with
+    | Ok () -> ()
+    | Error msg ->
+        failures := Printf.sprintf "trial %d (%s): %s" trial kind msg :: !failures
+  done;
+  (* Best-effort cleanup of the scratch directory. *)
+  (match Sys.readdir dir with
+  | entries ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        entries;
+      (try Sys.rmdir dir with Sys_error _ -> ())
+  | exception Sys_error _ -> ());
+  (try Sys.remove marker with Sys_error _ -> ());
+  {
+    trials;
+    kill_resume = !kill_resume;
+    corruption = !corruption;
+    nan_recovery = !nan_recovery;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,23 @@
+(** Fault-injection harness for the crash-safe training runtime.
+
+    The robustness analogue of {!Soundcheck}: a miniature TD3 loop over a
+    deterministic bandit is adversarially killed at randomized snapshot
+    boundaries, its checkpoints truncated and bit-flipped, and its
+    weights poisoned with NaN. Each trial asserts the corresponding
+    guarantee — resume is bit-exact, corrupt checkpoints are rejected
+    rather than loaded, and the watchdog recovery path (restore + reseed)
+    leaves a finite agent that keeps training. Driven by
+    [bin/check.exe faultcheck]. *)
+
+type outcome = {
+  trials : int;
+  kill_resume : int;  (** kill/resume determinism trials run *)
+  corruption : int;  (** truncation / bit-flip rejection trials run *)
+  nan_recovery : int;  (** NaN-injection recovery trials run *)
+  failures : string list;  (** one diagnostic per failed trial; empty = pass *)
+}
+
+val run : ?seed:int -> ?trials:int -> unit -> outcome
+(** Run [trials] (default 60, cycling the three kinds) deterministic in
+    [seed]. Scratch checkpoints go to a unique temp directory, removed
+    best-effort afterwards. *)

@@ -26,6 +26,10 @@ let rules =
       "direct `Mlp.layers` traversal re-forks the batch-norm folding \
        arithmetic; outside lib/nn only the Anet IR builder may walk the \
        layer list — go through Canopy_absint.Anet instead" );
+    ( "non-atomic-write",
+      "bare `open_out` replaces the target in place, so a crash mid-write \
+       leaves a torn file that a later load trusts; persist through \
+       Canopy_util.Atomic_file.write (stage + rename) instead" );
   ]
 
 let is_ident_char = function
@@ -194,6 +198,17 @@ let check_mlp_layer_walk line =
   if contains line "Mlp.layers" then Some (List.assoc "mlp-layer-walk" rules)
   else None
 
+(* [open_out], [open_out_bin] and [open_out_gen] as bare identifiers.
+   [bare_occurrences "open_out"] already refuses a following identifier
+   char, so the variants need their own probes. *)
+let check_non_atomic_write line =
+  if
+    bare_occurrences line "open_out" <> []
+    || bare_occurrences line "open_out_bin" <> []
+    || bare_occurrences line "open_out_gen" <> []
+  then Some (List.assoc "non-atomic-write" rules)
+  else None
+
 let line_rules =
   [
     ("polymorphic-compare", check_polymorphic_compare);
@@ -204,7 +219,7 @@ let line_rules =
     ("array-make-alias", check_array_make_alias);
   ]
 
-(* [mlp-layer-walk] is the one path-scoped line rule: the layer list is
+(* [mlp-layer-walk] is a path-scoped line rule: the layer list is
    the private business of lib/nn, and the single sanctioned external
    consumer is the verifier-IR builder (anet.ml), which owns the one
    restatement of the batch-norm folding arithmetic. *)
@@ -216,9 +231,18 @@ let mlp_layer_walk_exempt path =
   has_prefix (Filename.concat "lib" "nn" ^ Filename.dir_sep)
   || Filename.basename path = "anet.ml"
 
+(* [non-atomic-write] is likewise path-scoped: the staging implementation
+   inside Atomic_file is the one place a bare [open_out_gen] is the
+   point, not a hazard. *)
+let non_atomic_write_exempt path = Filename.basename path = "atomic_file.ml"
+
 let line_rules_for path =
-  if mlp_layer_walk_exempt path then line_rules
-  else line_rules @ [ ("mlp-layer-walk", check_mlp_layer_walk) ]
+  let line_rules =
+    if mlp_layer_walk_exempt path then line_rules
+    else line_rules @ [ ("mlp-layer-walk", check_mlp_layer_walk) ]
+  in
+  if non_atomic_write_exempt path then line_rules
+  else line_rules @ [ ("non-atomic-write", check_non_atomic_write) ]
 
 let check_source ~path contents =
   let stripped = Sources.strip contents in

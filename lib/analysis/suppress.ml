@@ -31,17 +31,16 @@ let filter t diags =
   (fresh, List.length suppressed)
 
 let save path diags =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc
-        "# canopy lint baseline v1\n\
-         # <rule> <key> <file>:<line> <source text>\n\
-         # Keys hash (rule, file, line text): entries survive renumbering.\n\
-         # Regenerate with: dune exec bin/check.exe -- lint --update-baseline\n";
-      List.iter
-        (fun d ->
-          Printf.fprintf oc "%s %s %s:%d %s\n" d.Diagnostic.rule
-            (Diagnostic.key d) d.file d.line d.text)
-        (List.sort Diagnostic.compare diags))
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "# canopy lint baseline v1\n\
+     # <rule> <key> <file>:<line> <source text>\n\
+     # Keys hash (rule, file, line text): entries survive renumbering.\n\
+     # Regenerate with: dune exec bin/check.exe -- lint --update-baseline\n";
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s:%d %s\n" d.Diagnostic.rule
+           (Diagnostic.key d) d.file d.line d.text))
+    (List.sort Diagnostic.compare diags);
+  Canopy_util.Atomic_file.write path (Buffer.contents buf)

@@ -40,6 +40,16 @@ let to_string net =
     layers;
   Buffer.contents buf
 
+let parse_float s =
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> failwith (Printf.sprintf "Checkpoint: malformed float %S" s)
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "Checkpoint: malformed integer %S" s)
+
 let parse_floats line expected =
   let parts =
     String.split_on_char ' ' (String.trim line)
@@ -49,7 +59,7 @@ let parse_floats line expected =
     failwith
       (Printf.sprintf "Checkpoint: expected %d floats, found %d" expected
          (List.length parts));
-  Array.of_list (List.map float_of_string parts)
+  Array.of_list (List.map parse_float parts)
 
 let of_string s =
   let lines = String.split_on_char '\n' s in
@@ -64,12 +74,12 @@ let of_string s =
   if String.trim (next ()) <> magic then failwith "Checkpoint: bad magic";
   let in_dim =
     match String.split_on_char ' ' (String.trim (next ())) with
-    | [ "in_dim"; n ] -> int_of_string n
+    | [ "in_dim"; n ] -> parse_int n
     | _ -> failwith "Checkpoint: expected in_dim"
   in
   let count =
     match String.split_on_char ' ' (String.trim (next ())) with
-    | [ "layers"; n ] -> int_of_string n
+    | [ "layers"; n ] -> parse_int n
     | _ -> failwith "Checkpoint: expected layers"
   in
   let read_layer () =
@@ -79,7 +89,7 @@ let of_string s =
     in
     match header with
     | [ "dense"; rows; cols ] ->
-        let rows = int_of_string rows and cols = int_of_string cols in
+        let rows = parse_int rows and cols = parse_int cols in
         (* Sequence the reads explicitly: evaluation order inside record
            and tuple literals is unspecified. *)
         let wdata = parse_floats (next ()) (rows * cols) in
@@ -88,7 +98,7 @@ let of_string s =
         Layer.Dense
           { w; b; dw = Mat.create ~rows ~cols; db = Vec.create rows }
     | [ "batch_norm"; dim; momentum; eps ] ->
-        let dim = int_of_string dim in
+        let dim = parse_int dim in
         let gamma = parse_floats (next ()) dim in
         let beta = parse_floats (next ()) dim in
         let running_mean = parse_floats (next ()) dim in
@@ -101,10 +111,10 @@ let of_string s =
             running_var;
             dgamma = Vec.create dim;
             dbeta = Vec.create dim;
-            momentum = float_of_string momentum;
-            eps = float_of_string eps;
+            momentum = parse_float momentum;
+            eps = parse_float eps;
           }
-    | [ "leaky_relu"; slope ] -> Layer.Leaky_relu (float_of_string slope)
+    | [ "leaky_relu"; slope ] -> Layer.Leaky_relu (parse_float slope)
     | [ "relu" ] -> Layer.Relu
     | [ "tanh" ] -> Layer.Tanh
     | _ -> failwith "Checkpoint: unknown layer header"
@@ -115,13 +125,19 @@ let of_string s =
   for _ = 1 to count do
     layers := read_layer () :: !layers
   done;
+  (* A concatenated, overwritten or mis-counted file must fail loudly:
+     after the declared layer count only whitespace may remain. *)
+  List.iter
+    (fun l ->
+      if String.trim l <> "" then
+        failwith
+          (Printf.sprintf
+             "Checkpoint: trailing garbage after declared layer count: %S"
+             (String.trim l)))
+    !lines;
   Mlp.create ~in_dim (List.rev !layers)
 
-let save net path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string net))
+let save net path = Canopy_util.Atomic_file.write path (to_string net)
 
 let load path =
   let ic = open_in path in

@@ -5,12 +5,22 @@
     acts identically to the saved one. The format is a line-oriented text
     file, dependency-free and stable across sessions. *)
 
+val magic : string
+(** First line of every checkpoint, ["canopy-mlp v1"]. Exposed so
+    containers embedding checkpoint payloads (the [canopy-train v2]
+    training snapshot) can sniff the format. *)
+
 val save : Mlp.t -> string -> unit
-(** [save net path] writes [net] to [path], overwriting any existing
+(** [save net path] writes [net] to [path] atomically
+    (via {!Canopy_util.Atomic_file.write}), overwriting any existing
     file. *)
 
 val load : string -> Mlp.t
 (** Raises [Failure] with a descriptive message on malformed input. *)
 
 val to_string : Mlp.t -> string
+
 val of_string : string -> Mlp.t
+(** Strict parser: raises [Failure] on malformed headers, non-numeric
+    fields, missing lines, and trailing garbage after the declared layer
+    count. *)

@@ -169,6 +169,26 @@ let state_arrays layer =
   | Layer.Batch_norm bn -> [ bn.gamma; bn.beta; bn.running_mean; bn.running_var ]
   | Layer.Leaky_relu _ | Layer.Relu | Layer.Tanh -> []
 
+(* A blit, not [soft_update ~tau:1.]: the interpolation form computes
+   [(1-tau)·d + tau·s], which propagates a NaN already present in [dst]
+   — exactly the situation a divergence rollback must recover from. *)
+let assign ~src ~dst =
+  if List.length src.layers <> List.length dst.layers then
+    invalid_arg "Mlp.assign: shape mismatch";
+  bump_generation dst;
+  List.iter2
+    (fun ls ld ->
+      let ss = state_arrays ls and ds = state_arrays ld in
+      if List.length ss <> List.length ds then
+        invalid_arg "Mlp.assign: layer mismatch";
+      List.iter2
+        (fun s d ->
+          if Array.length s <> Array.length d then
+            invalid_arg "Mlp.assign: parameter size mismatch";
+          Array.blit s 0 d 0 (Array.length s))
+        ss ds)
+    src.layers dst.layers
+
 let soft_update ~tau ~src ~dst =
   if List.length src.layers <> List.length dst.layers then
     invalid_arg "Mlp.soft_update: shape mismatch";

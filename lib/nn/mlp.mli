@@ -82,6 +82,14 @@ val param_count : t -> int
 val copy : t -> t
 (** Deep copy, e.g. for target networks. *)
 
+val assign : src:t -> dst:t -> unit
+(** Overwrite all of [dst]'s mutable state (parameters and batch-norm
+    running statistics) with [src]'s, by copy. Unlike
+    [soft_update ~tau:1.] this is a plain blit, so it recovers a [dst]
+    whose weights are already NaN/Inf — the divergence-rollback path
+    depends on that. Bumps [dst]'s generation. The networks must share a
+    shape. *)
+
 val soft_update : tau:float -> src:t -> dst:t -> unit
 (** Polyak averaging of all parameters and batch-norm running statistics:
     [dst <- (1-tau)*dst + tau*src]. The networks must share a shape. *)

@@ -80,6 +80,25 @@ let step t params =
 let set_lr t lr = t.lr <- lr
 let lr t = t.lr
 
+type snapshot = { step_count : int; moments : (int * float array * float array) list }
+
+let snapshot t =
+  let moments =
+    Hashtbl.fold (fun idx s acc -> (idx, Array.copy s.m, Array.copy s.v) :: acc) t.slots []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  in
+  { step_count = t.t_step; moments }
+
+let restore t snap =
+  t.t_step <- snap.step_count;
+  Hashtbl.reset t.slots;
+  List.iter
+    (fun (idx, m, v) ->
+      if Array.length m <> Array.length v then
+        invalid_arg "Optimizer.restore: moment arrays disagree in length";
+      Hashtbl.add t.slots idx { m = Array.copy m; v = Array.copy v })
+    snap.moments
+
 let clip_gradients ~norm params =
   if norm <= 0. then invalid_arg "Optimizer.clip_gradients: norm";
   let total =

@@ -17,5 +17,23 @@ val step : t -> (float array * float array) list -> unit
 val set_lr : t -> float -> unit
 val lr : t -> float
 
+type snapshot = {
+  step_count : int;
+  moments : (int * float array * float array) list;
+      (** [(slot index, first moment, second moment)], sorted by index.
+          Arrays are deep copies — mutating them does not touch the live
+          optimizer. *)
+}
+
+val snapshot : t -> snapshot
+(** Capture the mutable update state (step counter and per-parameter
+    moment vectors). The learning rate and algorithm constants are not
+    included: they come from configuration, not training progress. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite [t]'s step counter and moments with a captured snapshot.
+    Subsequent {!step} calls continue bit-for-bit as if the snapshot had
+    never been interrupted. *)
+
 val clip_gradients : norm:float -> (float array * float array) list -> unit
 (** Global-norm gradient clipping applied in place. *)

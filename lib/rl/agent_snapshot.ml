@@ -1,0 +1,325 @@
+(* The [canopy-train v2] checkpoint container.
+
+   Layout (line-oriented, byte-counted payloads):
+
+     canopy-train v2 <crc32> <nbytes>      outer checksum, see below
+     fingerprint <string>
+     section <name> <nbytes> <crc32>
+     <nbytes bytes of payload>
+     section <name> <nbytes> <crc32>
+     <payload>
+     ...
+
+   The outer CRC on line 1 covers every byte after that line — including
+   the fingerprint line and all section headers — so tampering with a
+   header or the fingerprint is caught even though the per-section CRCs
+   only guard payloads. Per-section CRCs localize the diagnostic: a load
+   failure names the corrupt section instead of just "bad file".
+
+   Agent state is stored as one section per network (each a complete
+   [canopy-mlp v1] payload, so the actor section doubles as a v1 actor
+   checkpoint), one per optimizer, plus [replay], [prng] and [counters].
+   Callers may append extra sections (the trainer stores its progress
+   counters and the epoch curve this way); unknown sections are preserved
+   by [decode] and ignored by [restore]. *)
+
+module Prng = Canopy_util.Prng
+module Crc32 = Canopy_util.Crc32
+module Atomic_file = Canopy_util.Atomic_file
+open Canopy_nn
+
+let magic = "canopy-train v2"
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* ------------------------------------------------------------------ *)
+(* Section payload codecs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let float_line buf xs =
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%h" x))
+    xs;
+  Buffer.add_char buf '\n'
+
+let parse_float ~what s =
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> fail "Agent_snapshot: %s: malformed float %S" what s
+
+let parse_int ~what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail "Agent_snapshot: %s: malformed integer %S" what s
+
+let parse_float_line ~what line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.filter (fun s -> s <> "")
+  |> List.map (parse_float ~what)
+  |> Array.of_list
+
+let words line =
+  String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+
+(* A cursor over the lines of one section payload. *)
+let line_reader ~name payload =
+  let lines = ref (String.split_on_char '\n' payload) in
+  fun () ->
+    match !lines with
+    | [] -> fail "Agent_snapshot: section %s: unexpected end" name
+    | l :: rest ->
+        lines := rest;
+        l
+
+let encode_optimizer snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "t_step %d\n" snap.Optimizer.step_count);
+  Buffer.add_string buf
+    (Printf.sprintf "slots %d\n" (List.length snap.Optimizer.moments));
+  List.iter
+    (fun (idx, m, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "slot %d %d\n" idx (Array.length m));
+      float_line buf m;
+      float_line buf v)
+    snap.Optimizer.moments;
+  Buffer.contents buf
+
+let decode_optimizer ~name payload =
+  let next = line_reader ~name payload in
+  let what = "section " ^ name in
+  let step_count =
+    match words (next ()) with
+    | [ "t_step"; n ] -> parse_int ~what n
+    | _ -> fail "Agent_snapshot: %s: expected t_step" what
+  in
+  let count =
+    match words (next ()) with
+    | [ "slots"; n ] -> parse_int ~what n
+    | _ -> fail "Agent_snapshot: %s: expected slots" what
+  in
+  let moments = ref [] in
+  for _ = 1 to count do
+    let idx, len =
+      match words (next ()) with
+      | [ "slot"; idx; len ] -> (parse_int ~what idx, parse_int ~what len)
+      | _ -> fail "Agent_snapshot: %s: expected slot header" what
+    in
+    let m = parse_float_line ~what (next ()) in
+    let v = parse_float_line ~what (next ()) in
+    if Array.length m <> len || Array.length v <> len then
+      fail "Agent_snapshot: %s: slot %d expects %d moments, found %d/%d" what
+        idx len (Array.length m) (Array.length v);
+    moments := (idx, m, v) :: !moments
+  done;
+  { Optimizer.step_count; moments = List.rev !moments }
+
+let encode_replay (snap : Td3.snapshot) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "transitions %d %d %d\n"
+       (Array.length snap.transitions)
+       snap.cursor snap.capacity);
+  Array.iter
+    (fun (tr : Replay_buffer.transition) ->
+      float_line buf tr.state;
+      float_line buf tr.action;
+      Buffer.add_string buf
+        (Printf.sprintf "reward %h terminal %d truncated %d\n" tr.reward
+           (if tr.terminal then 1 else 0)
+           (if tr.truncated then 1 else 0));
+      float_line buf tr.next_state)
+    snap.transitions;
+  Buffer.contents buf
+
+let decode_replay payload =
+  let name = "replay" in
+  let next = line_reader ~name payload in
+  let what = "section replay" in
+  let count, cursor, capacity =
+    match words (next ()) with
+    | [ "transitions"; n; cur; cap ] ->
+        (parse_int ~what n, parse_int ~what cur, parse_int ~what cap)
+    | _ -> fail "Agent_snapshot: %s: expected transitions header" what
+  in
+  let parse_bool ~what s =
+    match s with
+    | "0" -> false
+    | "1" -> true
+    | _ -> fail "Agent_snapshot: %s: malformed flag %S" what s
+  in
+  let transitions =
+    Array.init count (fun i ->
+        let what = Printf.sprintf "section replay: transition %d" i in
+        let state = parse_float_line ~what (next ()) in
+        let action = parse_float_line ~what (next ()) in
+        let reward, terminal, truncated =
+          match words (next ()) with
+          | [ "reward"; r; "terminal"; t; "truncated"; tr ] ->
+              (parse_float ~what r, parse_bool ~what t, parse_bool ~what tr)
+          | _ -> fail "Agent_snapshot: %s: expected reward line" what
+        in
+        let next_state = parse_float_line ~what (next ()) in
+        { Replay_buffer.state; action; reward; next_state; terminal; truncated })
+  in
+  (transitions, cursor, capacity)
+
+(* ------------------------------------------------------------------ *)
+(* Container framing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sections_of_agent agent =
+  let snap = Td3.snapshot agent in
+  List.map (fun (name, net) -> (name, Checkpoint.to_string net)) snap.nets
+  @ List.map
+      (fun (name, opt_snap) -> (name, encode_optimizer opt_snap))
+      snap.moments
+  @ [
+      ("replay", encode_replay snap);
+      ("prng", Printf.sprintf "state %Lx\n" snap.rng_state);
+      ("counters", Printf.sprintf "update_calls %d\n" snap.update_count);
+    ]
+
+let encode ~fingerprint ?(extra = []) agent =
+  if String.contains fingerprint '\n' then
+    invalid_arg "Agent_snapshot.encode: fingerprint contains newline";
+  let body = Buffer.create (1 lsl 16) in
+  Buffer.add_string body (Printf.sprintf "fingerprint %s\n" fingerprint);
+  List.iter
+    (fun (name, payload) ->
+      Buffer.add_string body
+        (Printf.sprintf "section %s %d %s\n" name (String.length payload)
+           (Crc32.to_hex (Crc32.string payload)));
+      Buffer.add_string body payload)
+    (sections_of_agent agent @ extra);
+  let body = Buffer.contents body in
+  Printf.sprintf "%s %s %d\n%s" magic
+    (Crc32.to_hex (Crc32.string body))
+    (String.length body) body
+
+let decode s =
+  (* Line 1: magic + outer checksum over the remainder. *)
+  let nl =
+    match String.index_opt s '\n' with
+    | Some i -> i
+    | None -> fail "Agent_snapshot: truncated file (no header line)"
+  in
+  let header = String.sub s 0 nl in
+  let body = String.sub s (nl + 1) (String.length s - nl - 1) in
+  (match words header with
+  | [ "canopy-train"; "v2"; crc; nbytes ] ->
+      let nbytes = parse_int ~what:"header" nbytes in
+      if String.length body <> nbytes then
+        fail "Agent_snapshot: truncated file: header declares %d bytes, found %d"
+          nbytes (String.length body);
+      (match Crc32.of_hex crc with
+      | Some expected when expected = Crc32.string body -> ()
+      | Some _ -> fail "Agent_snapshot: checksum mismatch (file corrupt)"
+      | None -> fail "Agent_snapshot: malformed header checksum %S" crc)
+  | _ -> fail "Agent_snapshot: bad magic (expected %S)" magic);
+  (* Body: fingerprint line, then byte-counted sections. *)
+  let pos = ref 0 in
+  let read_line () =
+    match String.index_from_opt body !pos '\n' with
+    | None -> fail "Agent_snapshot: truncated body"
+    | Some i ->
+        let line = String.sub body !pos (i - !pos) in
+        pos := i + 1;
+        line
+  in
+  let fingerprint =
+    let line = read_line () in
+    match String.index_opt line ' ' with
+    | Some i when String.sub line 0 i = "fingerprint" ->
+        String.sub line (i + 1) (String.length line - i - 1)
+    | _ -> fail "Agent_snapshot: expected fingerprint line"
+  in
+  let sections = ref [] in
+  while !pos < String.length body do
+    match words (read_line ()) with
+    | [ "section"; name; nbytes; crc ] ->
+        let nbytes = parse_int ~what:("section " ^ name) nbytes in
+        if !pos + nbytes > String.length body then
+          fail "Agent_snapshot: section %s: truncated payload (%d of %d bytes)"
+            name
+            (String.length body - !pos)
+            nbytes;
+        let payload = String.sub body !pos nbytes in
+        pos := !pos + nbytes;
+        (match Crc32.of_hex crc with
+        | Some expected when expected = Crc32.string payload -> ()
+        | Some _ ->
+            fail "Agent_snapshot: section %s: checksum mismatch (corrupt)" name
+        | None ->
+            fail "Agent_snapshot: section %s: malformed checksum %S" name crc);
+        sections := (name, payload) :: !sections
+    | _ -> fail "Agent_snapshot: expected section header at byte %d" !pos
+  done;
+  (fingerprint, List.rev !sections)
+
+let section ~name sections =
+  match List.assoc_opt name sections with
+  | Some payload -> payload
+  | None -> fail "Agent_snapshot: missing section %s" name
+
+let snapshot_of_sections sections =
+  let nets =
+    List.map
+      (fun name -> (name, Checkpoint.of_string (section ~name sections)))
+      Td3.net_names
+  in
+  let moments =
+    List.map
+      (fun name -> (name, decode_optimizer ~name (section ~name sections)))
+      [ "opt_actor"; "opt_critic1"; "opt_critic2" ]
+  in
+  let transitions, cursor, capacity = decode_replay (section ~name:"replay" sections) in
+  let rng_state =
+    match words (section ~name:"prng" sections) with
+    | [ "state"; hex ] -> (
+        match Int64.of_string_opt ("0x" ^ hex) with
+        | Some s -> s
+        | None -> fail "Agent_snapshot: section prng: malformed state %S" hex)
+    | _ -> fail "Agent_snapshot: section prng: expected state line"
+  in
+  let update_count =
+    match words (section ~name:"counters" sections) with
+    | [ "update_calls"; n ] -> parse_int ~what:"section counters" n
+    | _ -> fail "Agent_snapshot: section counters: expected update_calls"
+  in
+  {
+    Td3.nets;
+    moments;
+    transitions;
+    cursor;
+    capacity;
+    rng_state;
+    update_count;
+  }
+
+let restore agent sections = Td3.restore agent (snapshot_of_sections sections)
+let write ~path contents = Atomic_file.write path contents
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      really_input_string ic n)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let actor_of_string s =
+  if starts_with ~prefix:Checkpoint.magic s then Checkpoint.of_string s
+  else if starts_with ~prefix:magic s then
+    let _fingerprint, sections = decode s in
+    Checkpoint.of_string (section ~name:"actor" sections)
+  else fail "Agent_snapshot: unrecognized checkpoint format"
+
+let actor_of_file path = actor_of_string (read path)

@@ -37,3 +37,38 @@ let clear t =
   Array.fill t.data 0 (capacity t) None;
   t.next <- 0;
   t.len <- 0
+
+let cursor t = t.next
+
+(* Storage order (slot 0 .. len-1), NOT insertion order: [sample] indexes
+   raw slots, so a checkpoint that preserves slot layout and [cursor]
+   replays identical batches from an identical PRNG state. *)
+let iter f t =
+  for i = 0 to t.len - 1 do
+    match t.data.(i) with Some tr -> f tr | None -> assert false
+  done
+
+let of_seq ~capacity:cap ?cursor seq =
+  let t = create ~capacity:cap in
+  Seq.iter
+    (fun tr ->
+      if t.len >= cap then
+        invalid_arg "Replay_buffer.of_seq: more transitions than capacity";
+      t.data.(t.len) <- Some tr;
+      t.len <- t.len + 1)
+    seq;
+  t.next <- t.len mod cap;
+  (match cursor with
+  | None -> ()
+  | Some c ->
+      let valid =
+        if t.len < cap then c = t.len else c >= 0 && c < cap
+      in
+      if not valid then
+        invalid_arg
+          (Printf.sprintf
+             "Replay_buffer.of_seq: cursor %d inconsistent with len %d \
+              capacity %d"
+             c t.len cap);
+      t.next <- c);
+  t

@@ -33,3 +33,23 @@ val sample : t -> Canopy_util.Prng.t -> batch_size:int -> transition array
     buffer is empty. *)
 
 val clear : t -> unit
+
+val cursor : t -> int
+(** Index of the slot the next {!add} will overwrite. Together with
+    {!iter}'s storage order this pins down the full internal layout, which
+    checkpoints must preserve: {!sample} draws by raw slot index, so two
+    buffers with the same contents but rotated layouts replay different
+    batches. *)
+
+val iter : (transition -> unit) -> t -> unit
+(** Iterate in storage order (slot [0] to [length t - 1]), not insertion
+    order. *)
+
+val of_seq : capacity:int -> ?cursor:int -> transition Seq.t -> t
+(** Rebuild a buffer whose storage slots [0..n-1] hold the sequence's
+    elements in order, with the write cursor at [cursor] (default: [n mod
+    capacity]). [of_seq ~capacity ~cursor:(cursor t) (List.to_seq (collected
+    iter t))] is an exact clone. Raises [Invalid_argument] if the sequence
+    exceeds [capacity] or the cursor is inconsistent (it must equal the
+    length while the buffer is filling, and lie in [\[0, capacity)] once
+    full). *)

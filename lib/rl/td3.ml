@@ -51,7 +51,7 @@ type t = {
   opt_actor : Optimizer.t;
   opt_critic1 : Optimizer.t;
   opt_critic2 : Optimizer.t;
-  buffer : Replay_buffer.t;
+  mutable buffer : Replay_buffer.t;
   mutable update_calls : int;
 }
 
@@ -290,8 +290,98 @@ let update ?(kernel = Batched) t =
     end
   end
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore: the complete mutable training state, captured    *)
+(* by value so a later restore rewinds the agent bit-for-bit.           *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  nets : (string * Mlp.t) list;
+  moments : (string * Optimizer.snapshot) list;
+  transitions : Replay_buffer.transition array;
+  cursor : int;
+  capacity : int;
+  rng_state : int64;
+  update_count : int;
+}
+
+let net_names =
+  [ "actor"; "actor_target"; "critic1"; "critic2"; "critic1_target";
+    "critic2_target" ]
+
+let nets_of t =
+  [
+    ("actor", t.actor);
+    ("actor_target", t.actor_target);
+    ("critic1", t.critic1);
+    ("critic2", t.critic2);
+    ("critic1_target", t.critic1_target);
+    ("critic2_target", t.critic2_target);
+  ]
+
+let opts_of t =
+  [
+    ("opt_actor", t.opt_actor);
+    ("opt_critic1", t.opt_critic1);
+    ("opt_critic2", t.opt_critic2);
+  ]
+
+let snapshot t =
+  let transitions = ref [] in
+  Replay_buffer.iter (fun tr -> transitions := tr :: !transitions) t.buffer;
+  {
+    nets = List.map (fun (name, net) -> (name, Mlp.copy net)) (nets_of t);
+    moments =
+      List.map (fun (name, opt) -> (name, Optimizer.snapshot opt)) (opts_of t);
+    (* Transitions are immutable once observed, so sharing them with the
+       live buffer is safe. *)
+    transitions = Array.of_list (List.rev !transitions);
+    cursor = Replay_buffer.cursor t.buffer;
+    capacity = Replay_buffer.capacity t.buffer;
+    rng_state = Prng.state t.rng;
+    update_count = t.update_calls;
+  }
+
+let restore t snap =
+  if snap.capacity <> t.cfg.buffer_capacity then
+    invalid_arg "Td3.restore: buffer capacity mismatch";
+  List.iter
+    (fun (name, live) ->
+      match List.assoc_opt name snap.nets with
+      | Some saved -> Mlp.assign ~src:saved ~dst:live
+      | None -> invalid_arg ("Td3.restore: snapshot missing network " ^ name))
+    (nets_of t);
+  List.iter
+    (fun (name, opt) ->
+      match List.assoc_opt name snap.moments with
+      | Some saved -> Optimizer.restore opt saved
+      | None -> invalid_arg ("Td3.restore: snapshot missing optimizer " ^ name))
+    (opts_of t);
+  t.buffer <-
+    Replay_buffer.of_seq ~capacity:snap.capacity ~cursor:snap.cursor
+      (Array.to_seq snap.transitions);
+  Prng.set_state t.rng snap.rng_state;
+  t.update_calls <- snap.update_count
+
+let reseed t ~salt = Prng.reseed t.rng ~salt
+
+(* Cheap per-step divergence probe: a single pass summing every learned
+   parameter of every network — any NaN or Inf poisons its sum. Batch-norm
+   running statistics are excluded ([Mlp.params] covers learned parameters
+   only); the full [Netcheck] pass at snapshot boundaries covers those. *)
+let finite t =
+  List.for_all
+    (fun (_, net) ->
+      List.for_all
+        (fun (value, _) ->
+          let s = ref 0. in
+          Array.iter (fun x -> s := !s +. x) value;
+          Float.is_finite !s)
+        (Mlp.params net))
+    (nets_of t)
+
 let save t ~dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Canopy_util.Atomic_file.mkdir_p dir;
   Checkpoint.save t.actor (Filename.concat dir "actor.ckpt");
   Checkpoint.save t.critic1 (Filename.concat dir "critic1.ckpt");
   Checkpoint.save t.critic2 (Filename.concat dir "critic2.ckpt")

@@ -68,6 +68,54 @@ val q_values : t -> state:float array -> action:float array -> float * float
 val updates_done : t -> int
 val buffer_size : t -> int
 
+(** {2 Snapshot / restore}
+
+    The complete mutable training state of an agent, captured by value:
+    restoring a snapshot and continuing replays bit-for-bit the run that
+    would have happened without the interruption (same minibatches, same
+    noise draws, same weights). *)
+
+type snapshot = {
+  nets : (string * Mlp.t) list;
+      (** deep copies, keyed ["actor"], ["actor_target"], ["critic1"],
+          ["critic2"], ["critic1_target"], ["critic2_target"] *)
+  moments : (string * Optimizer.snapshot) list;
+      (** keyed ["opt_actor"], ["opt_critic1"], ["opt_critic2"] *)
+  transitions : Replay_buffer.transition array;
+      (** replay contents in storage order (see {!Replay_buffer.iter}) *)
+  cursor : int;  (** replay write cursor *)
+  capacity : int;  (** replay capacity, validated on restore *)
+  rng_state : int64;  (** exploration/minibatch PRNG state *)
+  update_count : int;  (** gradient steps taken (drives policy delay) *)
+}
+
+val net_names : string list
+(** The six network keys in canonical serialization order. *)
+
+val snapshot : t -> snapshot
+(** Capture the agent's full mutable state. Networks and optimizer
+    moments are deep-copied; replay transitions are shared (they are
+    immutable once observed). *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite the agent's state with a snapshot, in place — existing
+    references to [actor t] remain valid. A blit rather than an
+    interpolation, so it recovers weights that have gone NaN/Inf.
+    Raises [Invalid_argument] on shape/capacity mismatch or a snapshot
+    missing a section. *)
+
+val reseed : t -> salt:int -> unit
+(** Decorrelate the agent's PRNG stream (see {!Canopy_util.Prng.reseed});
+    used after a divergence rollback so the retried segment explores
+    differently instead of replaying the faulting trajectory. *)
+
+val finite : t -> bool
+(** Cheap divergence probe: [false] iff some learned parameter of some
+    network is NaN or infinite (one summing pass per parameter array;
+    a non-finite value poisons its sum). Batch-norm running statistics
+    are not probed — the full [Netcheck] at snapshot boundaries covers
+    them. *)
+
 val save : t -> dir:string -> unit
 (** Write actor and critic checkpoints into [dir] (created if needed). *)
 

@@ -121,10 +121,7 @@ let of_mahimahi ~name ~mtu_bytes s =
       of_mbps_array ~name ~ms_per_sample:bucket samples
 
 let save ~mtu_bytes t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_mahimahi ~mtu_bytes t))
+  Canopy_util.Atomic_file.write path (to_mahimahi ~mtu_bytes t)
 
 let load ~name ~mtu_bytes path =
   let ic = open_in path in

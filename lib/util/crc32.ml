@@ -1,0 +1,37 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. Checkpoint
+   sections are checksummed with this so a torn or bit-flipped file is
+   detected at load time instead of silently corrupting a training run. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s =
+  let table = Lazy.force table in
+  let crc = ref (Int32.lognot crc) in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.lognot !crc
+
+let string s = update 0l s
+let to_hex crc = Printf.sprintf "%08lx" crc
+
+let is_hex_digit = function
+  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+  | _ -> false
+
+let of_hex s =
+  if String.length s <> 8 || not (String.for_all is_hex_digit s) then None
+  else Int32.of_string_opt ("0x" ^ s)

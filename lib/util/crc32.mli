@@ -1,0 +1,19 @@
+(** CRC-32 checksums (IEEE 802.3, polynomial 0xEDB88320).
+
+    Guards every section of the crash-safe training checkpoints: a file
+    torn by a crash mid-write, truncated by a full disk, or bit-flipped
+    in transit fails verification at load time with a precise diagnostic
+    instead of being deserialized into a corrupt network. *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val update : int32 -> string -> int32
+(** [update crc s] extends a running checksum, so
+    [update (string a) b = string (a ^ b)]. [update 0l] is {!string}. *)
+
+val to_hex : int32 -> string
+(** Fixed-width lowercase hex rendering (8 characters). *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless given exactly 8 hex digits. *)

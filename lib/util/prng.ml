@@ -18,6 +18,18 @@ let split t =
   { state = mix child_seed }
 
 let copy t = { state = t.state }
+let state t = t.state
+let of_state s = { state = s }
+let set_state t s = t.state <- s
+
+(* Deterministic decorrelated jump: each salt lands the generator on a
+   distinct, well-mixed stream. Used by the divergence watchdog so a
+   rolled-back run explores differently instead of replaying the exact
+   trajectory that produced the fault. Odd multiples of [golden] keep the
+   increment coprime with 2^64. *)
+let reseed t ~salt =
+  t.state <-
+    mix (Int64.add t.state (Int64.mul golden (Int64.of_int ((2 * salt) + 1))))
 
 (* Uniform float in [0,1) from the top 53 bits. *)
 let unit_float t =

@@ -21,6 +21,24 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy replays [t]'s future. *)
 
+val state : t -> int64
+(** Raw splitmix64 state word, for checkpointing. [of_state (state t)]
+    replays exactly the stream [t] would produce. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a captured {!state} word verbatim (no
+    mixing — this is the inverse of {!state}, not a seeding function). *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the state word in place, e.g. when restoring a snapshot
+    into a live generator shared by reference. *)
+
+val reseed : t -> salt:int -> unit
+(** Deterministic decorrelated jump: move [t] to a fresh stream that is a
+    pure function of its current state and [salt]. Distinct salts give
+    distinct streams. Used after a divergence rollback so the retried
+    segment draws different exploration noise. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

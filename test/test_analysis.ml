@@ -71,6 +71,25 @@ let test_lint_mlp_layer_walk () =
   Alcotest.(check (list string)) "exempt in the IR builder" []
     (at (p [ "lib"; "absint"; "anet.ml" ]))
 
+let test_lint_non_atomic_write () =
+  let fixture = "let oc = open_out path in\n" in
+  let at path = rules_of (Lint.check_source ~path fixture) in
+  let p parts = String.concat Filename.dir_sep parts in
+  Alcotest.(check (list string)) "flagged in lib"
+    [ "non-atomic-write" ]
+    (at (p [ "lib"; "core"; "trainer.ml" ]));
+  Alcotest.(check (list string)) "open_out_bin flagged too"
+    [ "non-atomic-write" ]
+    (rules_of
+       (Lint.check_source
+          ~path:(p [ "bin"; "train.ml" ])
+          "let oc = open_out_bin path in\n"));
+  Alcotest.(check (list string)) "exempt in the atomic writer itself" []
+    (at (p [ "lib"; "util"; "atomic_file.ml" ]));
+  Alcotest.(check (list string)) "waivable inline" []
+    (rules_of
+       (lint "let oc = open_out p (* lint-ignore: non-atomic-write *)\n"))
+
 let test_lint_array_make_scalar_clean () =
   let fixture =
     "let a = Array.make n 0.\n\
@@ -282,6 +301,7 @@ let suite =
     ("lint: catch-all handler", `Quick, test_lint_catch_all);
     ("lint: Array.make aliasing", `Quick, test_lint_array_make_alias);
     ("lint: Mlp.layers walk", `Quick, test_lint_mlp_layer_walk);
+    ("lint: non-atomic write", `Quick, test_lint_non_atomic_write);
     ("lint: Array.make scalar clean", `Quick, test_lint_array_make_scalar_clean);
     ("lint: typed comparators clean", `Quick, test_lint_typed_comparators_clean);
     ("lint: comments/strings ignored", `Quick,

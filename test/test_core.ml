@@ -535,6 +535,119 @@ let test_load_or_train_caches () =
         (Mlp.forward actor2 x).(0))
 
 (* ------------------------------------------------------------------ *)
+(* Crash safety: strict curve parsing, resume determinism, watchdog *)
+
+let test_load_curve_strict () =
+  let path = Filename.temp_file "canopy-curve" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        "epoch,steps,raw,verifier,combined,fcc,rollbacks\n\
+         1,20,not-a-float,0.5,0.1,0.5,0\n";
+      close_out oc;
+      Alcotest.check_raises "malformed row"
+        (Failure
+           (Printf.sprintf
+              "Trainer.load_curve: %s: line 2: malformed row \
+               %S"
+              path "1,20,not-a-float,0.5,0.1,0.5,0"))
+        (fun () -> ignore (Trainer.load_curve path)))
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "canopy-snap" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let actor_bits agent =
+  List.concat_map
+    (fun (v, _) -> Array.to_list (Array.map Int64.bits_of_float v))
+    (Mlp.params (Canopy_rl.Td3.actor agent))
+
+let curve_digest epochs =
+  List.map
+    (fun (e : Trainer.epoch) ->
+      (e.Trainer.epoch, e.Trainer.raw_reward, e.Trainer.rollbacks))
+    epochs
+
+let test_trainer_resume_determinism () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "snap.ckpt" in
+      let cfg = tiny_config () in
+      (* Reference: same config trained to completion without ever being
+         interrupted (same snapshot cadence, so same trajectory). *)
+      let agent_ref, epochs_ref = Trainer.train ~snapshot_every:20 cfg in
+      (* Crash mid-run: the simulated power cut propagates out of the
+         trainer, leaving the last boundary snapshot on disk. *)
+      (match
+         Trainer.train ~snapshot_every:20 ~snapshot_path:path
+           ~fault_hook:(fun ~step _ ->
+             if step = 30 then failwith "simulated crash")
+           cfg
+       with
+      | exception Failure msg when msg = "simulated crash" -> ()
+      | _ -> Alcotest.fail "crash hook did not fire");
+      check_bool "snapshot persisted before the crash" true
+        (Sys.file_exists path);
+      (* Resume must land exactly where the uninterrupted run did. *)
+      let agent_res, epochs_res =
+        Trainer.train ~snapshot_every:20 ~snapshot_path:path ~resume:path cfg
+      in
+      check_bool "resumed actor bit-identical" true
+        (actor_bits agent_res = actor_bits agent_ref);
+      check_bool "resumed curve identical" true
+        (curve_digest epochs_res = curve_digest epochs_ref))
+
+let test_trainer_resume_rejects_fingerprint_mismatch () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "snap.ckpt" in
+      let cfg = tiny_config () in
+      let _ = Trainer.train ~snapshot_every:30 ~snapshot_path:path cfg in
+      let other = { cfg with lambda = 0.75 } in
+      let contains_fingerprint msg =
+        let re = "fingerprint" in
+        let n = String.length re and m = String.length msg in
+        let rec scan i =
+          i + n <= m && (String.sub msg i n = re || scan (i + 1))
+        in
+        scan 0
+      in
+      match Trainer.train ~snapshot_every:30 ~resume:path other with
+      | exception Failure msg ->
+          check_bool "diagnostic names the fingerprint mismatch" true
+            (contains_fingerprint msg)
+      | _ -> Alcotest.fail "config mismatch accepted on resume")
+
+let test_trainer_watchdog_rollback () =
+  let cfg = tiny_config () in
+  let injected = ref false in
+  let agent, epochs =
+    Trainer.train ~snapshot_every:20
+      ~fault_hook:(fun ~step agent ->
+        if step = 10 && not !injected then begin
+          injected := true;
+          match Mlp.params (Canopy_rl.Td3.actor agent) with
+          | (v, _) :: _ -> v.(0) <- Float.nan
+          | [] -> Alcotest.fail "no params"
+        end)
+      cfg
+  in
+  check_bool "fault was injected" true !injected;
+  check_bool "rollback counted" true
+    (match List.rev epochs with
+    | last :: _ -> last.Trainer.rollbacks >= 1
+    | [] -> false);
+  check_int "full curve still produced" 3 (List.length epochs);
+  check_bool "final agent finite" true (Canopy_rl.Td3.finite agent)
+
+(* ------------------------------------------------------------------ *)
 (* Engine equivalence: the batched IR path must reproduce the per-slice
    reference bit-for-bit up to GEMM reassociation (≤ 1e-9) on every
    certificate field, for both domains and both properties. The actor
@@ -662,6 +775,11 @@ let suite =
     ("trainer λ=0 identity", `Slow, test_trainer_combined_reward_identity_lambda0);
     ("trainer deterministic", `Slow, test_trainer_deterministic_given_seed);
     ("load_or_train caches", `Slow, test_load_or_train_caches);
+    ("load_curve strict", `Quick, test_load_curve_strict);
+    ("trainer resume determinism", `Slow, test_trainer_resume_determinism);
+    ("trainer resume fingerprint check", `Slow,
+      test_trainer_resume_rejects_fingerprint_mismatch);
+    ("trainer watchdog rollback", `Slow, test_trainer_watchdog_rollback);
     ("batched = per-slice (certify)", `Quick,
       test_batched_matches_per_slice_certify);
     ("batched = per-slice (adaptive)", `Quick,
@@ -825,9 +943,11 @@ let test_curve_csv_roundtrip () =
   let epochs =
     [
       { Trainer.epoch = 1; steps = 100; raw_reward = 0.5;
-        verifier_reward = 0.25; combined_reward = 0.4375; fcc = 0.1 };
+        verifier_reward = 0.25; combined_reward = 0.4375; fcc = 0.1;
+        rollbacks = 0 };
       { Trainer.epoch = 2; steps = 200; raw_reward = -0.25;
-        verifier_reward = 1.; combined_reward = 0.0625; fcc = 0.9 };
+        verifier_reward = 1.; combined_reward = 0.0625; fcc = 0.9;
+        rollbacks = 1 };
     ]
   in
   let path = Filename.temp_file "canopy" ".curve.csv" in

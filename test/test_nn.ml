@@ -456,6 +456,111 @@ let test_checkpoint_rejects_garbage () =
   Alcotest.check_raises "bad magic" (Failure "Checkpoint: bad magic")
     (fun () -> ignore (Checkpoint.of_string "not a checkpoint\n"))
 
+let expect_checkpoint_failure what s =
+  match Checkpoint.of_string s with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail (what ^ ": corrupt checkpoint was accepted")
+
+let test_checkpoint_rejects_truncated () =
+  let full = Checkpoint.to_string (Mlp.actor ~rng:(rng ()) ~in_dim:4 ~hidden:6 ~out_dim:1) in
+  (* Cut mid-file (half) and mid-last-line (all but 3 bytes). *)
+  expect_checkpoint_failure "half"
+    (String.sub full 0 (String.length full / 2));
+  expect_checkpoint_failure "tail clipped"
+    (String.sub full 0 (String.length full - 3))
+
+let test_checkpoint_rejects_corrupted_field () =
+  let full = Checkpoint.to_string (Mlp.critic ~rng:(rng ()) ~state_dim:2 ~action_dim:1 ~hidden:3) in
+  (* Smash a float into a non-numeric token. *)
+  let corrupted =
+    match String.index_opt full 'x' with
+    | Some i ->
+        String.sub full 0 i ^ "q" ^ String.sub full (i + 1) (String.length full - i - 1)
+    | None -> Alcotest.fail "expected %h floats in checkpoint"
+  in
+  expect_checkpoint_failure "corrupted float" corrupted
+
+let test_checkpoint_rejects_trailing_garbage () =
+  let net = Mlp.actor ~rng:(rng ()) ~in_dim:3 ~hidden:4 ~out_dim:1 in
+  let full = Checkpoint.to_string net in
+  (* Trailing whitespace/newlines are fine... *)
+  (match Checkpoint.of_string (full ^ "\n\n") with
+  | _ -> ());
+  (* ...but content after the declared layer count is not: a concatenated
+     or partially overwritten file must fail loudly. *)
+  expect_checkpoint_failure "appended second checkpoint" (full ^ full);
+  expect_checkpoint_failure "appended junk line" (full ^ "leftover junk\n")
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer snapshot / restore and Mlp.assign *)
+
+let net_bits net =
+  List.concat_map
+    (fun (v, _) -> Array.to_list (Array.map Int64.bits_of_float v))
+    (Mlp.params net)
+
+let test_optimizer_snapshot_restore () =
+  (* Two identical nets and optimizers; snapshot one mid-training, let it
+     run ahead, restore, and re-run: trajectories must match bit-for-bit. *)
+  let mk () = Mlp.actor ~rng:(Canopy_util.Prng.create 7) ~in_dim:2 ~hidden:4 ~out_dim:1 in
+  let step net opt i =
+    Mlp.zero_grad net;
+    let x = Mat.of_arrays [| [| 0.3 *. float_of_int i; -0.1 |]; [| 0.9; 0.4 |] |] in
+    let preds, tape = Mlp.forward_train net x in
+    let dout = Mat.init ~rows:2 ~cols:1 (fun r _ -> Mat.get preds r 0 -. 0.5) in
+    ignore (Mlp.backward ~input_grad:false net tape dout);
+    Optimizer.step opt (Mlp.params net)
+  in
+  let net = mk () in
+  let opt = Optimizer.adam ~lr:1e-2 () in
+  for i = 1 to 5 do step net opt i done;
+  let net_snap = Mlp.copy net in
+  let opt_snap = Optimizer.snapshot opt in
+  for i = 6 to 10 do step net opt i done;
+  let ahead = net_bits net in
+  (* Rewind and replay. *)
+  Mlp.assign ~src:net_snap ~dst:net;
+  Optimizer.restore opt opt_snap;
+  for i = 6 to 10 do step net opt i done;
+  check_bool "replay is bit-identical" true (net_bits net = ahead)
+
+let test_optimizer_snapshot_is_deep () =
+  let net = Mlp.actor ~rng:(rng ()) ~in_dim:2 ~hidden:3 ~out_dim:1 in
+  let opt = Optimizer.adam ~lr:1e-2 () in
+  Mlp.zero_grad net;
+  let preds, tape = Mlp.forward_train net (Mat.of_arrays [| [| 1.; 2. |]; [| 0.5; 1.5 |] |]) in
+  ignore preds;
+  ignore (Mlp.backward ~input_grad:false net tape (Mat.init ~rows:2 ~cols:1 (fun _ _ -> 0.1)));
+  Optimizer.step opt (Mlp.params net);
+  let snap = Optimizer.snapshot opt in
+  (match snap.Optimizer.moments with
+  | (_, m, _) :: _ ->
+      let before = m.(0) in
+      m.(0) <- 1e9;
+      let snap2 = Optimizer.snapshot opt in
+      (match snap2.Optimizer.moments with
+      | (_, m2, _) :: _ ->
+          check_bool "mutating a snapshot does not touch the optimizer" true
+            (m2.(0) = before)
+      | [] -> Alcotest.fail "no slots")
+  | [] -> Alcotest.fail "no slots after an Adam step")
+
+let test_assign_recovers_nan () =
+  (* The rollback path must overwrite weights that are already NaN; a
+     Polyak update with tau=1 would propagate them instead. *)
+  let src = Mlp.actor ~rng:(Canopy_util.Prng.create 3) ~in_dim:2 ~hidden:3 ~out_dim:1 in
+  let dst = Mlp.copy src in
+  (match Mlp.params dst with
+  | (v, _) :: _ -> v.(0) <- Float.nan
+  | [] -> Alcotest.fail "no params");
+  let gen = Mlp.generation dst in
+  Mlp.assign ~src ~dst;
+  check_bool "NaN overwritten" true (net_bits dst = net_bits src);
+  Alcotest.(check int) "assign bumps generation" (gen + 1) (Mlp.generation dst);
+  let x = [| 0.25; -0.75 |] in
+  check_float "same output after assign" (Mlp.forward src x).(0)
+    (Mlp.forward dst x).(0)
+
 let test_generation_counter () =
   (* The parameter-generation counter keys the verifier-IR cache: any
      mutation path must bump it, and reads must not. *)
@@ -515,6 +620,15 @@ let suite =
     ("checkpoint file roundtrip", `Quick, test_checkpoint_roundtrip_file);
     ("checkpoint running stats", `Quick, test_checkpoint_preserves_running_stats);
     ("checkpoint rejects garbage", `Quick, test_checkpoint_rejects_garbage);
+    ("checkpoint rejects truncated", `Quick, test_checkpoint_rejects_truncated);
+    ("checkpoint rejects corrupted field", `Quick,
+      test_checkpoint_rejects_corrupted_field);
+    ("checkpoint rejects trailing garbage", `Quick,
+      test_checkpoint_rejects_trailing_garbage);
+    ("optimizer snapshot/restore replay", `Quick,
+      test_optimizer_snapshot_restore);
+    ("optimizer snapshot is deep", `Quick, test_optimizer_snapshot_is_deep);
+    ("assign recovers NaN dst", `Quick, test_assign_recovers_nan);
     ("generation counter", `Quick, test_generation_counter);
     ("generation: soft update bumps dst", `Quick,
       test_generation_soft_update_bumps_dst);

@@ -283,6 +283,146 @@ let test_td3_save_load_actor () =
       let after = (Td3.select_action agent s).(0) in
       Alcotest.(check (float 1e-9)) "roundtrip" before after)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots: replay layout, full-agent capture, v2 container *)
+
+let test_buffer_iter_storage_order () =
+  let b = Replay_buffer.create ~capacity:3 in
+  for i = 1 to 5 do
+    Replay_buffer.add b (tr ~r:(float_of_int i) [| 0. |] [| 0. |])
+  done;
+  (* Slots after five pushes into capacity 3: [4; 5; 3], cursor 2. *)
+  let rewards = ref [] in
+  Replay_buffer.iter
+    (fun t -> rewards := t.Replay_buffer.reward :: !rewards)
+    b;
+  Alcotest.(check (list (float 0.))) "storage order" [ 4.; 5.; 3. ]
+    (List.rev !rewards);
+  check_int "cursor" 2 (Replay_buffer.cursor b)
+
+let test_buffer_of_seq_roundtrip () =
+  let b = Replay_buffer.create ~capacity:4 in
+  for i = 1 to 7 do
+    Replay_buffer.add b (tr ~r:(float_of_int i) [| float_of_int i |] [| 0. |])
+  done;
+  let dump buf =
+    let acc = ref [] in
+    Replay_buffer.iter (fun t -> acc := t :: !acc) buf;
+    List.rev !acc
+  in
+  let b' =
+    Replay_buffer.of_seq ~capacity:4 ~cursor:(Replay_buffer.cursor b)
+      (List.to_seq (dump b))
+  in
+  check_int "length" (Replay_buffer.length b) (Replay_buffer.length b');
+  check_int "cursor" (Replay_buffer.cursor b) (Replay_buffer.cursor b');
+  check_bool "slots identical" true (dump b = dump b');
+  (* The rebuilt buffer must overwrite the same slot next. *)
+  Replay_buffer.add b (tr ~r:100. [| 0. |] [| 0. |]);
+  Replay_buffer.add b' (tr ~r:100. [| 0. |] [| 0. |]);
+  check_bool "next overwrite matches" true (dump b = dump b')
+
+let test_buffer_of_seq_validates () =
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Replay_buffer.of_seq: more transitions than capacity")
+    (fun () ->
+      ignore
+        (Replay_buffer.of_seq ~capacity:1
+           (List.to_seq [ tr [| 0. |] [| 0. |]; tr [| 0. |] [| 0. |] ])))
+
+(* Deterministic driver for snapshot tests: synthetic states, reward
+   from a fixed linear target, exploration noise drawn from the agent's
+   own PRNG so the whole trajectory is a function of agent state. *)
+let drive agent ~from ~until =
+  for i = from to until - 1 do
+    let s = [| sin (0.1 *. float_of_int i); cos (0.07 *. float_of_int i) |] in
+    let a = Td3.select_action ~explore:true agent s in
+    let r = -.Float.abs (a.(0) -. (0.5 *. s.(0))) in
+    Td3.observe agent
+      { Replay_buffer.state = s; action = a; reward = r;
+        next_state = s; terminal = true; truncated = false };
+    Td3.update agent
+  done
+
+let agent_bits agent =
+  let snap = Td3.snapshot agent in
+  List.concat_map
+    (fun (_, net) ->
+      List.concat_map
+        (fun (v, _) -> Array.to_list (Array.map Int64.bits_of_float v))
+        (Canopy_nn.Mlp.params net))
+    snap.Td3.nets
+
+let test_td3_snapshot_restore_bitexact () =
+  let cfg =
+    { (td3_config ~state_dim:2) with warmup = 32; batch_size = 16;
+      buffer_capacity = 64 }
+  in
+  let agent = Td3.create ~rng:(Prng.create 21) cfg in
+  drive agent ~from:0 ~until:60;
+  let snap = Td3.snapshot agent in
+  drive agent ~from:60 ~until:100;
+  let ahead = agent_bits agent in
+  (* Restore into a FRESH agent built from a different seed: every piece
+     of state must come from the snapshot, none from the constructor. *)
+  let agent' = Td3.create ~rng:(Prng.create 9999) cfg in
+  Td3.restore agent' snap;
+  check_int "updates_done restored" 0
+    (abs (Td3.updates_done agent' - snap.Td3.update_count));
+  drive agent' ~from:60 ~until:100;
+  check_bool "continuation is bit-identical" true (agent_bits agent' = ahead)
+
+let test_td3_finite_detects_nan () =
+  let agent = Td3.create ~rng:(Prng.create 22) (td3_config ~state_dim:2) in
+  check_bool "fresh agent finite" true (Td3.finite agent);
+  (match Canopy_nn.Mlp.params (Td3.actor agent) with
+  | (v, _) :: _ -> v.(0) <- Float.nan
+  | [] -> Alcotest.fail "no params");
+  check_bool "NaN detected" false (Td3.finite agent)
+
+let test_agent_snapshot_container_roundtrip () =
+  let cfg =
+    { (td3_config ~state_dim:2) with warmup = 32; batch_size = 16;
+      buffer_capacity = 64 }
+  in
+  let agent = Td3.create ~rng:(Prng.create 23) cfg in
+  drive agent ~from:0 ~until:50;
+  let extra = [ ("trainer", "step 50\n") ] in
+  let encoded = Agent_snapshot.encode ~fingerprint:"cfg-abc123" ~extra agent in
+  let fingerprint, sections = Agent_snapshot.decode encoded in
+  Alcotest.(check string) "fingerprint" "cfg-abc123" fingerprint;
+  Alcotest.(check (option string)) "extra section carried" (Some "step 50\n")
+    (List.assoc_opt "trainer" sections);
+  let agent' = Td3.create ~rng:(Prng.create 4242) cfg in
+  Agent_snapshot.restore agent' sections;
+  drive agent ~from:50 ~until:80;
+  drive agent' ~from:50 ~until:80;
+  check_bool "decoded agent continues bit-identically" true
+    (agent_bits agent = agent_bits agent')
+
+let test_agent_snapshot_rejects_corruption () =
+  let agent =
+    Td3.create ~rng:(Prng.create 24)
+      { (td3_config ~state_dim:2) with buffer_capacity = 64 }
+  in
+  drive agent ~from:0 ~until:10;
+  let encoded = Agent_snapshot.encode ~fingerprint:"fp" agent in
+  (* Pristine container must decode. *)
+  ignore (Agent_snapshot.decode encoded);
+  let expect_failure what s =
+    match Agent_snapshot.decode s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail (what ^ ": corrupt container was accepted")
+  in
+  expect_failure "truncated"
+    (String.sub encoded 0 (String.length encoded / 2));
+  let mid = String.length encoded / 2 in
+  let flipped = Bytes.of_string encoded in
+  Bytes.set flipped mid
+    (Char.chr (Char.code (Bytes.get flipped mid) lxor 1));
+  expect_failure "bit flip" (Bytes.to_string flipped);
+  expect_failure "bad magic" ("not a checkpoint\n" ^ encoded)
+
 let suite =
   [
     ("buffer add/length", `Quick, test_buffer_add_length);
@@ -300,4 +440,14 @@ let suite =
     ("td3 batched = per-sample kernels", `Quick, test_td3_kernels_agree);
     ("td3 truncation bootstraps", `Slow, test_td3_truncation_bootstraps);
     ("td3 save/load actor", `Quick, test_td3_save_load_actor);
+    ("buffer iter storage order", `Quick, test_buffer_iter_storage_order);
+    ("buffer of_seq roundtrip", `Quick, test_buffer_of_seq_roundtrip);
+    ("buffer of_seq validates", `Quick, test_buffer_of_seq_validates);
+    ("td3 snapshot/restore bit-exact", `Quick,
+      test_td3_snapshot_restore_bitexact);
+    ("td3 finite detects NaN", `Quick, test_td3_finite_detects_nan);
+    ("agent snapshot container roundtrip", `Quick,
+      test_agent_snapshot_container_roundtrip);
+    ("agent snapshot rejects corruption", `Quick,
+      test_agent_snapshot_rejects_corruption);
   ]

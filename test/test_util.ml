@@ -320,6 +320,128 @@ let qcheck =
         && Canopy_util.Mathx.clamp ~lo ~hi c = c);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Prng snapshot state *)
+
+let test_prng_state_roundtrip () =
+  let a = Prng.create 9 in
+  for _ = 1 to 17 do
+    ignore (Prng.bits64 a)
+  done;
+  let b = Prng.of_state (Prng.state a) in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "of_state replays" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_set_state () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  ignore (Prng.bits64 a);
+  Prng.set_state b (Prng.state a);
+  Alcotest.(check int64) "set_state aligns streams" (Prng.bits64 a)
+    (Prng.bits64 b)
+
+let test_prng_reseed () =
+  let mk () =
+    let t = Prng.create 5 in
+    ignore (Prng.bits64 t);
+    t
+  in
+  let base = mk () and salted = mk () and salted' = mk () in
+  Prng.reseed salted ~salt:1;
+  Prng.reseed salted' ~salt:1;
+  let take t = List.init 20 (fun _ -> Prng.bits64 t) in
+  let xs = take base and ys = take salted and ys' = take salted' in
+  check_bool "reseed decorrelates" false (xs = ys);
+  check_bool "reseed deterministic" true (ys = ys');
+  let other = mk () in
+  Prng.reseed other ~salt:2;
+  check_bool "salts give distinct streams" false (take other = ys)
+
+(* ------------------------------------------------------------------ *)
+(* Crc32 *)
+
+let test_crc32_known_vector () =
+  (* The standard IEEE 802.3 check value. *)
+  Alcotest.(check string) "check vector" "cbf43926"
+    (Crc32.to_hex (Crc32.string "123456789"));
+  Alcotest.(check string) "empty" "00000000" (Crc32.to_hex (Crc32.string ""))
+
+let test_crc32_incremental () =
+  let a = "canopy-" and b = "train v2" in
+  Alcotest.(check int32) "update extends" (Crc32.string (a ^ b))
+    (Crc32.update (Crc32.string a) b)
+
+let test_crc32_hex_roundtrip () =
+  let crc = Crc32.string "some payload" in
+  (match Crc32.of_hex (Crc32.to_hex crc) with
+  | Some back -> Alcotest.(check int32) "roundtrip" crc back
+  | None -> Alcotest.fail "of_hex rejected to_hex output");
+  check_bool "too short" true (Crc32.of_hex "abc" = None);
+  check_bool "non-hex" true (Crc32.of_hex "zzzzzzzz" = None);
+  check_bool "sign prefix" true (Crc32.of_hex "-1234567" = None);
+  check_bool "underscores" true (Crc32.of_hex "12_45678" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic_file *)
+
+let with_temp_dir f =
+  let marker = Filename.temp_file "canopy-test" ".tmp" in
+  let dir = marker ^ ".d" in
+  Atomic_file.mkdir_p dir;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun e -> Sys.remove (Filename.concat dir e))
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      (try Sys.rmdir dir with Sys_error _ -> ());
+      try Sys.remove marker with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_atomic_write_and_overwrite () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.txt" in
+      Atomic_file.write path "first\n";
+      Alcotest.(check string) "written" "first\n" (read_all path);
+      Atomic_file.write path "second, longer contents\n";
+      Alcotest.(check string) "overwritten" "second, longer contents\n"
+        (read_all path);
+      (* No staging litter left behind. *)
+      Alcotest.(check (list string)) "no temp files" [ "out.txt" ]
+        (Array.to_list (Sys.readdir dir)))
+
+let test_atomic_write_failure_keeps_target () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "missing-dir" in
+      (* Writing into a nonexistent directory fails... *)
+      check_bool "raises" true
+        (match Atomic_file.write (Filename.concat path "x") "data" with
+        | () -> false
+        | exception Sys_error _ -> true))
+
+let test_mkdir_p () =
+  with_temp_dir (fun dir ->
+      let deep = Filename.concat (Filename.concat dir "a") "b" in
+      Atomic_file.mkdir_p deep;
+      check_bool "created" true (Sys.is_directory deep);
+      (* Idempotent on existing directories. *)
+      Atomic_file.mkdir_p deep;
+      check_bool "still there" true (Sys.is_directory deep);
+      (* A file in the way is an error. *)
+      let file = Filename.concat dir "occupied" in
+      Atomic_file.write file "x";
+      check_bool "non-directory rejected" true
+        (match Atomic_file.mkdir_p (Filename.concat file "sub") with
+        | () -> false
+        | exception (Invalid_argument _ | Sys_error _) -> true))
+
 let suite =
   [
     ("prng determinism", `Quick, test_prng_deterministic);
@@ -358,5 +480,15 @@ let suite =
     ("fbuf push/get", `Quick, test_fbuf_push_get);
     ("fbuf to_array/clear", `Quick, test_fbuf_to_array_clear);
     ("fbuf out of bounds", `Quick, test_fbuf_oob);
+    ("prng state roundtrip", `Quick, test_prng_state_roundtrip);
+    ("prng set_state", `Quick, test_prng_set_state);
+    ("prng reseed", `Quick, test_prng_reseed);
+    ("crc32 known vector", `Quick, test_crc32_known_vector);
+    ("crc32 incremental", `Quick, test_crc32_incremental);
+    ("crc32 hex roundtrip", `Quick, test_crc32_hex_roundtrip);
+    ("atomic write/overwrite", `Quick, test_atomic_write_and_overwrite);
+    ("atomic write failure keeps target", `Quick,
+      test_atomic_write_failure_keeps_target);
+    ("mkdir_p", `Quick, test_mkdir_p);
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck
