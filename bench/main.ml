@@ -110,20 +110,25 @@ let header fmt = Format.printf ("@.=== " ^^ fmt ^^ " ===@.")
 (* CSV mirrors of the printed tables, for plotting. *)
 let csv_write name ~columns rows =
   let dir = Filename.concat artifacts_dir "csv" in
-  if not (Sys.file_exists artifacts_dir) then Sys.mkdir artifacts_dir 0o755;
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Canopy_util.Atomic_file.mkdir_p dir;
   let path = Filename.concat dir (name ^ ".csv") in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (String.concat "," columns);
-      output_char oc '\n';
-      List.iter
-        (fun row ->
-          output_string oc (String.concat "," row);
-          output_char oc '\n')
-        rows)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," columns);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," row);
+      Buffer.add_char buf '\n')
+    rows;
+  Canopy_util.Atomic_file.write path (Buffer.contents buf)
+
+(* Machine-readable perf records ([BENCH_*.json]) are assembled in a
+   buffer and land via the stage+rename path, so a bench interrupted
+   mid-write can never leave a torn perf-history file at the repo root. *)
+let json_write path emit =
+  let buf = Buffer.create 4096 in
+  emit buf;
+  Canopy_util.Atomic_file.write path (Buffer.contents buf)
 
 (* Per-case FCC/FCS from collected step certificates. *)
 let percase_stats steps case =
@@ -1022,11 +1027,8 @@ let kernels () =
     if !smoke_mode then Filename.temp_file "canopy-bench-train-step" ".json"
     else "BENCH_train_step.json"
   in
-  let oc = open_out json_path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc
+  json_write json_path (fun buf ->
+      Printf.bprintf buf
         "{\n  \"bench\": \"train_step\",\n  \"mode\": %S,\n  \"hidden\": %d,\n\
         \  \"state_dim\": %d,\n  \"action_dim\": %d,\n  \"entries\": [\n"
         (if !smoke_mode then "smoke" else "full")
@@ -1034,19 +1036,19 @@ let kernels () =
       let last = List.length measured - 1 in
       List.iteri
         (fun i (name, batch, ns) ->
-          Printf.fprintf oc
+          Printf.bprintf buf
             "    {\"name\": %S, \"batch\": %d, \"ns_per_op\": %.1f}%s\n" name
             batch ns
             (if i = last then "" else ","))
         measured;
-      Printf.fprintf oc "  ]";
+      Printf.bprintf buf "  ]";
       Option.iter
-        (fun s -> Printf.fprintf oc ",\n  \"speedup_update_b64\": %.3f" s)
+        (fun s -> Printf.bprintf buf ",\n  \"speedup_update_b64\": %.3f" s)
         s64;
       Option.iter
-        (fun s -> Printf.fprintf oc ",\n  \"speedup_update_b256\": %.3f" s)
+        (fun s -> Printf.bprintf buf ",\n  \"speedup_update_b256\": %.3f" s)
         s256;
-      Printf.fprintf oc "\n}\n");
+      Printf.bprintf buf "\n}\n");
   Format.printf "wrote %s@." json_path
 
 (* ------------------------------------------------------------------ *)
@@ -1182,11 +1184,8 @@ let certify_bench () =
     if !smoke_mode then Filename.temp_file "canopy-bench-certify" ".json"
     else "BENCH_certify.json"
   in
-  let oc = open_out json_path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc
+  json_write json_path (fun buf ->
+      Printf.bprintf buf
         "{\n  \"bench\": \"certify\",\n  \"mode\": %S,\n  \"hidden\": 256,\n\
         \  \"train_hidden\": 64,\n  \"state_dim\": %d,\n  \"entries\": [\n"
         (if !smoke_mode then "smoke" else "full")
@@ -1194,19 +1193,245 @@ let certify_bench () =
       let last = List.length measured - 1 in
       List.iteri
         (fun i (name, ns) ->
-          Printf.fprintf oc "    {\"name\": %S, \"ns_per_cert\": %.1f}%s\n"
+          Printf.bprintf buf "    {\"name\": %S, \"ns_per_cert\": %.1f}%s\n"
             name ns
             (if i = last then "" else ","))
         measured;
-      Printf.fprintf oc "  ]";
+      Printf.bprintf buf "  ]";
       List.iter
         (fun (b, s) ->
           Option.iter
-            (fun s -> Printf.fprintf oc ",\n  \"speedup_%s\": %.3f" b s)
+            (fun s -> Printf.bprintf buf ",\n  \"speedup_%s\": %.3f" b s)
             s)
         speedups;
-      Printf.fprintf oc "\n}\n");
+      Printf.bprintf buf "\n}\n");
   Format.printf "wrote %s@." json_path
+
+(* ------------------------------------------------------------------ *)
+(* par: deterministic domain pool, sequential vs parallel (BENCH_par) *)
+
+let par_bench () =
+  header "par: domain-pool parallel gemm / certify / eval vs sequential";
+  let open Bechamel in
+  let module Mat = Canopy_tensor.Mat in
+  let module Pool = Canopy_util.Pool in
+  let state_dim = history * Canopy_orca.Observation.feature_count in
+  let recommended = Domain.recommended_domain_count () in
+  let counts = List.sort_uniq Int.compare [ 1; 2; recommended ] in
+  let pools = List.map (fun d -> (d, Pool.create ~domains:d ())) counts in
+  let pool_of d = List.assoc d pools in
+  if recommended = 1 then
+    Format.printf
+      "single-core machine: parallel rows are expected to match the \
+       sequential ones.@.";
+  (* -- bit-exactness probes: every parallel path must reproduce its
+     1-domain result exactly on a 2-domain pool. The grain is forced down
+     so even these small probe workloads actually chunk. *)
+  let with_tiny_grain f =
+    let min_flops, chunk_flops = Mat.parallel_grain () in
+    Fun.protect
+      ~finally:(fun () -> Mat.set_parallel_grain ~min_flops ~chunk_flops)
+      (fun () ->
+        Mat.set_parallel_grain ~min_flops:1 ~chunk_flops:1;
+        f ())
+  in
+  let under d f =
+    Pool.set_default (pool_of d);
+    f ()
+  in
+  let probe name got =
+    if not got then failwith (Printf.sprintf "par: %s differs across domain counts" name);
+    Format.printf "probe %-18s seq == par(2 domains): OK@." name
+  in
+  with_tiny_grain (fun () ->
+      let rng = Canopy_util.Prng.create 33 in
+      let mat rows cols =
+        Mat.init ~rows ~cols (fun _ _ -> Canopy_util.Prng.uniform rng (-1.) 1.)
+      in
+      let a = mat 37 29 and b = mat 41 29 in
+      let bias = Array.init 41 (fun i -> Float.sin (float_of_int i)) in
+      let run () =
+        let dst = Mat.create ~rows:37 ~cols:41 in
+        Mat.mat_mul_nt_bias_into ~dst a b bias;
+        Array.map Int64.bits_of_float (Mat.raw dst)
+      in
+      probe "gemm" (under 1 run = under 2 run);
+      let prng = Canopy_util.Prng.create 9 in
+      let actor =
+        Canopy_nn.Mlp.actor ~rng:prng ~in_dim:state_dim ~hidden:32 ~out_dim:1
+      in
+      let state = Array.make state_dim 0.4 in
+      let property = Property.performance () in
+      let cert () =
+        Certify.certify ~engine:Certify.Batched ~domain:Certify.Box_domain
+          ~actor ~property ~n_components:50 ~history ~state ~cwnd_tcp:100.
+          ~prev_cwnd:90. ()
+      in
+      probe "certify" (under 1 cert = under 2 cert);
+      let links =
+        List.map (Eval.link ~min_rtt_ms)
+          (List.filteri (fun i _ -> i < 2) (Suite.all ~duration_ms:2_000 ()))
+      in
+      let tasks =
+        List.map
+          (fun l () -> Eval.eval_tcp ~name:"cubic" Eval.cubic_scheme l)
+          links
+      in
+      let sweep () = Eval.run_tasks tasks in
+      probe "eval_sweep" (under 1 sweep = under 2 sweep));
+  (* -- timings: each workload at every domain count; d=1 is the
+     sequential reference row. *)
+  let gemm_work =
+    let rng = Canopy_util.Prng.create 21 in
+    let dim = 256 in
+    let mat rows cols =
+      Mat.init ~rows ~cols (fun _ _ -> Canopy_util.Prng.uniform rng (-1.) 1.)
+    in
+    let a = mat dim dim and b = mat dim dim in
+    let bias = Array.init dim (fun i -> Float.cos (float_of_int i)) in
+    let dst = Mat.create ~rows:dim ~cols:dim in
+    fun () -> Mat.mat_mul_nt_bias_into ~dst a b bias
+  in
+  let certify_work =
+    let rng = Canopy_util.Prng.create 9 in
+    let actor =
+      Canopy_nn.Mlp.actor ~rng ~in_dim:state_dim ~hidden:256 ~out_dim:1
+    in
+    let state = Array.make state_dim 0.4 in
+    let property = Property.performance () in
+    fun () ->
+      ignore
+        (Certify.certify ~engine:Certify.Batched ~domain:Certify.Box_domain
+           ~actor ~property ~n_components:50 ~history ~state ~cwnd_tcp:100.
+           ~prev_cwnd:90. ())
+  in
+  let eval_work =
+    let duration_ms = if !smoke_mode then 2_000 else scale.trace_ms in
+    let links =
+      List.map (Eval.link ~min_rtt_ms)
+        (List.filteri (fun i _ -> i < 6) (Suite.all ~duration_ms ()))
+    in
+    let tasks =
+      List.map
+        (fun l () -> Eval.eval_tcp ~name:"cubic" Eval.cubic_scheme l)
+        links
+    in
+    fun () -> ignore (Eval.run_tasks tasks)
+  in
+  let workloads =
+    [ ("gemm", gemm_work); ("certify", certify_work); ("eval_sweep", eval_work) ]
+  in
+  let tests =
+    List.concat_map
+      (fun (wname, work) ->
+        List.map
+          (fun (d, pool) ->
+            ( Printf.sprintf "%s_d%d" wname d,
+              wname,
+              d,
+              fun () ->
+                (* Selecting the pool inside the closure keeps each
+                   bechamel sample self-contained; the set_default cost
+                   is a mutex flip, noise against ms-scale workloads. *)
+                Pool.set_default pool;
+                work () ))
+          pools)
+      workloads
+  in
+  let grouped =
+    Test.make_grouped ~name:"par"
+      (List.map (fun (name, _, _, f) -> Test.make ~name (Staged.stage f)) tests)
+  in
+  (* Same steady-state-heap rationale as the kernels experiment. *)
+  let cfg =
+    if !smoke_mode then
+      Benchmark.cfg ~limit:6 ~quota:(Time.second 0.05) ~stabilize:false
+        ~compaction:false ()
+    else
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.5) ~stabilize:false
+        ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let ns_of name =
+    match Hashtbl.find_opt results ("par/" ^ name) with
+    | Some result -> (
+        match Analyze.OLS.estimates result with
+        | Some [ ns ] when ns > 0. -> Some ns
+        | _ -> None)
+    | None -> None
+  in
+  Format.printf "%-22s %-14s %-14s@." "workload" "ns/op" "ops/s";
+  let measured =
+    List.filter_map
+      (fun (name, wname, d, _) ->
+        match ns_of name with
+        | Some ns ->
+            Format.printf "%-22s %14.0f %14.1f@." name ns (1e9 /. ns);
+            Some (name, wname, d, ns)
+        | None ->
+            Format.printf "%-22s (no estimate)@." name;
+            None)
+      tests
+  in
+  let dmax = List.fold_left (fun acc (d, _) -> max acc d) 1 pools in
+  let speedup wname =
+    let find d =
+      List.find_map
+        (fun (_, w, d', ns) -> if w = wname && d' = d then Some ns else None)
+        measured
+    in
+    match (find 1, find dmax) with
+    | Some seq_ns, Some par_ns when par_ns > 0. -> Some (seq_ns /. par_ns)
+    | _ -> None
+  in
+  let speedups = List.map (fun (w, _) -> (w, speedup w)) workloads in
+  List.iter
+    (fun (w, s) ->
+      Option.iter
+        (fun s ->
+          Format.printf "par speedup, %d domains vs sequential, %s: %.2fx@."
+            dmax w s)
+        s)
+    speedups;
+  let json_path =
+    if !smoke_mode then Filename.temp_file "canopy-bench-par" ".json"
+    else "BENCH_par.json"
+  in
+  json_write json_path (fun buf ->
+      Printf.bprintf buf
+        "{\n  \"bench\": \"par\",\n  \"mode\": %S,\n\
+        \  \"recommended_domains\": %d,\n  \"domain_counts\": [%s],\n\
+        \  \"entries\": [\n"
+        (if !smoke_mode then "smoke" else "full")
+        recommended
+        (String.concat ", " (List.map (fun (d, _) -> string_of_int d) pools));
+      let last = List.length measured - 1 in
+      List.iteri
+        (fun i (name, wname, d, ns) ->
+          Printf.bprintf buf
+            "    {\"name\": %S, \"workload\": %S, \"domains\": %d, \
+             \"ns_per_op\": %.1f}%s\n"
+            name wname d ns
+            (if i = last then "" else ","))
+        measured;
+      Printf.bprintf buf "  ]";
+      List.iter
+        (fun (w, s) ->
+          Option.iter
+            (fun s ->
+              Printf.bprintf buf ",\n  \"speedup_%s_d%d\": %.3f" w dmax s)
+            s)
+        speedups;
+      Printf.bprintf buf "\n}\n");
+  Format.printf "wrote %s@." json_path;
+  (* Leave the 1-domain pool as the ambient default (at_exit reaps it)
+     and reap the sized ones now. *)
+  Pool.set_default (pool_of 1);
+  List.iter (fun (d, p) -> if d <> 1 then Pool.shutdown p) pools
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: verifier domain and subdivision strategy *)
@@ -1344,6 +1569,7 @@ let experiments =
     ("table3", table3);
     ("kernels", kernels);
     ("certify", certify_bench);
+    ("par", par_bench);
     ("ablation", ablation);
     ("traces", traces_fig);
   ]

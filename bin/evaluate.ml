@@ -21,7 +21,7 @@ let schemes_of checkpoint history =
       ("canopy", `Policy actor) :: tcp
 
 let run checkpoint history bdp min_rtt duration_ms n_components with_cert
-    property_name with_shield noise_mu =
+    property_name with_shield noise_mu refute_seed =
   let property =
     match property_name with
     | "performance" -> Canopy.Property.performance ()
@@ -30,32 +30,44 @@ let run checkpoint history bdp min_rtt duration_ms n_components with_cert
   in
   let traces = Canopy_trace.Suite.all ~duration_ms () in
   let schemes = schemes_of checkpoint history in
-  let results =
+  (* Flatten the scheme × trace grid into independent tasks and fan them
+     out over the domain pool. Per-task refutation streams are split from
+     the master seed by task index before the fan-out, so the sweep is
+     bit-identical to the sequential nested loops at any CANOPY_DOMAINS. *)
+  let cells =
     List.concat_map
-      (fun (name, scheme) ->
-        List.map
-          (fun trace ->
-            let link = Eval.link ~min_rtt_ms:min_rtt ~bdp trace in
-            match scheme with
-            | `Tcp make -> Eval.eval_tcp ~name make link
-            | `Policy actor ->
-                let certificate =
-                  if with_cert then Some (property, n_components) else None
-                in
-                let shield =
-                  if with_shield then
-                    Some
-                      (Canopy.Shield.create
-                         ~property:(Canopy.Property.performance ()) ~history)
-                  else None
-                in
-                let noise = Option.map (fun mu -> (17, mu)) noise_mu in
-                fst
-                  (Eval.eval_policy ~name ?certificate ?shield ?noise ~actor
-                     ~history link))
-          traces)
+      (fun (name, scheme) -> List.map (fun trace -> (name, scheme, trace)) traces)
       schemes
   in
+  let master = Option.map Canopy_util.Prng.create refute_seed in
+  let tasks =
+    List.mapi
+      (fun idx (name, scheme, trace) ->
+        let refute_rng =
+          Option.map (fun m -> Canopy_util.Prng.split m idx) master
+        in
+        fun () ->
+          let link = Eval.link ~min_rtt_ms:min_rtt ~bdp trace in
+          match scheme with
+          | `Tcp make -> Eval.eval_tcp ~name make link
+          | `Policy actor ->
+              let certificate =
+                if with_cert then Some (property, n_components) else None
+              in
+              let shield =
+                if with_shield then
+                  Some
+                    (Canopy.Shield.create
+                       ~property:(Canopy.Property.performance ()) ~history)
+                else None
+              in
+              let noise = Option.map (fun mu -> (17, mu)) noise_mu in
+              fst
+                (Eval.eval_policy ~name ?certificate ?shield ?noise ?refute_rng
+                   ~actor ~history link))
+      cells
+  in
+  let results = Eval.run_tasks tasks in
   List.iter (fun r -> Format.printf "%a@." Eval.pp_result r) results;
   (* category means *)
   Format.printf "@.-- category means --@.";
@@ -114,12 +126,21 @@ let noise_mu =
   Arg.(value & opt (some float) None
        & info [ "noise" ] ~doc:"Add ±MU relative delay noise.")
 
+let refute_seed =
+  Arg.(value & opt (some int) None
+       & info [ "refute-seed" ]
+           ~doc:
+             "With --certify: sample-refute uncertified components, \
+              deriving one reproducible PRNG stream per scheme×trace cell \
+              from this seed.")
+
 let cmd =
   let doc = "evaluate controllers over the 22-trace suite" in
   Cmd.v
     (Cmd.info "canopy-evaluate" ~doc)
     Term.(
       const run $ checkpoint $ history $ bdp $ min_rtt $ duration_ms
-      $ n_components $ with_cert $ property_name $ with_shield $ noise_mu)
+      $ n_components $ with_cert $ property_name $ with_shield $ noise_mu
+      $ refute_seed)
 
 let () = exit (Cmd.eval cmd)

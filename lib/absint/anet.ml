@@ -114,9 +114,15 @@ let of_mlp net =
 (* same frozen actor, so extraction amortizes to once per update.      *)
 (* ------------------------------------------------------------------ *)
 
-let cache : (Mlp.t * t) option ref = ref None
+(* One cache slot per domain: pool workers certifying in parallel each
+   memoize their own extraction instead of racing on a shared ref (the
+   extraction is pure, so per-domain copies are merely a few redundant
+   [of_mlp] runs, never a correctness hazard). *)
+let cache_key : (Mlp.t * t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let cached net =
+  let cache = Domain.DLS.get cache_key in
   match !cache with
   | Some (src, ir) when src == net && ir.source_generation = Mlp.generation net
     ->
@@ -197,16 +203,52 @@ let propagate t box =
   let c, r = propagate_batch t ~centers ~radii in
   Box.make ~center:(Mat.row c 0) ~dev:(Mat.row r 0)
 
+(* Per-box cost of the batched transfer, for the parallel-dispatch
+   threshold: two GEMM rows per stage (≈ 2·rows·cols multiply-adds each,
+   counted once — the radius GEMM rides along). Pure function of the IR
+   shape, so chunking derived from it is deterministic. *)
+let per_box_flops t =
+  List.fold_left
+    (fun acc stage -> acc + (2 * Mat.rows stage.w * Mat.cols stage.w))
+    0 t.stages
+
+(* Boxes [lo, hi) through the batched transfer, results into [out]. Each
+   output row of the stage GEMMs depends only on the matching input row,
+   so a sub-batch reproduces the full batch's rows bit for bit — chunking
+   the workload cannot change any interval (DESIGN §10). *)
+let output_intervals_range t boxes out ~lo ~hi =
+  let centers, radii = batch_of_boxes (Array.sub boxes lo (hi - lo)) in
+  let c, r = propagate_batch t ~centers ~radii in
+  for k = lo to hi - 1 do
+    let ck = Mat.get c (k - lo) 0 and rk = Mat.get r (k - lo) 0 in
+    out.(k) <- Interval.make (ck -. rk) (ck +. rk)
+  done
+
 let output_intervals t boxes =
   if t.out_dim <> 1 then invalid_arg "Anet.output_intervals: out_dim";
-  if Array.length boxes = 0 then [||]
+  let n = Array.length boxes in
+  if n = 0 then [||]
   else begin
     Array.iter (check_box t) boxes;
-    let centers, radii = batch_of_boxes boxes in
-    let c, r = propagate_batch t ~centers ~radii in
-    Array.init (Array.length boxes) (fun k ->
-        let ck = Mat.get c k 0 and rk = Mat.get r k 0 in
-        Interval.make (ck -. rk) (ck +. rk))
+    let row_flops = per_box_flops t in
+    let min_flops, chunk_flops = Mat.parallel_grain () in
+    let module Pool = Canopy_util.Pool in
+    if
+      Mat.parallel_enabled () && n > 1
+      && n * row_flops >= min_flops
+      && (not (Pool.in_task ()))
+      && Pool.(domains (default ())) > 1
+    then begin
+      let out = Array.make n (Interval.make 0. 0.) in
+      let chunk = max 1 (chunk_flops / max 1 row_flops) in
+      Pool.parallel_for_chunks ~chunk n (output_intervals_range t boxes out);
+      out
+    end
+    else begin
+      let out = Array.make n (Interval.make 0. 0.) in
+      output_intervals_range t boxes out ~lo:0 ~hi:n;
+      out
+    end
   end
 
 let output_interval t box = (output_intervals t [| box |]).(0)

@@ -30,6 +30,11 @@ let rules =
       "bare `open_out` replaces the target in place, so a crash mid-write \
        leaves a torn file that a later load trusts; persist through \
        Canopy_util.Atomic_file.write (stage + rename) instead" );
+    ( "raw-domain-spawn",
+      "bare `Domain.spawn`/`Thread.create` bypasses the deterministic \
+       domain pool, so chunking (and with it float results) can depend \
+       on scheduling; run parallel work through Canopy_util.Pool \
+       instead" );
   ]
 
 let is_ident_char = function
@@ -236,13 +241,26 @@ let mlp_layer_walk_exempt path =
    point, not a hazard. *)
 let non_atomic_write_exempt path = Filename.basename path = "atomic_file.ml"
 
+let check_raw_domain_spawn line =
+  if contains line "Domain.spawn" || contains line "Thread.create" then
+    Some (List.assoc "raw-domain-spawn" rules)
+  else None
+
+(* [raw-domain-spawn] funnels all parallelism through the deterministic
+   pool; the pool implementation itself is the one sanctioned spawner. *)
+let raw_domain_spawn_exempt path = Filename.basename path = "pool.ml"
+
 let line_rules_for path =
   let line_rules =
     if mlp_layer_walk_exempt path then line_rules
     else line_rules @ [ ("mlp-layer-walk", check_mlp_layer_walk) ]
   in
-  if non_atomic_write_exempt path then line_rules
-  else line_rules @ [ ("non-atomic-write", check_non_atomic_write) ]
+  let line_rules =
+    if non_atomic_write_exempt path then line_rules
+    else line_rules @ [ ("non-atomic-write", check_non_atomic_write) ]
+  in
+  if raw_domain_spawn_exempt path then line_rules
+  else line_rules @ [ ("raw-domain-spawn", check_raw_domain_spawn) ]
 
 let check_source ~path contents =
   let stripped = Sources.strip contents in

@@ -325,14 +325,13 @@ let refute ?(samples = 64) ~rng ~actor ~property ~history ~state ~cwnd_tcp
     ~prev_cwnd component =
   if component.certified then Unknown
   else begin
-    (* Derive a per-component stream: one draw advances the caller's
-       sequence, and mixing in the component's identity ensures two
-       components refuted from the same caller state still replay
-       distinct, reproducible sample sequences. *)
-    let base = Canopy_util.Prng.int rng 0x3FFFFFFF in
+    (* Derive a per-component stream via [Prng.split]: one draw advances
+       the caller's sequence, and the component's identity keys the child
+       index, so two components refuted from the same caller state still
+       replay distinct, reproducible sample sequences. *)
     let rng =
-      Canopy_util.Prng.create
-        (base + (8191 * component.index) + case_ordinal component.case)
+      Canopy_util.Prng.split rng
+        ((3 * component.index) + case_ordinal component.case)
     in
     let indices = delay_indices ~history in
     let concrete_output candidate_state =

@@ -61,8 +61,8 @@ let buffer_pkts link =
 let clamp_action = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
 
 let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
-    ?certificate ?refute_seed ?shield ?(collect_steps = false) ~actor ~history
-    link =
+    ?certificate ?refute_seed ?refute_rng ?shield ?(collect_steps = false)
+    ~actor ~history link =
   let delay_noise =
     Option.map
       (fun (seed, mu) -> (Canopy_util.Prng.create seed, mu))
@@ -70,8 +70,15 @@ let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
   in
   (* One PRNG for the whole run: Certify.refute derives a per-component
      stream from it, so every step explores fresh sample points while
-     the run as a whole stays reproducible from [refute_seed]. *)
-  let refute_rng = Option.map Canopy_util.Prng.create refute_seed in
+     the run as a whole stays reproducible from [refute_seed]. Parallel
+     sweeps pass [?refute_rng] instead — a [Prng.split] child derived by
+     task index before the fan-out, so sampling stays reproducible and
+     identical at every domain count. *)
+  let refute_rng =
+    match refute_rng with
+    | Some _ as r -> r
+    | None -> Option.map Canopy_util.Prng.create refute_seed
+  in
   let cfg =
     {
       (Agent_env.default_config ~trace:link.trace ~min_rtt_ms:link.min_rtt_ms
@@ -199,6 +206,15 @@ let eval_tcp ~name make link =
     fcs = None;
     refuted = None;
   }
+
+(* Parallel sweep over independent evaluation cells. Each task builds its
+   own simulator (environments are created per call and share nothing
+   mutable), so tasks are embarrassingly parallel; [Pool.map] keeps
+   results in task order, and any task RNG must be derived {i before}
+   this call (e.g. [Prng.split] by task index), so the sweep is
+   bit-identical to running the tasks sequentially in list order. *)
+let run_tasks ?pool tasks =
+  Canopy_util.Pool.map_list ?pool (fun task -> task ()) tasks
 
 let cubic_scheme () = Canopy_cc.Cubic.to_controller (Canopy_cc.Cubic.create ())
 let vegas_scheme () = Canopy_cc.Vegas.to_controller (Canopy_cc.Vegas.create ())

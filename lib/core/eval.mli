@@ -53,6 +53,7 @@ val eval_policy :
   ?engine:Certify.engine ->
   ?certificate:Property.t * int ->
   ?refute_seed:int ->
+  ?refute_rng:Canopy_util.Prng.t ->
   ?shield:Shield.t ->
   ?collect_steps:bool ->
   actor:Mlp.t ->
@@ -66,12 +67,24 @@ val eval_policy :
     [engine] (default the batched verifier-IR engine); [refute_seed]
     additionally runs {!Certify.refute} over every uncertified component,
     threading one PRNG through the whole run, and reports the refuted
-    fraction in [result.refuted]; [shield] projects each action through a
-    runtime {!Shield} before it is applied; [collect_steps] returns the
-    per-step trajectory (with certificates when enabled). *)
+    fraction in [result.refuted] ([refute_rng] passes that stream
+    directly and wins over [refute_seed] — parallel sweeps hand each
+    task a [Prng.split] child derived by task index); [shield] projects
+    each action through a runtime {!Shield} before it is applied;
+    [collect_steps] returns the per-step trajectory (with certificates
+    when enabled). *)
 
 val eval_tcp :
   name:string -> (unit -> Canopy_cc.Controller.t) -> link -> result
+
+val run_tasks :
+  ?pool:Canopy_util.Pool.t -> (unit -> result) list -> result list
+(** [run_tasks tasks] evaluates independent sweep cells in parallel on
+    the given (default ambient) pool, returning results in task order.
+    Each task must own its state — environments are built per task, and
+    any per-task PRNG must be split from the master stream by task index
+    {i before} calling this — which makes the sweep bit-identical to a
+    sequential [List.map] at every domain count. *)
 
 val cubic_scheme : unit -> Canopy_cc.Controller.t
 val vegas_scheme : unit -> Canopy_cc.Controller.t

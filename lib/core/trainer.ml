@@ -285,7 +285,7 @@ let train ?on_epoch ?snapshot_every ?snapshot_path ?resume ?fault_hook cfg =
   let td3_cfg =
     { (Td3.default_config ~state_dim ~action_dim:1) with hidden = cfg.hidden }
   in
-  let agent = Td3.create ~rng:(Prng.split rng) td3_cfg in
+  let agent = Td3.create ~rng:(Prng.split rng 0) td3_cfg in
   (* Pre-flight netcheck: a dimension mismatch or non-finite initial
      weight invalidates every certificate computed during training, so
      refuse to start. *)
@@ -298,9 +298,16 @@ let train ?on_epoch ?snapshot_every ?snapshot_path ?resume ?fault_hook cfg =
      is a state both an uninterrupted run and a resumed one can agree
      on bit-for-bit. *)
   let make_envs () =
-    let envs = Array.of_list (List.map Agent_env.create cfg.envs) in
-    Array.iter (fun env -> ignore (Agent_env.reset env)) envs;
-    envs
+    (* Each env is created and reset purely from its own config entry, so
+       the boundary rebuild fans out over the domain pool; [Pool.map]
+       preserves list order, keeping the pool bit-identical to the
+       sequential rebuild at any domain count. *)
+    Canopy_util.Pool.map
+      (fun env_cfg ->
+        let env = Agent_env.create env_cfg in
+        ignore (Agent_env.reset env);
+        env)
+      (Array.of_list cfg.envs)
   in
   let envs = ref (make_envs ()) in
   let epochs = ref [] in

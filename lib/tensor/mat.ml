@@ -184,16 +184,64 @@ let[@inline] saxpy_row4x4 ~dst ~d0 ~d1 ~d2 ~d3 ~s0 ~s1 ~s2 ~s3 ~t0 ~t1 ~t2 ~t3
       +. (w0 *. bv0) +. (w1 *. bv1) +. (w2 *. bv2) +. (w3 *. bv3))
   done
 
-let mat_mul_into ~dst a b =
-  if a.cols <> b.rows then invalid_arg "Mat.mat_mul_into: dims";
-  if dst.rows <> a.rows || dst.cols <> b.cols then
-    invalid_arg "Mat.mat_mul_into: dst";
-  Array.fill dst.data 0 (Array.length dst.data) 0.;
+(* ------------------------------------------------------------------ *)
+(* Parallel dispatch.
+
+   The three GEMM kernels below ([mat_mul_into], [mat_mul_nt_into] /
+   [mat_mul_nt_bias_into], [mat_mul_tn_acc]) are implemented as range
+   kernels over a half-open interval [lo, hi) of output rows, and large
+   calls fan the row ranges out over [Canopy_util.Pool]. Determinism
+   contract (DESIGN §10): chunk boundaries are a pure function of the
+   matrix dimensions and the (global) grain settings — never the domain
+   count — every output row is written by exactly one chunk, and each
+   range kernel performs, per row, exactly the operation sequence of the
+   sequential reference. Chunks are multiples of 4 rows so the 4-row
+   register blocks and the remainder rows of a chunked run coincide with
+   the sequential blocking (the remainder paths differ from the blocked
+   ones in accumulation shape and zero-skipping, so rows must not change
+   region when the matrix is split). *)
+
+let par_enabled = ref true
+let par_min_flops = ref 2_000_000
+let par_chunk_flops = ref 1_000_000
+let set_parallel_enabled b = par_enabled := b
+let parallel_enabled () = !par_enabled
+
+let set_parallel_grain ~min_flops ~chunk_flops =
+  if min_flops < 0 || chunk_flops <= 0 then
+    invalid_arg "Mat.set_parallel_grain";
+  par_min_flops := min_flops;
+  par_chunk_flops := chunk_flops
+
+let parallel_grain () = (!par_min_flops, !par_chunk_flops)
+
+(* Rows per chunk: enough rows to amortize the per-chunk hand-off at the
+   configured flop grain, rounded up to a multiple of 4 to preserve the
+   register-block alignment. Depends only on sizes and grain. *)
+let[@inline] chunk_rows ~row_flops =
+  let raw = max 1 (!par_chunk_flops / max 1 row_flops) in
+  (raw + 3) / 4 * 4
+
+(* A kernel goes parallel only when it is big enough to pay off, is not
+   already running inside a pool task (nested regions fall back to the
+   sequential reference), and the ambient pool actually has workers. The
+   pool is only instantiated once a call crosses the size threshold. *)
+let[@inline] use_parallel ~rows ~row_flops =
+  !par_enabled && rows > 4
+  && rows * row_flops >= !par_min_flops
+  && (not (Canopy_util.Pool.in_task ()))
+  && Canopy_util.Pool.(domains (default ())) > 1
+
+let mat_mul_into_range ~dst a b ~lo ~hi =
   let ad = a.data and bd = b.data and od = dst.data in
+  (* The sequential kernel zero-fills all of [dst] up front; the range
+     kernel owns exactly rows [lo, hi) and zero-fills just those. *)
+  Array.fill od (lo * b.cols) ((hi - lo) * b.cols) 0.;
   let i4 = a.rows - (a.rows land 3) in
   let k4 = a.cols - (a.cols land 3) in
-  let i = ref 0 in
-  while !i < i4 do
+  let stop4 = min hi i4 in
+  let i = ref lo in
+  while !i < stop4 do
     let ab0 = !i * a.cols in
     let ab1 = ab0 + a.cols in
     let ab2 = ab1 + a.cols in
@@ -248,7 +296,7 @@ let mat_mul_into ~dst a b =
     done;
     i := !i + 4
   done;
-  for i = i4 to a.rows - 1 do
+  for i = !i to hi - 1 do
     let abase = i * a.cols in
     let obase = i * b.cols in
     let k = ref 0 in
@@ -273,6 +321,16 @@ let mat_mul_into ~dst a b =
     done
   done
 
+let mat_mul_into ~dst a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mat_mul_into: dims";
+  if dst.rows <> a.rows || dst.cols <> b.cols then
+    invalid_arg "Mat.mat_mul_into: dst";
+  let row_flops = 2 * a.cols * b.cols in
+  if use_parallel ~rows:a.rows ~row_flops then
+    Canopy_util.Pool.parallel_for_chunks ~chunk:(chunk_rows ~row_flops) a.rows
+      (fun ~lo ~hi -> mat_mul_into_range ~dst a b ~lo ~hi)
+  else mat_mul_into_range ~dst a b ~lo:0 ~hi:a.rows
+
 let mat_mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mat_mul: dims";
   (* [mat_mul_into] zero-fills before accumulating. *)
@@ -287,10 +345,7 @@ let mat_mul a b =
    loaded once per four output cells and the four accumulator chains are
    independent. Every cell still sums in ascending k order, so each
    output row is bit-identical to a per-row [mat_vec]. *)
-let mat_mul_nt_into ~dst a b =
-  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_into: dims";
-  if dst.rows <> a.rows || dst.cols <> b.rows then
-    invalid_arg "Mat.mat_mul_nt_into: dst";
+let mat_mul_nt_into_range ~dst a b ~lo ~hi =
   let inner = a.cols in
   let ad = a.data and bd = b.data and od = dst.data in
   let j4 = b.rows - (b.rows land 3) in
@@ -298,8 +353,10 @@ let mat_mul_nt_into ~dst a b =
   (* Four rows of [b] at a time (each [a] load feeds four independent
      accumulator chains), with the k loop unrolled ×4 to amortize the
      loop overhead. Each accumulator still sums its products in ascending
-     k order, so every cell is bit-identical to the scalar dot. *)
-  for i = 0 to a.rows - 1 do
+     k order, so every cell is bit-identical to the scalar dot — and
+     because output rows are fully independent here, any row partition
+     of [0, a.rows) is bit-identical to the sequential sweep. *)
+  for i = lo to hi - 1 do
     let abase = i * inner in
     let obase = i * dst.cols in
     let j = ref 0 in
@@ -359,6 +416,16 @@ let mat_mul_nt_into ~dst a b =
     done
   done
 
+let mat_mul_nt_into ~dst a b =
+  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_into: dims";
+  if dst.rows <> a.rows || dst.cols <> b.rows then
+    invalid_arg "Mat.mat_mul_nt_into: dst";
+  let row_flops = 2 * a.cols * b.rows in
+  if use_parallel ~rows:a.rows ~row_flops then
+    Canopy_util.Pool.parallel_for_chunks ~chunk:(chunk_rows ~row_flops) a.rows
+      (fun ~lo ~hi -> mat_mul_nt_into_range ~dst a b ~lo ~hi)
+  else mat_mul_nt_into_range ~dst a b ~lo:0 ~hi:a.rows
+
 let mat_mul_nt a b =
   if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_into: dims";
   let out = create_uninit ~rows:a.rows ~cols:b.rows in
@@ -369,16 +436,12 @@ let mat_mul_nt a b =
    Fusing the bias into the GEMM epilogue saves a full extra pass over the
    output. Seeding the accumulator with the bias instead of adding it last
    changes the result only by rounding relative to dot-then-add. *)
-let mat_mul_nt_bias_into ~dst a b bias =
-  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_bias: dims";
-  if Array.length bias <> b.rows then invalid_arg "Mat.mat_mul_nt_bias: bias";
-  if dst.rows <> a.rows || dst.cols <> b.rows then
-    invalid_arg "Mat.mat_mul_nt_bias_into: dst";
+let mat_mul_nt_bias_into_range ~dst a b bias ~lo ~hi =
   let inner = a.cols in
   let ad = a.data and bd = b.data and od = dst.data in
   let j4 = b.rows - (b.rows land 3) in
   let k4 = inner - (inner land 3) in
-  for i = 0 to a.rows - 1 do
+  for i = lo to hi - 1 do
     let abase = i * inner in
     let obase = i * dst.cols in
     let j = ref 0 in
@@ -441,6 +504,17 @@ let mat_mul_nt_bias_into ~dst a b bias =
     done
   done
 
+let mat_mul_nt_bias_into ~dst a b bias =
+  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_bias: dims";
+  if Array.length bias <> b.rows then invalid_arg "Mat.mat_mul_nt_bias: bias";
+  if dst.rows <> a.rows || dst.cols <> b.rows then
+    invalid_arg "Mat.mat_mul_nt_bias_into: dst";
+  let row_flops = 2 * a.cols * b.rows in
+  if use_parallel ~rows:a.rows ~row_flops then
+    Canopy_util.Pool.parallel_for_chunks ~chunk:(chunk_rows ~row_flops) a.rows
+      (fun ~lo ~hi -> mat_mul_nt_bias_into_range ~dst a b bias ~lo ~hi)
+  else mat_mul_nt_bias_into_range ~dst a b bias ~lo:0 ~hi:a.rows
+
 let mat_mul_nt_bias a b bias =
   if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_bias: dims";
   let dst = create_uninit ~rows:a.rows ~cols:b.rows in
@@ -452,14 +526,19 @@ let mat_mul_nt_bias a b bias =
    per pass; the four per-sample contributions to a cell are summed before
    the add to [dst], so the result matches a sequence of per-sample
    [outer_acc]s to rounding rather than bit for bit. *)
-let mat_mul_tn_acc ~dst a b =
-  if a.rows <> b.rows then invalid_arg "Mat.mat_mul_tn_acc: dims";
-  if dst.rows <> a.cols || dst.cols <> b.cols then
-    invalid_arg "Mat.mat_mul_tn_acc: dst";
+(* Range kernel over dst rows [lo, hi) (lo a multiple of 4). The k loops
+   stay outermost and complete per chunk, so each dst row receives its
+   sample contributions in exactly the sequential order; the global
+   i4/i2 region boundaries keep every row on the same saxpy variant
+   (4×4 / 4×2 / single, with the remainder rows' zero-skip) it takes in
+   the full sweep. *)
+let mat_mul_tn_acc_range ~dst a b ~lo ~hi =
   let ad = a.data and bd = b.data and od = dst.data in
   let i4 = a.cols - (a.cols land 3) in
   let i2 = a.cols - (a.cols land 1) in
   let k4 = a.rows - (a.rows land 3) in
+  let stop4 = min hi i4 in
+  let stop2 = min hi i2 in
   let k = ref 0 in
   while !k < k4 do
     let a0 = !k * a.cols in
@@ -470,8 +549,8 @@ let mat_mul_tn_acc ~dst a b =
     let x1 = x0 + b.cols in
     let x2 = x1 + b.cols in
     let x3 = x2 + b.cols in
-    let i = ref 0 in
-    while !i < i4 do
+    let i = ref lo in
+    while !i < stop4 do
       let d0 = !i * dst.cols in
       saxpy_row4x4 ~dst:od ~d0 ~d1:(d0 + dst.cols) ~d2:(d0 + (2 * dst.cols))
         ~d3:(d0 + (3 * dst.cols))
@@ -494,7 +573,7 @@ let mat_mul_tn_acc ~dst a b =
         ~x:bd ~x0 ~x1 ~x2 ~x3 ~len:b.cols;
       i := !i + 4
     done;
-    while !i < i2 do
+    while !i < stop2 do
       saxpy_row4x2 ~dst:od ~d0:(!i * dst.cols) ~d1:((!i + 1) * dst.cols)
         ~s0:(Array.unsafe_get ad (a0 + !i))
         ~s1:(Array.unsafe_get ad (a1 + !i))
@@ -507,7 +586,7 @@ let mat_mul_tn_acc ~dst a b =
         ~x:bd ~x0 ~x1 ~x2 ~x3 ~len:b.cols;
       i := !i + 2
     done;
-    for i = i2 to a.cols - 1 do
+    for i = !i to hi - 1 do
       saxpy_row4 ~dst:od ~dbase:(i * dst.cols)
         ~s0:(Array.unsafe_get ad (a0 + i))
         ~s1:(Array.unsafe_get ad (a1 + i))
@@ -520,13 +599,23 @@ let mat_mul_tn_acc ~dst a b =
   for k = k4 to a.rows - 1 do
     let abase = k * a.cols in
     let bbase = k * b.cols in
-    for i = 0 to a.cols - 1 do
+    for i = lo to hi - 1 do
       let aki = Array.unsafe_get ad (abase + i) in
       if aki <> 0. then
         saxpy_row ~dst:od ~dbase:(i * dst.cols) ~s:aki ~x:bd ~xbase:bbase
           ~len:b.cols
     done
   done
+
+let mat_mul_tn_acc ~dst a b =
+  if a.rows <> b.rows then invalid_arg "Mat.mat_mul_tn_acc: dims";
+  if dst.rows <> a.cols || dst.cols <> b.cols then
+    invalid_arg "Mat.mat_mul_tn_acc: dst";
+  let row_flops = 2 * a.rows * b.cols in
+  if use_parallel ~rows:a.cols ~row_flops then
+    Canopy_util.Pool.parallel_for_chunks ~chunk:(chunk_rows ~row_flops) a.cols
+      (fun ~lo ~hi -> mat_mul_tn_acc_range ~dst a b ~lo ~hi)
+  else mat_mul_tn_acc_range ~dst a b ~lo:0 ~hi:a.cols
 
 let outer_acc m y x =
   if m.rows <> Array.length y || m.cols <> Array.length x then

@@ -80,6 +80,36 @@ val mat_mul_tn_acc : dst:t -> t -> t -> unit
     matches a row-ascending sequence of {!outer_acc} calls to rounding
     (≲1e-15 relative), not bit for bit. *)
 
+(** {2 Parallel dispatch}
+
+    {!mat_mul_into}, {!mat_mul_nt_into} / {!mat_mul_nt_bias_into} and
+    {!mat_mul_tn_acc} fan large calls out over
+    [Canopy_util.Pool.default ()] as row-range chunks. Chunk boundaries
+    are a pure function of the matrix shapes and the grain settings
+    below, each output row is written by exactly one chunk, and the
+    per-row operation order equals the sequential kernel's — so results
+    are bit-identical at every domain count (DESIGN §10). Calls made
+    from inside a pool task, or below the flop threshold, take the
+    sequential path. The knobs are process-global and not intended to
+    be mutated concurrently with running kernels. *)
+
+val set_parallel_enabled : bool -> unit
+(** Master switch for the parallel GEMM paths (default on). With the
+    switch off every call runs the sequential reference kernel. *)
+
+val parallel_enabled : unit -> bool
+
+val set_parallel_grain : min_flops:int -> chunk_flops:int -> unit
+(** [set_parallel_grain ~min_flops ~chunk_flops] tunes the dispatch: a
+    kernel call goes parallel only when its total flop count reaches
+    [min_flops], and rows are grouped into chunks of roughly
+    [chunk_flops] (rounded up to a multiple of 4 rows, preserving the
+    register-block alignment). Raises [Invalid_argument] if
+    [min_flops < 0] or [chunk_flops <= 0]. Mainly a test/bench hook. *)
+
+val parallel_grain : unit -> int * int
+(** Current [(min_flops, chunk_flops)]. *)
+
 val outer_acc : t -> Vec.t -> Vec.t -> unit
 (** [outer_acc m y x] accumulates the outer product [y xᵀ] into [m]
     ([m.(i).(j) += y.(i) * x.(j)]); used for weight gradients. *)

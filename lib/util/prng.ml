@@ -13,9 +13,16 @@ let bits64 t =
   t.state <- Int64.add t.state golden;
   mix t.state
 
-let split t =
-  let child_seed = bits64 t in
-  { state = mix child_seed }
+(* Index-derived child streams: one parent draw keys a whole family of
+   children, so deriving the stream for task [i] of a parallel region
+   costs the parent exactly one advance regardless of how many siblings
+   exist — the derivation order cannot depend on scheduling. Odd
+   multiples of [golden] keep the per-index offsets distinct and coprime
+   with 2^64; the outer [mix] decorrelates neighbouring indices. *)
+let split t idx =
+  if idx < 0 then invalid_arg "Prng.split: negative index";
+  let key = bits64 t in
+  { state = mix (Int64.add key (Int64.mul golden (Int64.of_int ((2 * idx) + 1)))) }
 
 let copy t = { state = t.state }
 let state t = t.state

@@ -14,9 +14,14 @@ val create : int -> t
 (** [create seed] makes a fresh generator from an integer seed. Two
     generators created from the same seed produce identical streams. *)
 
-val split : t -> t
-(** [split t] derives an independent generator from [t], advancing [t].
-    Streams of the parent and child do not overlap in practice. *)
+val split : t -> int -> t
+(** [split t idx] derives an independent child generator from [t] and a
+    non-negative task index, advancing [t] by exactly one draw. Children
+    of the same parent state with distinct indices, and children of
+    distinct parent states with any indices, get decorrelated streams —
+    this is how parallel regions hand each task its own reproducible
+    stream (child [i] is a pure function of the parent state and [i],
+    never of scheduling). Raises [Invalid_argument] on a negative index. *)
 
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy replays [t]'s future. *)

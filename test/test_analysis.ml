@@ -90,6 +90,25 @@ let test_lint_non_atomic_write () =
     (rules_of
        (lint "let oc = open_out p (* lint-ignore: non-atomic-write *)\n"))
 
+let test_lint_raw_domain_spawn () =
+  let fixture = "let d = Domain.spawn (fun () -> work ())\n" in
+  let at path = rules_of (Lint.check_source ~path fixture) in
+  let p parts = String.concat Filename.dir_sep parts in
+  Alcotest.(check (list string)) "flagged in lib"
+    [ "raw-domain-spawn" ]
+    (at (p [ "lib"; "core"; "trainer.ml" ]));
+  Alcotest.(check (list string)) "Thread.create flagged too"
+    [ "raw-domain-spawn" ]
+    (rules_of
+       (Lint.check_source
+          ~path:(p [ "bin"; "train.ml" ])
+          "let t = Thread.create run ()\n"));
+  Alcotest.(check (list string)) "exempt in the pool itself" []
+    (at (p [ "lib"; "util"; "pool.ml" ]));
+  Alcotest.(check (list string)) "waivable inline" []
+    (rules_of
+       (lint "let d = Domain.spawn f (* lint-ignore: raw-domain-spawn *)\n"))
+
 let test_lint_array_make_scalar_clean () =
   let fixture =
     "let a = Array.make n 0.\n\
@@ -302,6 +321,7 @@ let suite =
     ("lint: Array.make aliasing", `Quick, test_lint_array_make_alias);
     ("lint: Mlp.layers walk", `Quick, test_lint_mlp_layer_walk);
     ("lint: non-atomic write", `Quick, test_lint_non_atomic_write);
+    ("lint: raw domain spawn", `Quick, test_lint_raw_domain_spawn);
     ("lint: Array.make scalar clean", `Quick, test_lint_array_make_scalar_clean);
     ("lint: typed comparators clean", `Quick, test_lint_typed_comparators_clean);
     ("lint: comments/strings ignored", `Quick,

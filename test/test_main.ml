@@ -19,4 +19,5 @@ let () =
       ("temporal", Test_temporal.suite);
       ("properties", Test_properties.suite);
       ("analysis", Test_analysis.suite);
+      ("pool", Test_pool.suite);
     ]

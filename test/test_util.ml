@@ -22,10 +22,38 @@ let test_prng_seed_sensitivity () =
 
 let test_prng_split_independent () =
   let parent = Prng.create 11 in
-  let child = Prng.split parent in
+  let child = Prng.split parent 0 in
   let xs = List.init 50 (fun _ -> Prng.bits64 parent) in
   let ys = List.init 50 (fun _ -> Prng.bits64 child) in
   check_bool "streams differ" false (xs = ys)
+
+let test_prng_split_deterministic () =
+  let stream idx =
+    let child = Prng.split (Prng.create 11) idx in
+    List.init 20 (fun _ -> Prng.bits64 child)
+  in
+  check_bool "same parent state + index replays" true (stream 3 = stream 3);
+  check_bool "distinct indices give distinct streams" false
+    (stream 0 = stream 1);
+  (* Sibling streams from distinct indices stay decorrelated well past
+     the first draw. *)
+  let pairs = List.combine (stream 4) (stream 5) in
+  check_bool "no pointwise collisions" true
+    (List.for_all (fun (a, b) -> a <> b) pairs)
+
+let test_prng_split_advances_parent () =
+  (* split consumes exactly one draw from the parent, so a split is
+     stream-equivalent to one bits64 call. *)
+  let a = Prng.create 17 and b = Prng.create 17 in
+  ignore (Prng.split a 2);
+  ignore (Prng.bits64 b);
+  Alcotest.(check int64) "parent advanced by one draw" (Prng.bits64 a)
+    (Prng.bits64 b)
+
+let test_prng_split_negative_rejected () =
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Prng.split: negative index") (fun () ->
+      ignore (Prng.split (Prng.create 1) (-1)))
 
 let test_prng_copy_replays () =
   let a = Prng.create 3 in
@@ -447,6 +475,9 @@ let suite =
     ("prng determinism", `Quick, test_prng_deterministic);
     ("prng seed sensitivity", `Quick, test_prng_seed_sensitivity);
     ("prng split independence", `Quick, test_prng_split_independent);
+    ("prng split deterministic", `Quick, test_prng_split_deterministic);
+    ("prng split advances parent", `Quick, test_prng_split_advances_parent);
+    ("prng split negative rejected", `Quick, test_prng_split_negative_rejected);
     ("prng copy replays", `Quick, test_prng_copy_replays);
     ("prng int range", `Quick, test_prng_int_range);
     ("prng int covers buckets", `Quick, test_prng_int_covers);
