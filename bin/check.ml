@@ -1,7 +1,11 @@
 (* canopy-check: correctness tooling for the repository itself.
 
    - lint:       deterministic source-level analyzer with a checked-in
-                 baseline; exits non-zero on findings not in the baseline.
+                 baseline; exits non-zero on findings not in the baseline
+                 or on stale baseline entries.
+   - racecheck:  token-level effect/race analysis of Pool-parallel
+                 regions (shared-mutable-in-parallel); same baseline
+                 file, same exactness contract.
    - audit:      differential soundness sanitizer for the abstract
                  transformers backing every certificate.
    - netcheck:   static shape/finiteness validation of checkpoints.
@@ -13,32 +17,90 @@ module A = Canopy_analysis
 
 let pp_diag ppf d = Format.fprintf ppf "%a@." A.Diagnostic.pp d
 
-(* --- lint ------------------------------------------------------------- *)
-
-let run_lint root baseline_path update_baseline =
-  let diags = A.Lint.run ~root () in
+(* Shared baseline gate for the lint and racecheck passes: each owns the
+   baseline entries carrying its rule names, is exact against them (no
+   fresh findings, no stale entries), and updates only its own section. *)
+let gate ~pass ~baseline_path ~update_baseline ~owns diags =
   if update_baseline then begin
-    A.Suppress.save baseline_path diags;
-    Format.printf "wrote %d finding(s) to %s@." (List.length diags)
+    A.Suppress.update baseline_path ~rules:owns diags;
+    Format.printf "%s: wrote %d finding(s) to %s@." pass (List.length diags)
       baseline_path;
     0
   end
   else begin
-    let baseline = A.Suppress.load baseline_path in
-    let fresh, suppressed = A.Suppress.filter baseline diags in
+    let entries = A.Suppress.load_entries baseline_path in
+    let fresh, suppressed =
+      A.Suppress.filter (A.Suppress.load baseline_path) diags
+    in
+    let stale = A.Suppress.stale entries ~rules:owns diags in
     List.iter (pp_diag Format.std_formatter) fresh;
-    if fresh = [] then begin
-      Format.printf "lint: clean (%d baselined finding(s))@." suppressed;
+    List.iter
+      (fun (e : A.Suppress.entry) ->
+        Format.printf "stale baseline entry: %s %s %s@." e.e_rule e.e_key
+          e.e_rest)
+      stale;
+    if fresh = [] && stale = [] then begin
+      Format.printf "%s: clean (%d baselined finding(s))@." pass suppressed;
       0
     end
     else begin
       Format.printf
-        "lint: %d new finding(s), %d baselined — add a fix, an inline \
-         (* lint-ignore: rule *) waiver, or re-run with --update-baseline@."
-        (List.length fresh) suppressed;
+        "%s: %d new finding(s), %d stale baseline entr(ies), %d baselined \
+         — add a fix, an inline (* lint-ignore: rule *) waiver, or re-run \
+         with --update-baseline@."
+        pass (List.length fresh) (List.length stale) suppressed;
       1
     end
   end
+
+(* --- lint ------------------------------------------------------------- *)
+
+let lint_owns rule =
+  List.mem_assoc rule A.Lint.rules
+
+let print_summary diags baseline =
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun (d : A.Diagnostic.t) ->
+      let fresh_n, base_n =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt tally d.rule)
+      in
+      if A.Suppress.mem baseline d then
+        Hashtbl.replace tally d.rule (fresh_n, base_n + 1)
+      else Hashtbl.replace tally d.rule (fresh_n + 1, base_n))
+    diags;
+  let rows =
+    List.sort (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun r c acc -> (r, c) :: acc) tally [])
+  in
+  Format.printf "%-28s %8s %10s@." "rule" "fresh" "baselined";
+  List.iter
+    (fun (rule, (fresh_n, base_n)) ->
+      Format.printf "%-28s %8d %10d@." rule fresh_n base_n)
+    rows;
+  let tf, tb =
+    List.fold_left
+      (fun (f, b) (_, (f', b')) -> (f + f', b + b'))
+      (0, 0) rows
+  in
+  Format.printf "%-28s %8d %10d@." "total" tf tb
+
+let run_lint root baseline_path update_baseline format =
+  let diags = A.Lint.run ~root () in
+  match format with
+  | "summary" ->
+      print_summary diags (A.Suppress.load baseline_path);
+      let fresh, _ = A.Suppress.filter (A.Suppress.load baseline_path) diags in
+      let stale =
+        A.Suppress.stale
+          (A.Suppress.load_entries baseline_path)
+          ~rules:lint_owns diags
+      in
+      if stale <> [] then
+        Format.printf "stale baseline entries: %d@." (List.length stale);
+      if fresh = [] && stale = [] then 0 else 1
+  | _ ->
+      gate ~pass:"lint" ~baseline_path ~update_baseline ~owns:lint_owns diags
 
 let root =
   Arg.(value & opt string "."
@@ -53,10 +115,49 @@ let update_baseline =
        & info [ "update-baseline" ]
            ~doc:"Accept all current findings into the baseline file.")
 
+let lint_format =
+  Arg.(value & opt string "full"
+       & info [ "format" ]
+           ~doc:"Output format: full (diagnostics) or summary (per-rule \
+                 counts, so baseline drift is visible in CI logs).")
+
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc:"run the source-level lint pass")
-    Term.(const run_lint $ root $ baseline_path $ update_baseline)
+    Term.(const run_lint $ root $ baseline_path $ update_baseline
+          $ lint_format)
+
+(* --- racecheck -------------------------------------------------------- *)
+
+let race_owns rule = rule = A.Racecheck.rule_name
+
+let run_racecheck root baseline_path update_baseline verbose =
+  let report = A.Racecheck.run ~root () in
+  if verbose then begin
+    List.iter (fun r -> Format.printf "root: %s@." r)
+      report.A.Racecheck.roots;
+    Format.printf "reachable defs: %d@." report.A.Racecheck.reachable
+  end;
+  Format.printf
+    "racecheck: %d parallel entry point(s), %d reachable def(s), %d mutable \
+     global(s) over %d file(s)@."
+    (List.length report.A.Racecheck.roots)
+    report.A.Racecheck.reachable report.A.Racecheck.globals
+    report.A.Racecheck.checked_files;
+  gate ~pass:"racecheck" ~baseline_path ~update_baseline ~owns:race_owns
+    report.A.Racecheck.diags
+
+let race_verbose =
+  Arg.(value & flag
+       & info [ "verbose" ]
+           ~doc:"List every parallel entry point and reachability stats.")
+
+let racecheck_cmd =
+  Cmd.v
+    (Cmd.info "racecheck"
+       ~doc:"token-level effect/race analysis of Pool-parallel regions")
+    Term.(const run_racecheck $ root $ baseline_path $ update_baseline
+          $ race_verbose)
 
 (* --- audit ------------------------------------------------------------ *)
 
@@ -210,9 +311,10 @@ let faultcheck_cmd =
 
 let cmd =
   let doc =
-    "correctness tooling: lint, verifier soundness audit, netcheck, faultcheck"
+    "correctness tooling: lint, racecheck, verifier soundness audit, \
+     netcheck, faultcheck"
   in
   Cmd.group (Cmd.info "canopy-check" ~doc)
-    [ lint_cmd; audit_cmd; netcheck_cmd; faultcheck_cmd ]
+    [ lint_cmd; racecheck_cmd; audit_cmd; netcheck_cmd; faultcheck_cmd ]
 
 let () = exit (Cmd.eval' cmd)

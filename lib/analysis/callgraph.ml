@@ -1,0 +1,193 @@
+(* Approximate call graph over token streams. Modules are keyed by their
+   file base name capitalized ([lib/util/pool.ml] → [Pool]) — the same
+   name by which sibling modules and, after a library prefix, the rest
+   of the tree refer to them. Definitions are column-0 [let]/[and]
+   bindings; a definition's body runs to the next column-0 structure
+   keyword. References are resolved two ways: a bare lowercase
+   identifier matching a definition of the same module, and a
+   module-qualified path whose last capitalized component (after local
+   [module X = ...] alias resolution) names a known module. Calls
+   through function-valued parameters are invisible — the analysis is
+   deliberately an over/under-approximation documented in DESIGN §11. *)
+
+type def = {
+  module_ : string;
+  name : string;
+  path : string;
+  line : int;
+  start : int;  (* first token index of the body (after the name) *)
+  stop : int;   (* exclusive token index *)
+}
+
+type modul = {
+  m_name : string;
+  m_path : string;
+  lexed : Lexer.t;
+  defs : def list;
+  aliases : (string * string) list;  (* local alias → target base module *)
+}
+
+type t = { modules : (string, modul) Hashtbl.t; ordered : modul list }
+
+(* Column-0 keywords that terminate the previous definition's span. *)
+let boundary_kws =
+  [ "let"; "and"; "type"; "module"; "open"; "include"; "exception";
+    "val"; "external"; "class" ]
+
+let is_boundary (tok : Lexer.token) =
+  tok.Lexer.col = 0
+  &&
+  match tok.Lexer.kind with
+  | Lexer.Lident k -> List.mem k boundary_kws
+  | Lexer.Op ";;" -> true
+  | _ -> false
+
+let scan_defs ~path (lexed : Lexer.t) =
+  let ts = lexed.Lexer.tokens in
+  let n = Array.length ts in
+  let module_ = Inventory.module_of_path path in
+  let defs = ref [] in
+  let next_boundary i =
+    let j = ref (i + 1) in
+    while !j < n && not (is_boundary ts.(!j)) do incr j done;
+    !j
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match ts.(!i).Lexer.kind with
+    | Lexer.Lident ("let" | "and") when ts.(!i).Lexer.col = 0 ->
+        let j =
+          if
+            !i + 1 < n
+            && ts.(!i + 1).Lexer.kind = Lexer.Lident "rec"
+          then !i + 2
+          else !i + 1
+        in
+        (match if j < n then Some ts.(j) else None with
+        | Some ({ Lexer.kind = Lexer.Lident name; _ } as nt)
+          when not (Lexer.is_keyword name) ->
+            let stop = next_boundary !i in
+            defs :=
+              {
+                module_;
+                name;
+                path;
+                line = nt.Lexer.line;
+                start = j + 1;
+                stop;
+              }
+              :: !defs;
+            i := stop
+        | _ -> incr i)
+    | _ -> incr i)
+  done;
+  List.rev !defs
+
+(* [module X = A.B.C] aliases, at any nesting ([let module] included). *)
+let scan_aliases (lexed : Lexer.t) =
+  let ts = lexed.Lexer.tokens in
+  let n = Array.length ts in
+  let aliases = ref [] in
+  for i = 0 to n - 4 do
+    match
+      ( ts.(i).Lexer.kind, ts.(i + 1).Lexer.kind, ts.(i + 2).Lexer.kind,
+        ts.(i + 3).Lexer.kind )
+    with
+    | Lexer.Lident "module", Lexer.Uident alias, Lexer.Op "=",
+      Lexer.Uident first ->
+        (* follow the dotted path to its last component *)
+        let target = ref first and j = ref (i + 4) in
+        while
+          !j + 1 < n
+          && ts.(!j).Lexer.kind = Lexer.Op "."
+          &&
+          match ts.(!j + 1).Lexer.kind with
+          | Lexer.Uident u ->
+              target := u;
+              true
+          | _ -> false
+        do
+          j := !j + 2
+        done;
+        aliases := (alias, !target) :: !aliases
+    | _ -> ()
+  done;
+  List.rev !aliases
+
+let build files =
+  let ordered =
+    List.map
+      (fun (path, lexed) ->
+        {
+          m_name = Inventory.module_of_path path;
+          m_path = path;
+          lexed;
+          defs = scan_defs ~path lexed;
+          aliases = scan_aliases lexed;
+        })
+      files
+  in
+  let modules = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace modules m.m_name m) ordered;
+  { modules; ordered }
+
+let find_module t name = Hashtbl.find_opt t.modules name
+
+let resolve_module m name =
+  match List.assoc_opt name m.aliases with Some t -> t | None -> name
+
+let find_def t ~module_ ~name =
+  match find_module t module_ with
+  | None -> None
+  | Some m -> List.find_opt (fun d -> d.name = name) m.defs
+
+(* All definitions referenced from tokens [start, stop) of module [m]:
+   bare lowercase identifiers naming a definition of [m], and qualified
+   [Path.To.Mod.f] references whose last module component (alias-
+   resolved) is a known module with a definition [f]. *)
+let refs_in_span t m ~start ~stop =
+  let ts = m.lexed.Lexer.tokens in
+  let n = Array.length ts in
+  let stop = min stop n in
+  let acc = ref [] in
+  let add d =
+    if
+      not
+        (List.exists
+           (fun d' -> d'.module_ = d.module_ && d'.name = d.name)
+           !acc)
+    then acc := d :: !acc
+  in
+  let prev_is_dot i = i > 0 && ts.(i - 1).Lexer.kind = Lexer.Op "." in
+  let i = ref (max 0 start) in
+  while !i < stop do
+    (match ts.(!i).Lexer.kind with
+    | Lexer.Uident u when not (prev_is_dot !i) ->
+        (* walk the dotted chain: U (. U)* then optionally [. lident] *)
+        let last = ref u and k = ref !i in
+        let continue_ = ref true in
+        while !continue_ do
+          if !k + 2 < n && ts.(!k + 1).Lexer.kind = Lexer.Op "." then
+            match ts.(!k + 2).Lexer.kind with
+            | Lexer.Uident v ->
+                last := v;
+                k := !k + 2
+            | Lexer.Lident f when not (Lexer.is_keyword f) ->
+                (match find_def t ~module_:(resolve_module m !last) ~name:f with
+                | Some d -> add d
+                | None -> ());
+                k := !k + 2;
+                continue_ := false
+            | _ -> continue_ := false
+          else continue_ := false
+        done;
+        i := !k + 1
+    | Lexer.Lident f
+      when (not (Lexer.is_keyword f)) && not (prev_is_dot !i) -> (
+        (match List.find_opt (fun d -> d.name = f) m.defs with
+        | Some d -> add d
+        | None -> ());
+        incr i)
+    | _ -> incr i)
+  done;
+  List.rev !acc

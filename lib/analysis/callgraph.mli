@@ -1,0 +1,47 @@
+(** Approximate call graph over {!Lexer} token streams.
+
+    Modules are keyed by file base name capitalized ([pool.ml] →
+    [Pool]); definitions are column-0 [let]/[and] bindings whose span
+    runs to the next column-0 structure keyword. References resolve as
+    bare identifiers into the same module and as qualified paths whose
+    last capitalized component (after [module X = ...] alias
+    resolution) names a known module. Calls through function-valued
+    parameters are invisible; see DESIGN §11 for the approximation
+    contract. *)
+
+type def = {
+  module_ : string;
+  name : string;
+  path : string;
+  line : int;
+  start : int;  (** first token index of the body *)
+  stop : int;   (** exclusive token index *)
+}
+
+type modul = {
+  m_name : string;
+  m_path : string;
+  lexed : Lexer.t;
+  defs : def list;
+  aliases : (string * string) list;
+}
+
+type t = { modules : (string, modul) Hashtbl.t; ordered : modul list }
+
+val is_boundary : Lexer.token -> bool
+(** Whether a token starts a new column-0 structure item ([let],
+    [type], [module], ...), ending the previous definition's span. *)
+
+val build : (string * Lexer.t) list -> t
+(** Build the graph substrate from [(path, lexed)] pairs. *)
+
+val find_module : t -> string -> modul option
+
+val resolve_module : modul -> string -> string
+(** Apply [m]'s local module aliases to a module name. *)
+
+val find_def : t -> module_:string -> name:string -> def option
+
+val refs_in_span : t -> modul -> start:int -> stop:int -> def list
+(** Definitions referenced from the token range [start, stop) of a
+    module, deduplicated, in first-reference order. *)

@@ -1,0 +1,160 @@
+(* Mutable-state inventory: the module-level mutable values of each
+   source file, classified by constructor, plus every [mutable] record
+   field declaration. This is the "what could possibly be shared"
+   half of the race analysis — racecheck flags writes that reach an
+   inventoried global from a parallel region.
+
+   Top-level-ness is approximated syntactically: a [let] token in column
+   0 is a structure item. A binding counts as a mutable global when it
+   has no parameters (the name is immediately followed by [=] or a type
+   annotation) and its right-hand side starts with a recognised mutable
+   constructor. [Atomic.make], [Domain.DLS.new_key] and [Mutex.create]
+   are inventoried as {e blessed}: writes through them are the sanctioned
+   ways to share state across domains. *)
+
+type kind =
+  | Ref
+  | Hashtbl
+  | Buffer
+  | Queue
+  | Stack
+  | Array
+  | Bytes
+  | Record
+  | Atomic
+  | Dls
+  | Mutex
+
+let kind_name = function
+  | Ref -> "ref"
+  | Hashtbl -> "Hashtbl"
+  | Buffer -> "Buffer"
+  | Queue -> "Queue"
+  | Stack -> "Stack"
+  | Array -> "array"
+  | Bytes -> "bytes"
+  | Record -> "record"
+  | Atomic -> "Atomic"
+  | Dls -> "Domain.DLS"
+  | Mutex -> "Mutex"
+
+let blessed = function Atomic | Dls | Mutex -> true | _ -> false
+
+type entry = {
+  module_ : string;
+  name : string;
+  kind : kind;
+  line : int;
+  path : string;
+}
+
+type t = {
+  globals : entry list;
+  mutable_fields : (string * string * int) list;
+      (* (module, field name, line) *)
+}
+
+let module_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* Classify the tokens of a right-hand side by their head constructor.
+   [ts.(j)] is the first RHS token. *)
+let classify_rhs (ts : Lexer.token array) j =
+  let n = Array.length ts in
+  let kind_of_module_call m f =
+    match (m, f) with
+    | "Hashtbl", "create" -> Some Hashtbl
+    | "Buffer", "create" -> Some Buffer
+    | "Queue", "create" -> Some Queue
+    | "Stack", "create" -> Some Stack
+    | "Array", ("make" | "init" | "create_float" | "make_matrix") ->
+        Some Array
+    | "Bytes", ("create" | "make" | "init") -> Some Bytes
+    | "Atomic", "make" -> Some Atomic
+    | "Mutex", "create" -> Some Mutex
+    | _ -> None
+  in
+  if j >= n then None
+  else
+    match ts.(j).Lexer.kind with
+    | Lexer.Lident "ref" -> Some Ref
+    | Lexer.Op "{" -> Some Record
+    | Lexer.Op "[" when j + 1 < n && ts.(j + 1).Lexer.kind = Lexer.Op "|" ->
+        Some Array
+    | Lexer.Uident "Domain"
+      when j + 4 < n
+           && ts.(j + 1).Lexer.kind = Lexer.Op "."
+           && ts.(j + 2).Lexer.kind = Lexer.Uident "DLS"
+           && ts.(j + 3).Lexer.kind = Lexer.Op "."
+           && ts.(j + 4).Lexer.kind = Lexer.Lident "new_key" ->
+        Some Dls
+    | Lexer.Uident m
+      when j + 2 < n && ts.(j + 1).Lexer.kind = Lexer.Op "." -> (
+        match ts.(j + 2).Lexer.kind with
+        | Lexer.Lident f -> kind_of_module_call m f
+        | _ -> None)
+    | _ -> None
+
+(* Bracket-depth delta of a token, for finding the [=] of a binding. *)
+let depth_delta (t : Lexer.token) =
+  match t.Lexer.kind with
+  | Lexer.Op ("(" | "[" | "{") -> 1
+  | Lexer.Op (")" | "]" | "}") -> -1
+  | _ -> 0
+
+let scan ~path (lexed : Lexer.t) =
+  let ts = lexed.Lexer.tokens in
+  let n = Array.length ts in
+  let module_ = module_of_path path in
+  let globals = ref [] in
+  let fields = ref [] in
+  let is_kw j kw =
+    j < n && ts.(j).Lexer.kind = Lexer.Lident kw in
+  for i = 0 to n - 1 do
+    (match ts.(i).Lexer.kind with
+    | Lexer.Lident "mutable" when i + 1 < n -> (
+        match ts.(i + 1).Lexer.kind with
+        | Lexer.Lident f ->
+            fields := (module_, f, ts.(i + 1).Lexer.line) :: !fields
+        | _ -> ())
+    | Lexer.Lident "let" when ts.(i).Lexer.col = 0 ->
+        let j = if is_kw (i + 1) "rec" then i + 2 else i + 1 in
+        (match if j < n then ts.(j).Lexer.kind else Lexer.Op "" with
+        | Lexer.Lident name when not (Lexer.is_keyword name) ->
+            (* a value binding has no parameters: the name is followed
+               directly by [=], or by [: type =] *)
+            let k = j + 1 in
+            let rhs_start =
+              if k < n && ts.(k).Lexer.kind = Lexer.Op "=" then Some (k + 1)
+              else if k < n && ts.(k).Lexer.kind = Lexer.Op ":" then begin
+                (* scan the annotation for the [=] at bracket depth 0 *)
+                let depth = ref 0 and found = ref None and p = ref (k + 1) in
+                while !found = None && !p < n && ts.(!p).Lexer.col > 0 do
+                  (match ts.(!p).Lexer.kind with
+                  | Lexer.Op "=" when !depth = 0 -> found := Some (!p + 1)
+                  | _ -> depth := !depth + depth_delta ts.(!p));
+                  incr p
+                done;
+                !found
+              end
+              else None
+            in
+            (match rhs_start with
+            | Some r -> (
+                match classify_rhs ts r with
+                | Some kind ->
+                    globals :=
+                      {
+                        module_;
+                        name;
+                        kind;
+                        line = ts.(j).Lexer.line;
+                        path;
+                      }
+                      :: !globals
+                | None -> ())
+            | None -> ())
+        | _ -> ())
+    | _ -> ())
+  done;
+  { globals = List.rev !globals; mutable_fields = List.rev !fields }

@@ -1,0 +1,49 @@
+(** Mutable-state inventory: module-level mutable values per source
+    file, classified by constructor, plus [mutable] record-field
+    declarations. Feeds {!Racecheck}, which flags writes reaching an
+    inventoried global from a parallel region.
+
+    Approximations: a [let] in column 0 is a structure item; a binding
+    is a mutable global when it has no parameters and its right-hand
+    side starts with a recognised mutable constructor ([ref],
+    [Hashtbl.create], [Buffer.create], [Array.make]/[init], array
+    literals, record literals, ...). *)
+
+type kind =
+  | Ref
+  | Hashtbl
+  | Buffer
+  | Queue
+  | Stack
+  | Array
+  | Bytes
+  | Record
+  | Atomic  (** blessed: cross-domain by design *)
+  | Dls     (** blessed: per-domain by design *)
+  | Mutex   (** blessed: a lock, not a hazard *)
+
+val kind_name : kind -> string
+
+val blessed : kind -> bool
+(** [Atomic], [Dls] and [Mutex] globals are the sanctioned ways to share
+    state across domains; writes through them are never race findings. *)
+
+type entry = {
+  module_ : string;  (** capitalized module name from the file basename *)
+  name : string;
+  kind : kind;
+  line : int;
+  path : string;
+}
+
+type t = {
+  globals : entry list;
+  mutable_fields : (string * string * int) list;
+      (** (module, field name, line) per [mutable] record field *)
+}
+
+val module_of_path : string -> string
+(** ["lib/util/pool.ml"] → ["Pool"]. *)
+
+val scan : path:string -> Lexer.t -> t
+(** Inventory one lexed file. *)

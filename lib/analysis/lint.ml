@@ -262,10 +262,16 @@ let line_rules_for path =
   if raw_domain_spawn_exempt path then line_rules
   else line_rules @ [ ("raw-domain-spawn", check_raw_domain_spawn) ]
 
-let check_source ~path contents =
+let check_source ?only ~path contents =
   let stripped = Sources.strip contents in
   let original = Array.of_list (String.split_on_char '\n' contents) in
   let line_rules = line_rules_for path in
+  let line_rules =
+    match only with
+    | None -> line_rules
+    | Some names ->
+        List.filter (fun (rule, _) -> List.mem rule names) line_rules
+  in
   let diags = ref [] in
   Array.iteri
     (fun idx line ->
@@ -302,6 +308,15 @@ let check_missing_mli ~root ml_files =
       else None)
     ml_files
 
+(* The NaN-unsoundness rules also cover bench/ and test/: a
+   NaN-swallowing comparison in a benchmark reducer or a test oracle
+   silently accepts garbage, which is exactly where it hurts most. The
+   remaining rules stay scoped to lib/ and bin/ (tests legitimately use
+   open_out on temp files, catch-all handlers around expected failures,
+   and so on). *)
+let nan_rules = [ "polymorphic-compare"; "float-min-max" ]
+let nan_rule_dirs = [ "bench"; "test" ]
+
 let run ?(dirs = default_dirs) ~root () =
   let files = Sources.find_files ~root ~dirs ~ext:".ml" in
   let line_diags =
@@ -310,4 +325,15 @@ let run ?(dirs = default_dirs) ~root () =
         check_source ~path:rel (Sources.read_file (Filename.concat root rel)))
       files
   in
-  List.sort Diagnostic.compare (check_missing_mli ~root files @ line_diags)
+  let extra_dirs =
+    List.filter (fun d -> not (List.mem d dirs)) nan_rule_dirs
+  in
+  let extra_diags =
+    List.concat_map
+      (fun rel ->
+        check_source ~only:nan_rules ~path:rel
+          (Sources.read_file (Filename.concat root rel)))
+      (Sources.find_files ~root ~dirs:extra_dirs ~ext:".ml")
+  in
+  List.sort Diagnostic.compare
+    (check_missing_mli ~root files @ line_diags @ extra_diags)

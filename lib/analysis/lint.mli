@@ -15,10 +15,12 @@
       through [Canopy_absint.Anet] so the batch-norm folding arithmetic
       is never re-forked (grandfathered sites live in the baseline).
 
-    All rules run on lexically stripped source (comments, strings and
-    char literals blanked), so matches in comments or string literals are
-    never reported. A finding on a line carrying an
-    [(* lint-ignore: rule *)] comment is waived. *)
+    All rules run on token-stripped source — the {!Lexer} token stream
+    rendered with comments, strings (including [{|...|}] quoted
+    strings) and char literals blanked — so matches in comments or
+    string literals are never reported. A finding on a line carrying an
+    [(* lint-ignore: rule *)] comment is waived. The NaN-unsoundness
+    rules additionally scan [bench/] and [test/] (see {!nan_rules}). *)
 
 val default_dirs : string list
 (** [\["lib"; "bin"\]]. *)
@@ -26,9 +28,17 @@ val default_dirs : string list
 val rules : (string * string) list
 (** Rule identifiers and their one-line messages. *)
 
-val check_source : path:string -> string -> Diagnostic.t list
+val nan_rules : string list
+(** The NaN-unsoundness rules ([polymorphic-compare], [float-min-max])
+    that additionally cover {!nan_rule_dirs}. *)
+
+val nan_rule_dirs : string list
+(** [\["bench"; "test"\]] — extra directories scanned with {!nan_rules}
+    only. *)
+
+val check_source : ?only:string list -> path:string -> string -> Diagnostic.t list
 (** Run the line-scoped rules over one file's contents. [path] is used
-    for reporting only. *)
+    for reporting only; [only] restricts to the named rules. *)
 
 val check_missing_mli : root:string -> string list -> Diagnostic.t list
 (** [missing-mli] over a list of [.ml] paths relative to [root]; only

@@ -1,4 +1,4 @@
-(** Source discovery and lexical stripping for the lint pass. *)
+(** Source discovery and token-level stripping for the static passes. *)
 
 val read_file : string -> string
 
@@ -6,7 +6,8 @@ val find_files : root:string -> dirs:string list -> ext:string -> string list
 (** [find_files ~root ~dirs ~ext] walks each of [dirs] (relative to
     [root]) recursively and returns the sorted relative paths of files
     with suffix [ext]. Build and VCS directories ([_build], [_artifacts],
-    [.git], ...) are skipped. *)
+    [.git], ...) and [fixtures] directories (deliberately buggy test
+    inputs) are skipped. *)
 
 type stripped = {
   lines : string array;
@@ -18,9 +19,13 @@ type stripped = {
 }
 
 val strip : string -> stripped
-(** Lexically strip OCaml source. Handles nested comments, strings inside
-    comments and escaped char literals; [{|...|}] quoted strings are not
-    supported. *)
+(** Strip OCaml source by rendering the {!Lexer} token stream back onto
+    a blank canvas: nested comments, strings inside comments, escaped
+    char literals and [{|...|}] quoted strings are all handled. *)
+
+val ignores_of_comments : (int * string) list -> (int * string) list
+(** Parse [(* lint-ignore ... *)] waivers out of a {!Lexer.t}[.comments]
+    list: [(line, rule)] pairs, rule ["*"] waiving all rules. *)
 
 val ignored : stripped -> line:int -> rule:string -> bool
 (** Whether an inline waiver covers [rule] on [line]. *)

@@ -1,0 +1,16 @@
+(* True-negative twin of racy_stats.ml: the same accumulation routed
+   through a Domain.DLS key, the DESIGN §10-blessed pattern. Racecheck
+   must accept this file with zero findings. *)
+
+let total = Domain.DLS.new_key (fun () -> ref 0)
+
+let bump n =
+  let cell = Domain.DLS.get total in
+  cell := !cell + n
+
+let sum_squares pool xs =
+  let n = Array.length xs in
+  Pool.parallel_for_chunks pool ~chunk:64 n (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        bump (xs.(i) * xs.(i))
+      done)

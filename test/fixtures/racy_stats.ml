@@ -1,0 +1,17 @@
+(* Seeded true positive for racecheck: a module-level ref written by a
+   helper that is reachable from a Pool-parallel closure. Never
+   compiled — test/fixtures has no dune stanza and Sources skips the
+   directory; test_racecheck.ml feeds this file to Racecheck.check_files
+   and asserts exactly one shared-mutable-in-parallel finding. *)
+
+let total = ref 0
+
+let bump n = total := !total + n
+
+let sum_squares pool xs =
+  let n = Array.length xs in
+  Pool.parallel_for_chunks pool ~chunk:64 n (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        bump (xs.(i) * xs.(i))
+      done);
+  !total

@@ -141,6 +141,44 @@ let test_lint_ignores_comments_and_strings () =
   in
   check_int "clean" 0 (List.length (lint fixture))
 
+let test_lint_quoted_strings_clean () =
+  (* Rule keywords inside quoted-string literals — which the pre-lexer
+     line scanner could not skip — must never fire. *)
+  let fixture =
+    "let doc = {|Array.sort compare xs; Obj.magic; int_of_float|}\n\
+     let tagged = {err|try f x with _ -> min 0.5 y|err}\n\
+     let multi = {|line one int_of_float\n\
+     line two Obj.magic|}\n"
+  in
+  check_int "quoted strings clean" 0 (List.length (lint fixture))
+
+let test_lint_every_rule_keyword_in_text_clean () =
+  (* One fixture per rule with its trigger inside a comment and inside
+     a string: the token-stripped scanner must report nothing. *)
+  let triggers =
+    [
+      "Array.sort compare xs";
+      "min 0.5 x";
+      "int_of_float x";
+      "Obj.magic x";
+      "try f x with _ -> 0";
+      "Array.make n [| 0. |]";
+      "Mlp.layers net";
+      "Domain.spawn f";
+    ]
+  in
+  List.iter
+    (fun trig ->
+      let fixture =
+        Printf.sprintf "(* %s *)\nlet s = \"%s\"\n" trig
+          (String.concat "\\\"" (String.split_on_char '"' trig))
+      in
+      check_int
+        (Printf.sprintf "clean for %S in text" trig)
+        0
+        (List.length (lint fixture)))
+    triggers
+
 let test_lint_inline_waiver () =
   let fixture =
     "let a = Array.sort compare xs (* lint-ignore: polymorphic-compare *)\n\
@@ -326,6 +364,9 @@ let suite =
     ("lint: typed comparators clean", `Quick, test_lint_typed_comparators_clean);
     ("lint: comments/strings ignored", `Quick,
      test_lint_ignores_comments_and_strings);
+    ("lint: quoted strings clean", `Quick, test_lint_quoted_strings_clean);
+    ("lint: rule keywords in text clean", `Quick,
+     test_lint_every_rule_keyword_in_text_clean);
     ("lint: inline waiver", `Quick, test_lint_inline_waiver);
     ("lint: record fields clean", `Quick, test_lint_field_decls_not_flagged);
     ("lint: missing mli", `Quick, test_lint_missing_mli);

@@ -19,5 +19,6 @@ let () =
       ("temporal", Test_temporal.suite);
       ("properties", Test_properties.suite);
       ("analysis", Test_analysis.suite);
+      ("racecheck", Test_racecheck.suite);
       ("pool", Test_pool.suite);
     ]

@@ -157,7 +157,7 @@ let test_standard_suite_size () =
 let test_standard_suite_distinct_names () =
   let names = List.map Trace.name (Synthetic.standard_suite ()) in
   check_int "names unique" (List.length names)
-    (List.length (List.sort_uniq compare names))
+    (List.length (List.sort_uniq String.compare names))
 
 (* ------------------------------------------------------------------ *)
 (* LTE generator (Figs. 18-19) *)

@@ -128,7 +128,7 @@ let test_prng_shuffle_permutes () =
   let a = Array.init 20 Fun.id in
   let b = Array.copy a in
   Prng.shuffle rng b;
-  Array.sort compare b;
+  Array.sort Int.compare b;
   Alcotest.(check (array int)) "same multiset" a b
 
 let test_prng_choose () =
@@ -316,8 +316,8 @@ let qcheck =
       (fun (xs, p) ->
         let a = Array.of_list xs in
         let v = Canopy_util.Stats.percentile a p in
-        let lo = Array.fold_left min a.(0) a in
-        let hi = Array.fold_left max a.(0) a in
+        let lo = Array.fold_left Float.min a.(0) a in
+        let hi = Array.fold_left Float.max a.(0) a in
         v >= lo -. 1e-9 && v <= hi +. 1e-9);
     Test.make ~name:"welford mean equals batch mean" ~count:200
       (list_of_size Gen.(1 -- 50) (float_range (-50.) 50.))
