@@ -1216,14 +1216,29 @@ let par_bench () =
   let module Mat = Canopy_tensor.Mat in
   let module Pool = Canopy_util.Pool in
   let state_dim = history * Canopy_orca.Observation.feature_count in
-  let recommended = Domain.recommended_domain_count () in
-  let counts = List.sort_uniq Int.compare [ 1; 2; recommended ] in
+  (* [recommended_domain_count] is the portable core-count probe OCaml
+     gives us; it is the denominator every speedup claim below is
+     conditioned on. On a host with [domains > num_cores] the extra
+     domains time-slice one core, so the multi-domain rows measure
+     oversubscription — they are recorded, but their speedup entries
+     carry a [skipped_reason] instead of standing as a claim. *)
+  let num_cores = Domain.recommended_domain_count () in
+  let counts = List.sort_uniq Int.compare [ 1; 2; num_cores ] in
   let pools = List.map (fun d -> (d, Pool.create ~domains:d ())) counts in
   let pool_of d = List.assoc d pools in
-  if recommended = 1 then
+  (* Creating the multi-domain pools above fired the one-shot grain
+     calibration (if nothing pinned it first); capture what the GEMM
+     dispatch will actually use before the probes pin tiny grains. *)
+  let cal = Mat.calibration () in
+  Format.printf
+    "grain calibration (%s): min_flops=%d chunk_flops=%d \
+     chunk_overhead_ns=%.0f flops_per_ns=%.2f@."
+    cal.Mat.source cal.Mat.min_flops cal.Mat.chunk_flops
+    cal.Mat.chunk_overhead_ns cal.Mat.flops_per_ns;
+  if num_cores = 1 then
     Format.printf
-      "single-core machine: parallel rows are expected to match the \
-       sequential ones.@.";
+      "single-core machine: parallel rows measure oversubscription and \
+       their speedups are marked skipped.@.";
   (* -- bit-exactness probes: every parallel path must reproduce its
      1-domain result exactly on a 2-domain pool. The grain is forced down
      so even these small probe workloads actually chunk. *)
@@ -1239,7 +1254,9 @@ let par_bench () =
     Pool.set_default (pool_of d);
     f ()
   in
+  let probes_run = ref [] in
   let probe name got =
+    probes_run := name :: !probes_run;
     if not got then failwith (Printf.sprintf "par: %s differs across domain counts" name);
     Format.printf "probe %-18s seq == par(2 domains): OK@." name
   in
@@ -1248,6 +1265,9 @@ let par_bench () =
       let mat rows cols =
         Mat.init ~rows ~cols (fun _ _ -> Canopy_util.Prng.uniform rng (-1.) 1.)
       in
+      (* 37 rows trips the packed-panel nt path (>= 12 rows), so this
+         probe pins the B-panel packing + 4x4 micro-kernel, not just the
+         direct loops. *)
       let a = mat 37 29 and b = mat 41 29 in
       let bias = Array.init 41 (fun i -> Float.sin (float_of_int i)) in
       let run () =
@@ -1255,7 +1275,63 @@ let par_bench () =
         Mat.mat_mul_nt_bias_into ~dst a b bias;
         Array.map Int64.bits_of_float (Mat.raw dst)
       in
-      probe "gemm" (under 1 run = under 2 run);
+      probe "gemm_packed" (under 1 run = under 2 run);
+      (* 300 shared dims span multiple 128-column k-blocks of the cache-
+         blocked [mat_mul_into], so the store/reload accumulation across
+         block boundaries is exercised too. *)
+      let ab = mat 24 300 and bb = mat 300 17 in
+      let run_blocked () =
+        let dst = Mat.create ~rows:24 ~cols:17 in
+        Mat.mat_mul_into ~dst ab bb;
+        Array.map Int64.bits_of_float (Mat.raw dst)
+      in
+      probe "gemm_blocked" (under 1 run_blocked = under 2 run_blocked);
+      (* Full TD3 gradient steps (sharded critic fits + actor conduit,
+         policy delay 2 so the second update moves the actor and the
+         targets): every learned parameter of all six networks must come
+         out bit-identical whatever the pool width. *)
+      let module Td3 = Canopy_rl.Td3 in
+      let arng = Canopy_util.Prng.create 51 in
+      let tcfg =
+        {
+          (Td3.default_config ~state_dim:4 ~action_dim:2) with
+          Td3.hidden = 32;
+          batch_size = 64;
+          warmup = 64;
+          buffer_capacity = 256;
+        }
+      in
+      let agent = Td3.create ~rng:arng tcfg in
+      let data = Canopy_util.Prng.create 52 in
+      let rv n =
+        Array.init n (fun _ -> Canopy_util.Prng.uniform data (-1.) 1.)
+      in
+      for _ = 1 to 256 do
+        Td3.observe agent
+          {
+            Canopy_rl.Replay_buffer.state = rv 4;
+            action = rv 2;
+            reward = Canopy_util.Prng.uniform data (-1.) 1.;
+            next_state = rv 4;
+            terminal = false;
+            truncated = false;
+          }
+      done;
+      let snap0 = Td3.snapshot agent in
+      let run_td3 d =
+        Td3.restore agent snap0;
+        under d (fun () ->
+            Td3.update ~kernel:Td3.Batched agent;
+            Td3.update ~kernel:Td3.Batched agent);
+        let snap = Td3.snapshot agent in
+        List.concat_map
+          (fun (_, net) ->
+            List.map
+              (fun (v, _) -> Array.map Int64.bits_of_float v)
+              (Canopy_nn.Mlp.params net))
+          snap.Td3.nets
+      in
+      probe "td3_update" (run_td3 1 = run_td3 2);
       let prng = Canopy_util.Prng.create 9 in
       let actor =
         Canopy_nn.Mlp.actor ~rng:prng ~in_dim:state_dim ~hidden:32 ~out_dim:1
@@ -1279,6 +1355,14 @@ let par_bench () =
       in
       let sweep () = Eval.run_tasks tasks in
       probe "eval_sweep" (under 1 sweep = under 2 sweep));
+  (* Probe coverage is part of the contract: a refactor that silently
+     stops routing a workload through its parallel path would otherwise
+     pass the equality probes vacuously. [--smoke] runs exactly this. *)
+  List.iter
+    (fun name ->
+      if not (List.mem name !probes_run) then
+        failwith (Printf.sprintf "par: bit-equality probe %s did not run" name))
+    [ "gemm_packed"; "gemm_blocked"; "td3_update"; "certify"; "eval_sweep" ];
   (* -- timings: each workload at every domain count; d=1 is the
      sequential reference row. *)
   let gemm_work =
@@ -1377,25 +1461,46 @@ let par_bench () =
             None)
       tests
   in
-  let dmax = List.fold_left (fun acc (d, _) -> max acc d) 1 pools in
-  let speedup wname =
+  let par_counts =
+    List.filter_map (fun (d, _) -> if d > 1 then Some d else None) pools
+  in
+  let speedup_at wname d =
     let find d =
       List.find_map
         (fun (_, w, d', ns) -> if w = wname && d' = d then Some ns else None)
         measured
     in
-    match (find 1, find dmax) with
+    match (find 1, find d) with
     | Some seq_ns, Some par_ns when par_ns > 0. -> Some (seq_ns /. par_ns)
     | _ -> None
   in
-  let speedups = List.map (fun (w, _) -> (w, speedup w)) workloads in
+  (* A ratio taken with more domains than cores measures the scheduler's
+     time-slicing, not parallelism: record it, but mark it skipped so it
+     never reads as a speedup claim. *)
+  let skipped_reason d =
+    if d > num_cores then
+      Some
+        (Printf.sprintf
+           "%d domains oversubscribe %d core%s: ratio measures \
+            time-slicing, not parallel speedup"
+           d num_cores
+           (if num_cores = 1 then "" else "s"))
+    else None
+  in
+  let speedups =
+    List.concat_map
+      (fun (w, _) ->
+        List.filter_map
+          (fun d ->
+            Option.map (fun s -> (w, d, s, skipped_reason d)) (speedup_at w d))
+          par_counts)
+      workloads
+  in
   List.iter
-    (fun (w, s) ->
-      Option.iter
-        (fun s ->
-          Format.printf "par speedup, %d domains vs sequential, %s: %.2fx@."
-            dmax w s)
-        s)
+    (fun (w, d, s, skip) ->
+      Format.printf "par speedup, %d domains vs sequential, %s: %.2fx%s@." d w
+        s
+        (match skip with None -> "" | Some _ -> "  [skipped: oversubscribed]"))
     speedups;
   let json_path =
     if !smoke_mode then Filename.temp_file "canopy-bench-par" ".json"
@@ -1404,11 +1509,16 @@ let par_bench () =
   json_write json_path (fun buf ->
       Printf.bprintf buf
         "{\n  \"bench\": \"par\",\n  \"mode\": %S,\n\
-        \  \"recommended_domains\": %d,\n  \"domain_counts\": [%s],\n\
+        \  \"num_cores\": %d,\n  \"domain_counts\": [%s],\n\
+        \  \"calibration\": {\"source\": %S, \"min_flops\": %d, \
+         \"chunk_flops\": %d, \"chunk_overhead_ns\": %.1f, \
+         \"flops_per_ns\": %.3f},\n\
         \  \"entries\": [\n"
         (if !smoke_mode then "smoke" else "full")
-        recommended
-        (String.concat ", " (List.map (fun (d, _) -> string_of_int d) pools));
+        num_cores
+        (String.concat ", " (List.map (fun (d, _) -> string_of_int d) pools))
+        cal.Mat.source cal.Mat.min_flops cal.Mat.chunk_flops
+        cal.Mat.chunk_overhead_ns cal.Mat.flops_per_ns;
       let last = List.length measured - 1 in
       List.iteri
         (fun i (name, wname, d, ns) ->
@@ -1418,15 +1528,19 @@ let par_bench () =
             name wname d ns
             (if i = last then "" else ","))
         measured;
-      Printf.bprintf buf "  ]";
-      List.iter
-        (fun (w, s) ->
-          Option.iter
-            (fun s ->
-              Printf.bprintf buf ",\n  \"speedup_%s_d%d\": %.3f" w dmax s)
-            s)
+      Printf.bprintf buf "  ],\n  \"speedups\": [\n";
+      let last = List.length speedups - 1 in
+      List.iteri
+        (fun i (w, d, s, skip) ->
+          Printf.bprintf buf
+            "    {\"workload\": %S, \"domains\": %d, \"ratio\": %.3f%s}%s\n" w
+            d s
+            (match skip with
+            | None -> ""
+            | Some reason -> Printf.sprintf ", \"skipped_reason\": %S" reason)
+            (if i = last then "" else ","))
         speedups;
-      Printf.bprintf buf "\n}\n");
+      Printf.bprintf buf "  ]\n}\n");
   Format.printf "wrote %s@." json_path;
   (* Leave the 1-domain pool as the ambient default (at_exit reaps it)
      and reap the sized ones now. *)

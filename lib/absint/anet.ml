@@ -169,26 +169,45 @@ let apply_act_batch act c r =
     Array.unsafe_set rd i (0.5 *. (hi -. lo))
   done
 
+(* Per-domain scratch arena for the stage buffers of [propagate_batch]:
+   slots (2s, 2s+1) hold stage [s]'s center and radius matrices, reused
+   across calls (and across the full-size/tail chunk shapes of a pool
+   region, via the arena's per-length caching) instead of two fresh
+   matrices per stage per chunk. Ownership per DESIGN §10: the arena is
+   DLS-owned, so only this domain writes these buffers. *)
+let scratch_key : Canopy_util.Scratch.t Domain.DLS.key =
+  Domain.DLS.new_key Canopy_util.Scratch.create
+
 (* One fused stage over the whole batch: two GEMMs — c' = c·Wᵀ + b and
    r' = r·|W|ᵀ — then the elementwise activation. |W| is precomputed at
    extraction, so no per-slice [Mat.abs] allocation survives in the hot
    path. Soundness of the radius GEMM: each output radius is a
    non-negatively weighted sum of input radii, so it is the exact image
    of the interval under the affine map up to the same rounding as the
-   per-slice [Box.affine] reference (see DESIGN.md §8). *)
+   per-slice [Box.affine] reference (see DESIGN.md §8).
+
+   The result aliases the last stage's scratch slots: callers must
+   consume (copy out of) it before this domain's next call. Every cell
+   of every slot buffer is overwritten by its stage's GEMMs before any
+   read, so a warm arena returns the same bits as a cold one. *)
 let propagate_batch t ~centers ~radii =
-  List.fold_left
-    (fun (c, r) stage ->
-      let rows = Mat.rows c and cols = Mat.rows stage.w in
-      let c' = Mat.create_uninit ~rows ~cols in
-      let r' = Mat.create_uninit ~rows ~cols in
-      Mat.mat_mul_nt_bias_into ~dst:c' c stage.w stage.b;
-      Mat.mat_mul_nt_into ~dst:r' r stage.abs_w;
-      (match stage.act with
-      | Linear -> ()
-      | act -> apply_act_batch act c' r');
-      (c', r'))
-    (centers, radii) t.stages
+  let scratch = Domain.DLS.get scratch_key in
+  let _, result =
+    List.fold_left
+      (fun (s, (c, r)) stage ->
+        let rows = Mat.rows c and cols = Mat.rows stage.w in
+        let c' = Mat.scratch_mat scratch ~slot:(2 * s) ~rows ~cols in
+        let r' = Mat.scratch_mat scratch ~slot:((2 * s) + 1) ~rows ~cols in
+        Mat.mat_mul_nt_bias_into ~dst:c' c stage.w stage.b;
+        Mat.mat_mul_nt_into ~dst:r' r stage.abs_w;
+        (match stage.act with
+        | Linear -> ()
+        | act -> apply_act_batch act c' r');
+        (s + 1, (c', r')))
+      (0, (centers, radii))
+      t.stages
+  in
+  result
 
 let check_box t box =
   if Box.dim box <> t.in_dim then invalid_arg "Anet.propagate: input dim"
@@ -204,12 +223,17 @@ let propagate t box =
   Box.make ~center:(Mat.row c 0) ~dev:(Mat.row r 0)
 
 (* Per-box cost of the batched transfer, for the parallel-dispatch
-   threshold: two GEMM rows per stage (≈ 2·rows·cols multiply-adds each,
-   counted once — the radius GEMM rides along). Pure function of the IR
-   shape, so chunking derived from it is deterministic. *)
+   threshold: one GEMM row per stage, costed by the kernel's own
+   estimate (the radius GEMM rides along). Pure function of the IR
+   shape, so chunking derived from it is deterministic. Exported: this
+   is the one cost model for IR sweeps — [Zonotope] derives its per-box
+   estimate from it rather than restating the formula. *)
 let per_box_flops t =
   List.fold_left
-    (fun acc stage -> acc + (2 * Mat.rows stage.w * Mat.cols stage.w))
+    (fun acc stage ->
+      (* [abs_w] has the stage's input width as its column count — the
+         same shape the batch matrix would have. *)
+      acc + Mat.mat_mul_nt_row_flops stage.abs_w stage.w)
     0 t.stages
 
 (* Boxes [lo, hi) through the batched transfer, results into [out]. Each
@@ -230,25 +254,13 @@ let output_intervals t boxes =
   if n = 0 then [||]
   else begin
     Array.iter (check_box t) boxes;
-    let row_flops = per_box_flops t in
-    let min_flops, chunk_flops = Mat.parallel_grain () in
-    let module Pool = Canopy_util.Pool in
-    if
-      Mat.parallel_enabled () && n > 1
-      && n * row_flops >= min_flops
-      && (not (Pool.in_task ()))
-      && Pool.(domains (default ())) > 1
-    then begin
-      let out = Array.make n (Interval.make 0. 0.) in
-      let chunk = max 1 (chunk_flops / max 1 row_flops) in
-      Pool.parallel_for_chunks ~chunk n (output_intervals_range t boxes out);
-      out
-    end
-    else begin
-      let out = Array.make n (Interval.make 0. 0.) in
-      output_intervals_range t boxes out ~lo:0 ~hi:n;
-      out
-    end
+    let out = Array.make n (Interval.make 0. 0.) in
+    (match Mat.plan_chunks ~rows:n ~row_flops:(per_box_flops t) with
+    | Some chunk ->
+        Canopy_util.Pool.parallel_for_chunks ~chunk n
+          (output_intervals_range t boxes out)
+    | None -> output_intervals_range t boxes out ~lo:0 ~hi:n);
+    out
   end
 
 let output_interval t box = (output_intervals t [| box |]).(0)

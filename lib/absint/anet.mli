@@ -60,3 +60,11 @@ val output_intervals : t -> Box.t array -> Interval.t array
 
 val output_interval : t -> Box.t -> Interval.t
 (** [output_intervals] on a single box. *)
+
+val per_box_flops : t -> int
+(** Estimated flops to push one box through the batched transfer —
+    derived from the GEMM kernels' own per-row cost model. The one cost
+    estimate for IR sweeps: {!output_intervals} plans its chunks with
+    it, and [Zonotope] scales it by its noise-symbol budget instead of
+    restating the formula. Pure in the IR shape, so any chunking derived
+    from it is deterministic. *)

@@ -183,31 +183,16 @@ let output_intervals_anet ir boxes =
     meet_ibp zono ibp.(k)
   in
   (* Boxes are independent, so any partition is bit-identical to the
-     sequential sweep. Per-box cost scales the affine flop count by the
+     sequential sweep. Per-box cost scales the IR's own estimate by the
      noise-symbol budget (≈ in_dim generators survive each stage), which
      is a pure function of the IR shape — chunking stays deterministic. *)
-  let row_flops =
-    List.fold_left
-      (fun acc (s : Anet.stage) ->
-        acc + (2 * Canopy_tensor.Mat.rows s.w * Canopy_tensor.Mat.cols s.w))
-      0 (Anet.stages ir)
-    * (Anet.in_dim ir + 1)
-  in
-  let min_flops, chunk_flops = Canopy_tensor.Mat.parallel_grain () in
-  let module Pool = Canopy_util.Pool in
-  if
-    Canopy_tensor.Mat.parallel_enabled ()
-    && n > 1
-    && n * row_flops >= min_flops
-    && (not (Pool.in_task ()))
-    && Pool.(domains (default ())) > 1
-  then begin
-    let out = Array.make n ibp.(0) in
-    let chunk = max 1 (chunk_flops / max 1 row_flops) in
-    Pool.parallel_for_chunks ~chunk n (fun ~lo ~hi ->
-        for k = lo to hi - 1 do
-          out.(k) <- eval k
-        done);
-    out
-  end
-  else Array.init n eval
+  let row_flops = Anet.per_box_flops ir * (Anet.in_dim ir + 1) in
+  match Canopy_tensor.Mat.plan_chunks ~rows:n ~row_flops with
+  | Some chunk ->
+      let out = Array.make n ibp.(0) in
+      Canopy_util.Pool.parallel_for_chunks ~chunk n (fun ~lo ~hi ->
+          for k = lo to hi - 1 do
+            out.(k) <- eval k
+          done);
+      out
+  | None -> Array.init n eval

@@ -112,6 +112,37 @@ let forward1 mode layer x =
   | Relu -> Array.map (fun v -> Float.max 0. v) x
   | Tanh -> Array.map Float.tanh x
 
+(* Allocation-free [forward1] into a caller-owned buffer, bit-identical
+   to it: [y +. 1.*.b = y +. b] exactly, and the other arms restate the
+   same per-element expressions. [dst] must not alias [x]. *)
+let forward1_into ~dst mode layer x =
+  match layer with
+  | Dense d ->
+      Mat.mat_vec_into ~dst d.w x;
+      for i = 0 to Vec.dim dst - 1 do
+        dst.(i) <- dst.(i) +. d.b.(i)
+      done
+  | Batch_norm bn ->
+      ignore mode;
+      for i = 0 to Vec.dim dst - 1 do
+        let inv = 1. /. sqrt (bn.running_var.(i) +. bn.eps) in
+        dst.(i) <- (bn.gamma.(i) *. (x.(i) -. bn.running_mean.(i)) *. inv)
+                   +. bn.beta.(i)
+      done
+  | Leaky_relu slope ->
+      for i = 0 to Vec.dim dst - 1 do
+        let v = x.(i) in
+        dst.(i) <- (if v >= 0. then v else slope *. v)
+      done
+  | Relu ->
+      for i = 0 to Vec.dim dst - 1 do
+        dst.(i) <- Float.max 0. x.(i)
+      done
+  | Tanh ->
+      for i = 0 to Vec.dim dst - 1 do
+        dst.(i) <- Float.tanh x.(i)
+      done
+
 (* ------------------------------------------------------------------ *)
 (* Batched passes over [batch × dim] matrices *)
 
@@ -601,4 +632,24 @@ let copy = function
           running_mean = Vec.copy bn.running_mean;
           running_var = Vec.copy bn.running_var;
         }
+  | (Leaky_relu _ | Relu | Tanh) as l -> l
+
+(* A gradient shadow shares the parameter arrays (so an optimizer step
+   through the shadow's [params] updates the real network) but owns fresh
+   gradient accumulators — the per-shard write targets of the data-parallel
+   TD3 update. Batch-norm running statistics stay shared too: shadows are
+   only legal for nets whose training forward has no batch statistics
+   (no [Batch_norm] layer), which the caller must check via
+   [Mlp.has_batch_norm]. *)
+let grad_shadow = function
+  | Dense d ->
+      Dense
+        { d with
+          dw = Mat.create ~rows:(Mat.rows d.dw) ~cols:(Mat.cols d.dw);
+          db = Vec.create (Vec.dim d.db) }
+  | Batch_norm bn ->
+      Batch_norm
+        { bn with
+          dgamma = Vec.create (Vec.dim bn.dgamma);
+          dbeta = Vec.create (Vec.dim bn.dbeta) }
   | (Leaky_relu _ | Relu | Tanh) as l -> l

@@ -85,6 +85,12 @@ val forward1 : mode -> t -> Vec.t -> Vec.t
 (** Single-sample forward without a cache (no running-stat update even in
     [Train] mode); convenient for action selection. *)
 
+val forward1_into : dst:Vec.t -> mode -> t -> Vec.t -> unit
+(** {!forward1} into a caller-owned buffer of length
+    [out_dim ~in_dim layer], bit-identical to it; [dst] must not alias
+    the input. Lets [Mlp.forward] run the rollout hot path over a
+    per-domain scratch arena instead of allocating per layer. *)
+
 val backward : ?input_grad:bool -> ?reuse_dout:bool -> t -> cache -> Mat.t -> Mat.t
 (** [backward layer cache dout] accumulates parameter gradients into the
     layer and returns the gradient with respect to the layer input, both
@@ -111,3 +117,11 @@ val params : t -> (float array * float array) list
 
 val copy : t -> t
 (** Deep copy (used to instantiate target networks). *)
+
+val grad_shadow : t -> t
+(** A view sharing the layer's parameter (and batch-norm running-stat)
+    arrays but carrying fresh zeroed gradient accumulators. Forward and
+    backward passes through the shadow read the live parameters and
+    accumulate into the shadow's own [dw]/[db] — the per-shard write
+    targets of a data-parallel gradient computation. Only meaningful for
+    nets without batch statistics; see [Mlp.grad_shadow]. *)

@@ -60,10 +60,27 @@ let layers t = t.layers
 let generation t = t.generation
 let bump_generation t = t.generation <- t.generation + 1
 
+(* Per-domain scratch arena for the rollout hot path: slot [s] holds the
+   output buffer of layer [s]. The chain fully overwrites each slot
+   before reading it back, so a warm arena returns the same bits as a
+   cold one; the final activation is copied out because callers retain
+   action vectors well past the next forward (DESIGN §10). *)
+let eval_scratch_key : Canopy_util.Scratch.t Domain.DLS.key =
+  Domain.DLS.new_key Canopy_util.Scratch.create
+
 let forward t x =
   if Vec.dim x <> t.in_dim then invalid_arg "Mlp.forward: input dim";
-  List.fold_left (fun acc layer -> Layer.forward1 Layer.Eval layer acc) x
-    t.layers
+  let scratch = Domain.DLS.get eval_scratch_key in
+  let _, _, out =
+    List.fold_left
+      (fun (s, dim, acc) layer ->
+        let od = Layer.out_dim ~in_dim:dim layer in
+        let dst = Canopy_util.Scratch.get scratch ~slot:s ~len:od in
+        Layer.forward1_into ~dst Layer.Eval layer acc;
+        (s + 1, od, dst))
+      (0, t.in_dim, x) t.layers
+  in
+  Array.copy out
 
 (* Inside a chain every intermediate activation is owned by the chain
    (each layer's input is the previous layer's freshly-allocated output),
@@ -160,6 +177,18 @@ let param_count t =
   List.fold_left (fun acc (v, _) -> acc + Array.length v) 0 (params t)
 
 let copy t = { t with layers = List.map Layer.copy t.layers }
+
+let has_batch_norm t =
+  List.exists
+    (function Layer.Batch_norm _ -> true | _ -> false)
+    t.layers
+
+let grad_shadow t =
+  if has_batch_norm t then
+    invalid_arg
+      "Mlp.grad_shadow: batch-norm nets have batch-coupled training \
+       forwards; shards would not reproduce the full-batch pass";
+  { t with layers = List.map Layer.grad_shadow t.layers }
 
 (* All mutable state of a layer that a target network must track: the
    learned parameters plus batch-norm running statistics. *)

@@ -44,7 +44,9 @@ val bump_generation : t -> unit
     audit and the cache-staleness unit test guard the known channels. *)
 
 val forward : t -> Vec.t -> Vec.t
-(** Single-sample inference ([Eval] mode; batch-norm uses running stats). *)
+(** Single-sample inference ([Eval] mode; batch-norm uses running stats).
+    Runs over a per-domain scratch arena — no per-layer allocation on the
+    rollout hot path — and returns a fresh vector the caller owns. *)
 
 val forward_batch : t -> Mat.t -> Mat.t
 (** Batched inference over a [batch × in_dim] matrix ([Eval] mode, no
@@ -81,6 +83,24 @@ val param_count : t -> int
 
 val copy : t -> t
 (** Deep copy, e.g. for target networks. *)
+
+val has_batch_norm : t -> bool
+(** Whether any layer carries batch statistics. Batch-norm training
+    forwards couple the samples of a batch, so such nets cannot be
+    sharded sample-wise ({!grad_shadow} refuses them). *)
+
+val grad_shadow : t -> t
+(** A shadow network sharing this net's parameter arrays but owning
+    fresh gradient accumulators. Training forwards/backwards through the
+    shadow read the live parameters and accumulate into the shadow's own
+    buffers — one shadow per shard gives a data-parallel gradient pass
+    whose per-shard results are reduced deterministically afterwards.
+    [Optimizer.step] over the shadow's {!params} updates the real
+    network (the value arrays are shared); only the gradient arrays
+    differ. The shadow has its own generation counter — bump the real
+    network after stepping through a shadow. Raises [Invalid_argument]
+    on nets with batch norm (their training forward is batch-coupled, so
+    shards would not reproduce the full-batch pass). *)
 
 val assign : src:t -> dst:t -> unit
 (** Overwrite all of [dst]'s mutable state (parameters and batch-norm

@@ -1,6 +1,7 @@
 open Canopy_nn
 open Canopy_tensor
 module Prng = Canopy_util.Prng
+module Pool = Canopy_util.Pool
 
 type config = {
   state_dim : int;
@@ -53,6 +54,12 @@ type t = {
   opt_critic2 : Optimizer.t;
   mutable buffer : Replay_buffer.t;
   mutable update_calls : int;
+  (* Per-shard gradient shadows of the critics (parameters shared,
+     accumulators private), grown on demand and reused across updates.
+     The critics' parameter arrays are mutated only in place (assign,
+     soft_update, optimizer steps), so cached shadows never go stale. *)
+  mutable critic1_shards : Mlp.t array;
+  mutable critic2_shards : Mlp.t array;
 }
 
 let create ~rng cfg =
@@ -81,6 +88,8 @@ let create ~rng cfg =
     opt_critic2 = Optimizer.adam ~lr:cfg.critic_lr ();
     buffer = Replay_buffer.create ~capacity:cfg.buffer_capacity;
     update_calls = 0;
+    critic1_shards = [||];
+    critic2_shards = [||];
   }
 
 let config t = t.cfg
@@ -132,6 +141,99 @@ let bootstraps tr = not tr.Replay_buffer.terminal
 
 let states_of batch = Mat.of_rows (Array.map (fun tr -> tr.Replay_buffer.state) batch)
 
+(* ------------------------------------------------------------------ *)
+(* Data-parallel critic passes.                                        *)
+(*                                                                     *)
+(* The batch is cut into fixed 16-row shards; each shard runs its      *)
+(* forward/backward through a gradient shadow of the critic (shared    *)
+(* parameters, private accumulators), and the shard gradients are then *)
+(* combined by a pairwise stride-doubling tree whose shape depends     *)
+(* only on the shard count. Whether to shard is a pure function of the *)
+(* batch size — never the pool width — and a critic's forward/backward *)
+(* is row-local (dense + leaky-relu only, no batch statistics), so     *)
+(* results are bit-identical at any domain count (DESIGN §10).         *)
+(* ------------------------------------------------------------------ *)
+
+let shard_rows = 16
+let use_shards n = n >= 2 * shard_rows
+let nshards_for n = (n + shard_rows - 1) / shard_rows
+
+let shards_for t critic ~nshards =
+  let cur =
+    if critic == t.critic1 then t.critic1_shards else t.critic2_shards
+  in
+  if Array.length cur >= nshards then cur
+  else begin
+    let grown =
+      Array.init nshards (fun s ->
+          if s < Array.length cur then cur.(s) else Mlp.grad_shadow critic)
+    in
+    if critic == t.critic1 then t.critic1_shards <- grown
+    else t.critic2_shards <- grown;
+    grown
+  end
+
+(* Pairwise tree reduction of the shard gradients into [shards.(0)]:
+   stride doubling merges (0,1) (2,3) … then (0,2) (4,6) …, so the
+   summation tree is a fixed function of [nshards] alone. *)
+let reduce_shards shards nshards =
+  let stride = ref 1 in
+  while !stride < nshards do
+    let i = ref 0 in
+    while !i + !stride < nshards do
+      List.iter2
+        (fun (_, gdst) (_, gsrc) ->
+          for k = 0 to Array.length gdst - 1 do
+            gdst.(k) <- gdst.(k) +. gsrc.(k)
+          done)
+        (Mlp.params shards.(!i))
+        (Mlp.params shards.(!i + !stride));
+      i := !i + (2 * !stride)
+    done;
+    stride := 2 * !stride
+  done
+
+(* Run [f] once per shard of [0..n), on the pool when one is available.
+   Shard results land in disjoint state (each shard's shadow, disjoint
+   output rows), so any assignment of shards to domains is equivalent;
+   the inline fallback covers re-entrant calls from inside a task. *)
+let for_each_shard n f =
+  let nshards = nshards_for n in
+  let run s = f s ~lo:(s * shard_rows) ~hi:(min n ((s + 1) * shard_rows)) in
+  if Pool.in_task () then
+    for s = 0 to nshards - 1 do
+      run s
+    done
+  else
+    Pool.parallel_for_chunks ~chunk:1 nshards (fun ~lo ~hi ->
+        for s = lo to hi - 1 do
+          run s
+        done)
+
+(* One sharded critic fit: per-shard squared-error backward into the
+   shadows, tree-reduce, then clip/step through the reduced gradients
+   (the shadow's [params] share the critic's value arrays, so the
+   optimizer updates the real network; moments are keyed by position
+   and the shapes match the unsharded path). *)
+let fit_critic_sharded t critic opt inputs targets ~n =
+  let inv_n = 1. /. float_of_int n in
+  let nshards = nshards_for n in
+  let shards = shards_for t critic ~nshards in
+  for_each_shard n (fun s ~lo ~hi ->
+      let shadow = shards.(s) in
+      Mlp.zero_grad shadow;
+      let preds, tape = Mlp.forward_train shadow (Mat.sub_rows inputs ~lo ~hi) in
+      let dout =
+        Mat.init ~rows:(hi - lo) ~cols:1 (fun i _ ->
+            2. *. (Mat.get preds i 0 -. targets.(lo + i)) *. inv_n)
+      in
+      ignore (Mlp.backward ~input_grad:false shadow tape dout));
+  reduce_shards shards nshards;
+  let params = Mlp.params shards.(0) in
+  Optimizer.clip_gradients ~norm:10. params;
+  Optimizer.step opt params;
+  Mlp.bump_generation critic
+
 let critic_update_batched t (batch : Replay_buffer.transition array) =
   let cfg = t.cfg in
   let n = Array.length batch in
@@ -162,22 +264,28 @@ let critic_update_batched t (batch : Replay_buffer.transition array) =
     Mat.concat_cols (states_of batch)
       (Mat.of_rows (Array.map (fun tr -> tr.Replay_buffer.action) batch))
   in
-  let inv_n = 1. /. float_of_int n in
-  let fit critic opt =
-    Mlp.zero_grad critic;
-    let preds, tape = Mlp.forward_train critic inputs in
-    let dout =
-      Mat.init ~rows:n ~cols:1 (fun i _ ->
-          2. *. (Mat.get preds i 0 -. targets.(i)) *. inv_n)
+  if use_shards n then begin
+    fit_critic_sharded t t.critic1 t.opt_critic1 inputs targets ~n;
+    fit_critic_sharded t t.critic2 t.opt_critic2 inputs targets ~n
+  end
+  else begin
+    let inv_n = 1. /. float_of_int n in
+    let fit critic opt =
+      Mlp.zero_grad critic;
+      let preds, tape = Mlp.forward_train critic inputs in
+      let dout =
+        Mat.init ~rows:n ~cols:1 (fun i _ ->
+            2. *. (Mat.get preds i 0 -. targets.(i)) *. inv_n)
+      in
+      ignore (Mlp.backward ~input_grad:false critic tape dout);
+      let params = Mlp.params critic in
+      Optimizer.clip_gradients ~norm:10. params;
+      Optimizer.step opt params;
+      Mlp.bump_generation critic
     in
-    ignore (Mlp.backward ~input_grad:false critic tape dout);
-    let params = Mlp.params critic in
-    Optimizer.clip_gradients ~norm:10. params;
-    Optimizer.step opt params;
-    Mlp.bump_generation critic
-  in
-  fit t.critic1 t.opt_critic1;
-  fit t.critic2 t.opt_critic2
+    fit t.critic1 t.opt_critic1;
+    fit t.critic2 t.opt_critic2
+  end
 
 let actor_update_batched t (batch : Replay_buffer.transition array) =
   let cfg = t.cfg in
@@ -187,13 +295,40 @@ let actor_update_batched t (batch : Replay_buffer.transition array) =
   let actions, actor_tape = Mlp.forward_train t.actor states in
   (* Deterministic policy gradient: maximize Q1(s, pi(s)), i.e. descend
      -Q1. The critic is only a conduit for gradients here; its own
-     gradient accumulators are zeroed again before its next fit. *)
-  Mlp.zero_grad t.critic1;
+     gradient accumulators are zeroed again before its next fit. A
+     critic's passes are row-local, so the sharded conduit reproduces
+     the full-batch [daction] bit for bit — only the actor's own passes
+     (batch-norm couples its samples) must stay full-batch. *)
   let critic_inputs = Mat.concat_cols states actions in
-  let _, critic_tape = Mlp.forward_train t.critic1 critic_inputs in
-  let dout = Mat.init ~rows:n ~cols:1 (fun _ _ -> -1. /. float_of_int n) in
-  let dinputs = Mlp.backward t.critic1 critic_tape dout in
-  let daction = Mat.cols_slice dinputs ~pos:cfg.state_dim ~len:cfg.action_dim in
+  let inv_n = 1. /. float_of_int n in
+  let daction =
+    if use_shards n then begin
+      let nshards = nshards_for n in
+      let shards = shards_for t t.critic1 ~nshards in
+      let da = Mat.create_uninit ~rows:n ~cols:cfg.action_dim in
+      for_each_shard n (fun s ~lo ~hi ->
+          let shadow = shards.(s) in
+          Mlp.zero_grad shadow;
+          let _, tape =
+            Mlp.forward_train shadow (Mat.sub_rows critic_inputs ~lo ~hi)
+          in
+          let dout = Mat.init ~rows:(hi - lo) ~cols:1 (fun _ _ -> -.inv_n) in
+          let dinputs = Mlp.backward shadow tape dout in
+          for i = lo to hi - 1 do
+            for j = 0 to cfg.action_dim - 1 do
+              Mat.set da i j (Mat.get dinputs (i - lo) (cfg.state_dim + j))
+            done
+          done);
+      da
+    end
+    else begin
+      Mlp.zero_grad t.critic1;
+      let _, critic_tape = Mlp.forward_train t.critic1 critic_inputs in
+      let dout = Mat.init ~rows:n ~cols:1 (fun _ _ -> -.inv_n) in
+      let dinputs = Mlp.backward t.critic1 critic_tape dout in
+      Mat.cols_slice dinputs ~pos:cfg.state_dim ~len:cfg.action_dim
+    end
+  in
   ignore (Mlp.backward ~input_grad:false t.actor actor_tape daction);
   let params = Mlp.params t.actor in
   Optimizer.clip_gradients ~norm:10. params;

@@ -201,44 +201,102 @@ let[@inline] saxpy_row4x4 ~dst ~d0 ~d1 ~d2 ~d3 ~s0 ~s1 ~s2 ~s3 ~t0 ~t1 ~t2 ~t3
    ones in accumulation shape and zero-skipping, so rows must not change
    region when the matrix is split). *)
 
+module Scratch = Canopy_util.Scratch
+
+(* Per-domain scratch arena for kernel workspaces. Slot assignments are
+   module-private: slot 0 holds the packed B panel of the nt kernels.
+   The DLS key makes the arena domain-local, so its only writer is the
+   domain that fetched it; an array taken from it may be handed to pool
+   workers read-only, published by the pool's mutex pair (DESIGN §10). *)
+let scratch_key : Scratch.t Domain.DLS.key =
+  Domain.DLS.new_key Scratch.create
+
 let par_enabled = ref true
+
+(* The grain: how many flops one region needs before fanning out at all
+   ([par_min_flops]) and how many flops each chunk should carry
+   ([par_chunk_flops]). The defaults are only a placeholder — the first
+   pool with workers replaces them with a measured calibration (below)
+   unless the env knob or [set_parallel_grain] pinned them first. Grain
+   only moves chunk boundaries and the parallel/sequential choice, both
+   of which the kernels are bit-invariant to, so calibration can never
+   change a result. *)
 let par_min_flops = ref 2_000_000
 let par_chunk_flops = ref 1_000_000
 let set_parallel_enabled b = par_enabled := b
 let parallel_enabled () = !par_enabled
 
+type calibration = {
+  source : string;
+      (* "default" | "env" | "measured" | "manual" — who set the grain *)
+  min_flops : int;
+  chunk_flops : int;
+  chunk_overhead_ns : float; (* measured per-chunk hand-off cost *)
+  flops_per_ns : float; (* measured sequential GEMM throughput *)
+}
+
+let calibration_state =
+  ref
+    {
+      source = "default";
+      min_flops = !par_min_flops;
+      chunk_flops = !par_chunk_flops;
+      chunk_overhead_ns = 0.;
+      flops_per_ns = 0.;
+    }
+
+let calibration () = !calibration_state
+
+(* Once true, the one-shot measured calibration (end of file) is
+   disarmed: env and manual settings pin the grain. *)
+let calibrated = ref false
+
 let set_parallel_grain ~min_flops ~chunk_flops =
   if min_flops < 0 || chunk_flops <= 0 then
     invalid_arg "Mat.set_parallel_grain";
   par_min_flops := min_flops;
-  par_chunk_flops := chunk_flops
+  par_chunk_flops := chunk_flops;
+  calibrated := true;
+  calibration_state :=
+    { !calibration_state with source = "manual"; min_flops; chunk_flops }
 
 let parallel_grain () = (!par_min_flops, !par_chunk_flops)
 
-(* Rows per chunk: enough rows to amortize the per-chunk hand-off at the
-   configured flop grain, rounded up to a multiple of 4 to preserve the
-   register-block alignment. Depends only on sizes and grain. *)
-let[@inline] chunk_rows ~row_flops =
-  let raw = max 1 (!par_chunk_flops / max 1 row_flops) in
-  (raw + 3) / 4 * 4
+(* One chunk planner for every pool consumer (this module, Anet boxes,
+   Zonotope boxes): [Some chunk] — fan out in chunks of [chunk] rows —
+   or [None] for the sequential path. Chunks are rounded up to a
+   multiple of 4 rows so the GEMM register blocks and remainder rows of
+   a chunked run coincide with the sequential blocking; for row-
+   independent box workloads the alignment is merely a harmless
+   coarsening. The decision and the chunk size are pure functions of
+   [(rows, row_flops)] and the process-global grain — never the domain
+   count — so chunking is deterministic (DESIGN §10). *)
+let plan_chunks ~rows ~row_flops =
+  if
+    !par_enabled && rows > 4
+    && rows * row_flops >= !par_min_flops
+    && (not (Canopy_util.Pool.in_task ()))
+    && Canopy_util.Pool.(domains (default ())) > 1
+  then begin
+    let raw = max 1 (!par_chunk_flops / max 1 row_flops) in
+    let chunk = (raw + 3) / 4 * 4 in
+    (* A single-chunk plan would enter the pool only to run inline. *)
+    if rows > chunk then Some chunk else None
+  end
+  else None
 
-(* A kernel goes parallel only when it is big enough to pay off, is not
-   already running inside a pool task (nested regions fall back to the
-   sequential reference), and the ambient pool actually has workers. The
-   pool is only instantiated once a call crosses the size threshold. *)
-let[@inline] use_parallel ~rows ~row_flops =
-  !par_enabled && rows > 4
-  && rows * row_flops >= !par_min_flops
-  && (not (Canopy_util.Pool.in_task ()))
-  && Canopy_util.Pool.(domains (default ())) > 1
-
-let mat_mul_into_range ~dst a b ~lo ~hi =
+(* One k block of the normal-layout GEMM: accumulate
+   a[·, klo..khi) · b[klo..khi), ·] into rows [lo, hi) of [dst]. [klo] is
+   a multiple of 4 and [khi] is either a multiple of 4 or [a.cols], so
+   the 4-wide k groups of [saxpy_row4x4]/[saxpy_row4] land on exactly the
+   offsets of an unblocked sweep and the scalar k tail runs only in the
+   final block. Each output cell's accumulation chain therefore continues
+   in ascending k order across blocks (through an exact float64
+   store/reload), bit-identical to one full sweep. *)
+let mat_mul_into_kblock ~dst a b ~lo ~hi ~klo ~khi =
   let ad = a.data and bd = b.data and od = dst.data in
-  (* The sequential kernel zero-fills all of [dst] up front; the range
-     kernel owns exactly rows [lo, hi) and zero-fills just those. *)
-  Array.fill od (lo * b.cols) ((hi - lo) * b.cols) 0.;
   let i4 = a.rows - (a.rows land 3) in
-  let k4 = a.cols - (a.cols land 3) in
+  let k4 = min khi (a.cols - (a.cols land 3)) in
   let stop4 = min hi i4 in
   let i = ref lo in
   while !i < stop4 do
@@ -250,7 +308,7 @@ let mat_mul_into_range ~dst a b ~lo ~hi =
     let ob1 = ob0 + b.cols in
     let ob2 = ob1 + b.cols in
     let ob3 = ob2 + b.cols in
-    let k = ref 0 in
+    let k = ref klo in
     while !k < k4 do
       let x0 = !k * b.cols in
       saxpy_row4x4 ~dst:od ~d0:ob0 ~d1:ob1 ~d2:ob2 ~d3:ob3
@@ -276,7 +334,7 @@ let mat_mul_into_range ~dst a b ~lo ~hi =
         ~len:b.cols;
       k := !k + 4
     done;
-    for k = k4 to a.cols - 1 do
+    for k = k4 to khi - 1 do
       let s = Array.unsafe_get ad (ab0 + k) in
       let t = Array.unsafe_get ad (ab1 + k) in
       let u = Array.unsafe_get ad (ab2 + k) in
@@ -299,7 +357,7 @@ let mat_mul_into_range ~dst a b ~lo ~hi =
   for i = !i to hi - 1 do
     let abase = i * a.cols in
     let obase = i * b.cols in
-    let k = ref 0 in
+    let k = ref klo in
     while !k < k4 do
       let x0 = !k * b.cols in
       saxpy_row4 ~dst:od ~dbase:obase
@@ -313,7 +371,7 @@ let mat_mul_into_range ~dst a b ~lo ~hi =
         ~len:b.cols;
       k := !k + 4
     done;
-    for k = k4 to a.cols - 1 do
+    for k = k4 to khi - 1 do
       let aik = Array.unsafe_get ad (abase + k) in
       if aik <> 0. then
         saxpy_row ~dst:od ~dbase:obase ~s:aik ~x:bd ~xbase:(k * b.cols)
@@ -321,15 +379,38 @@ let mat_mul_into_range ~dst a b ~lo ~hi =
     done
   done
 
+(* Rows of [b] consumed per k block: [mm_kc * b.cols] floats of [b] stay
+   resident while every output row of the range folds them in, instead
+   of streaming all of [b] once per 4-row stripe. Must stay a multiple
+   of 4 (see [mat_mul_into_kblock]). *)
+let mm_kc = 128
+
+let mat_mul_into_range ~dst a b ~lo ~hi =
+  (* The sequential kernel zero-fills all of [dst] up front; the range
+     kernel owns exactly rows [lo, hi) and zero-fills just those, then
+     accumulates one k block at a time. *)
+  Array.fill dst.data (lo * b.cols) ((hi - lo) * b.cols) 0.;
+  let klo = ref 0 in
+  while !klo < a.cols do
+    let khi = min a.cols (!klo + mm_kc) in
+    mat_mul_into_kblock ~dst a b ~lo ~hi ~klo:!klo ~khi;
+    klo := khi
+  done
+
+(* Per-output-row flop estimates live next to their kernels; dispatchers
+   and external call sites (Anet, Zonotope, the bench) must take them
+   from here rather than restating the formulas. *)
+let mat_mul_row_flops a b = 2 * a.cols * b.cols
+
 let mat_mul_into ~dst a b =
   if a.cols <> b.rows then invalid_arg "Mat.mat_mul_into: dims";
   if dst.rows <> a.rows || dst.cols <> b.cols then
     invalid_arg "Mat.mat_mul_into: dst";
-  let row_flops = 2 * a.cols * b.cols in
-  if use_parallel ~rows:a.rows ~row_flops then
-    Canopy_util.Pool.parallel_for_chunks ~chunk:(chunk_rows ~row_flops) a.rows
-      (fun ~lo ~hi -> mat_mul_into_range ~dst a b ~lo ~hi)
-  else mat_mul_into_range ~dst a b ~lo:0 ~hi:a.rows
+  match plan_chunks ~rows:a.rows ~row_flops:(mat_mul_row_flops a b) with
+  | Some chunk ->
+      Canopy_util.Pool.parallel_for_chunks ~chunk a.rows (fun ~lo ~hi ->
+          mat_mul_into_range ~dst a b ~lo ~hi)
+  | None -> mat_mul_into_range ~dst a b ~lo:0 ~hi:a.rows
 
 let mat_mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mat_mul: dims";
@@ -416,21 +497,158 @@ let mat_mul_nt_into_range ~dst a b ~lo ~hi =
     done
   done
 
-let mat_mul_nt_into ~dst a b =
-  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_into: dims";
-  if dst.rows <> a.rows || dst.cols <> b.rows then
-    invalid_arg "Mat.mat_mul_nt_into: dst";
-  let row_flops = 2 * a.cols * b.rows in
-  if use_parallel ~rows:a.rows ~row_flops then
-    Canopy_util.Pool.parallel_for_chunks ~chunk:(chunk_rows ~row_flops) a.rows
-      (fun ~lo ~hi -> mat_mul_nt_into_range ~dst a b ~lo ~hi)
-  else mat_mul_nt_into_range ~dst a b ~lo:0 ~hi:a.rows
+(* ------------------------------------------------------------------ *)
+(* Packed-panel nt kernel.
 
-let mat_mul_nt a b =
-  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_into: dims";
-  let out = create_uninit ~rows:a.rows ~cols:b.rows in
-  mat_mul_nt_into ~dst:out a b;
-  out
+   For row counts worth blocking, the 4-aligned rows of [b] are repacked
+   once per call into a contiguous panel that interleaves each 4-row
+   tile k-major:
+
+     panel.(4*jt*inner + 4*k + jj) = b.(4*jt + jj).(k)
+
+   so the micro-kernel's inner loop reads the four [b] values of a tile
+   from one linear stream instead of four strided rows. Packing is a
+   pure relayout — same values, and every output cell still runs one
+   accumulator chain in ascending k order — so the packed kernel is
+   bit-identical to the direct kernel above, and the packed/direct
+   choice (a pure function of the shapes) can never change a result.
+   Two [a] rows are processed per panel pass (8 independent chains),
+   halving panel traffic relative to the row-at-a-time sweep while
+   keeping all live floats (8 accumulators, 4 panel values, 2 [a]
+   values) inside a 16-register FP file — a 4-row pass needs 21 and
+   spills every iteration. Chunk starts are multiples of 4, so a
+   chunked run blocks the i loop exactly like the sequential sweep. The panel lives in the calling domain's
+   scratch arena and is written before the parallel region; workers read
+   it through the region closure, published by the pool's mutex pair. *)
+
+(* Below this many [a] rows the pack cost is not worth amortizing. A
+   shape threshold, never a domain-count one. *)
+let nt_pack_rows = 12
+
+let nt_use_panel ~rows b = rows >= nt_pack_rows && b.rows >= 4
+
+let pack_nt_panel b =
+  let inner = b.cols in
+  let j4 = b.rows - (b.rows land 3) in
+  let scratch = Domain.DLS.get scratch_key in
+  let panel = Scratch.get scratch ~slot:0 ~len:(j4 * inner) in
+  let bd = b.data in
+  for jt = 0 to (j4 / 4) - 1 do
+    let base = 4 * jt * inner in
+    let b0 = base in
+    let b1 = b0 + inner in
+    let b2 = b1 + inner in
+    let b3 = b2 + inner in
+    for k = 0 to inner - 1 do
+      let p = base + (4 * k) in
+      Array.unsafe_set panel p (Array.unsafe_get bd (b0 + k));
+      Array.unsafe_set panel (p + 1) (Array.unsafe_get bd (b1 + k));
+      Array.unsafe_set panel (p + 2) (Array.unsafe_get bd (b2 + k));
+      Array.unsafe_set panel (p + 3) (Array.unsafe_get bd (b3 + k))
+    done
+  done;
+  panel
+
+(* Unified packed kernel for a·bᵀ with and without a fused bias row:
+   [bias = None] seeds every accumulator with 0., exactly like the
+   direct [mat_mul_nt_into_range]. [lo] must be a multiple of 4. *)
+let mat_mul_nt_packed_range ~dst a b ~bias ~panel ~lo ~hi =
+  let inner = a.cols in
+  let ad = a.data and bd = b.data and od = dst.data in
+  let j4 = b.rows - (b.rows land 3) in
+  let ncols = dst.cols in
+  let seed j =
+    match bias with None -> 0. | Some v -> Array.unsafe_get v j
+  in
+  let i2stop = hi - ((hi - lo) land 1) in
+  let i = ref lo in
+  while !i < i2stop do
+    let a0 = !i * inner in
+    let a1 = a0 + inner in
+    let o0 = !i * ncols in
+    let o1 = o0 + ncols in
+    let j = ref 0 in
+    while !j < j4 do
+      let tb = !j * inner in
+      let s00 = ref (seed !j) and s01 = ref (seed (!j + 1)) in
+      let s02 = ref (seed (!j + 2)) and s03 = ref (seed (!j + 3)) in
+      let s10 = ref !(s00) and s11 = ref !(s01) in
+      let s12 = ref !(s02) and s13 = ref !(s03) in
+      for k = 0 to inner - 1 do
+        let p = tb + (4 * k) in
+        let bv0 = Array.unsafe_get panel p in
+        let bv1 = Array.unsafe_get panel (p + 1) in
+        let bv2 = Array.unsafe_get panel (p + 2) in
+        let bv3 = Array.unsafe_get panel (p + 3) in
+        let av = Array.unsafe_get ad (a0 + k) in
+        s00 := !s00 +. (av *. bv0);
+        s01 := !s01 +. (av *. bv1);
+        s02 := !s02 +. (av *. bv2);
+        s03 := !s03 +. (av *. bv3);
+        let av = Array.unsafe_get ad (a1 + k) in
+        s10 := !s10 +. (av *. bv0);
+        s11 := !s11 +. (av *. bv1);
+        s12 := !s12 +. (av *. bv2);
+        s13 := !s13 +. (av *. bv3)
+      done;
+      Array.unsafe_set od (o0 + !j) !s00;
+      Array.unsafe_set od (o0 + !j + 1) !s01;
+      Array.unsafe_set od (o0 + !j + 2) !s02;
+      Array.unsafe_set od (o0 + !j + 3) !s03;
+      Array.unsafe_set od (o1 + !j) !s10;
+      Array.unsafe_set od (o1 + !j + 1) !s11;
+      Array.unsafe_set od (o1 + !j + 2) !s12;
+      Array.unsafe_set od (o1 + !j + 3) !s13;
+      j := !j + 4
+    done;
+    (* Remainder columns straight from [b]'s unpacked rows. *)
+    for j = j4 to b.rows - 1 do
+      let bb = j * inner in
+      let c0 = ref (seed j) and c1 = ref (seed j) in
+      for k = 0 to inner - 1 do
+        let bv = Array.unsafe_get bd (bb + k) in
+        c0 := !c0 +. (Array.unsafe_get ad (a0 + k) *. bv);
+        c1 := !c1 +. (Array.unsafe_get ad (a1 + k) *. bv)
+      done;
+      Array.unsafe_set od (o0 + j) !c0;
+      Array.unsafe_set od (o1 + j) !c1
+    done;
+    i := !i + 2
+  done;
+  (* Remainder row of [a] (odd range length), alone over the same panel. *)
+  for i = i2stop to hi - 1 do
+    let ab = i * inner in
+    let ob = i * ncols in
+    let j = ref 0 in
+    while !j < j4 do
+      let tb = !j * inner in
+      let s0 = ref (seed !j) and s1 = ref (seed (!j + 1)) in
+      let s2 = ref (seed (!j + 2)) and s3 = ref (seed (!j + 3)) in
+      for k = 0 to inner - 1 do
+        let p = tb + (4 * k) in
+        let av = Array.unsafe_get ad (ab + k) in
+        s0 := !s0 +. (av *. Array.unsafe_get panel p);
+        s1 := !s1 +. (av *. Array.unsafe_get panel (p + 1));
+        s2 := !s2 +. (av *. Array.unsafe_get panel (p + 2));
+        s3 := !s3 +. (av *. Array.unsafe_get panel (p + 3))
+      done;
+      Array.unsafe_set od (ob + !j) !s0;
+      Array.unsafe_set od (ob + !j + 1) !s1;
+      Array.unsafe_set od (ob + !j + 2) !s2;
+      Array.unsafe_set od (ob + !j + 3) !s3;
+      j := !j + 4
+    done;
+    for j = j4 to b.rows - 1 do
+      let bb = j * inner in
+      let acc = ref (seed j) in
+      for k = 0 to inner - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get ad (ab + k) *. Array.unsafe_get bd (bb + k))
+      done;
+      Array.unsafe_set od (ob + j) !acc
+    done
+  done
 
 (* a · bᵀ with a broadcast row added: out[i,j] = bias[j] + Σk a[i,k]b[j,k].
    Fusing the bias into the GEMM epilogue saves a full extra pass over the
@@ -504,16 +722,48 @@ let mat_mul_nt_bias_into_range ~dst a b bias ~lo ~hi =
     done
   done
 
+(* Shared dispatcher for the nt family: pick packed vs direct by shape,
+   then sequential vs chunked by the planner. Both axes preserve bits. *)
+let nt_dispatch ~dst a b ~bias ~row_flops =
+  if nt_use_panel ~rows:a.rows b then begin
+    let panel = pack_nt_panel b in
+    match plan_chunks ~rows:a.rows ~row_flops with
+    | Some chunk ->
+        Canopy_util.Pool.parallel_for_chunks ~chunk a.rows (fun ~lo ~hi ->
+            mat_mul_nt_packed_range ~dst a b ~bias ~panel ~lo ~hi)
+    | None -> mat_mul_nt_packed_range ~dst a b ~bias ~panel ~lo:0 ~hi:a.rows
+  end
+  else
+    let direct ~lo ~hi =
+      match bias with
+      | None -> mat_mul_nt_into_range ~dst a b ~lo ~hi
+      | Some v -> mat_mul_nt_bias_into_range ~dst a b v ~lo ~hi
+    in
+    match plan_chunks ~rows:a.rows ~row_flops with
+    | Some chunk -> Canopy_util.Pool.parallel_for_chunks ~chunk a.rows direct
+    | None -> direct ~lo:0 ~hi:a.rows
+
+let mat_mul_nt_row_flops a b = 2 * a.cols * b.rows
+
+let mat_mul_nt_into ~dst a b =
+  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_into: dims";
+  if dst.rows <> a.rows || dst.cols <> b.rows then
+    invalid_arg "Mat.mat_mul_nt_into: dst";
+  nt_dispatch ~dst a b ~bias:None ~row_flops:(mat_mul_nt_row_flops a b)
+
+let mat_mul_nt a b =
+  if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_into: dims";
+  let out = create_uninit ~rows:a.rows ~cols:b.rows in
+  mat_mul_nt_into ~dst:out a b;
+  out
+
 let mat_mul_nt_bias_into ~dst a b bias =
   if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_bias: dims";
   if Array.length bias <> b.rows then invalid_arg "Mat.mat_mul_nt_bias: bias";
   if dst.rows <> a.rows || dst.cols <> b.rows then
     invalid_arg "Mat.mat_mul_nt_bias_into: dst";
-  let row_flops = 2 * a.cols * b.rows in
-  if use_parallel ~rows:a.rows ~row_flops then
-    Canopy_util.Pool.parallel_for_chunks ~chunk:(chunk_rows ~row_flops) a.rows
-      (fun ~lo ~hi -> mat_mul_nt_bias_into_range ~dst a b bias ~lo ~hi)
-  else mat_mul_nt_bias_into_range ~dst a b bias ~lo:0 ~hi:a.rows
+  nt_dispatch ~dst a b ~bias:(Some bias)
+    ~row_flops:(mat_mul_nt_row_flops a b)
 
 let mat_mul_nt_bias a b bias =
   if a.cols <> b.cols then invalid_arg "Mat.mat_mul_nt_bias: dims";
@@ -532,7 +782,7 @@ let mat_mul_nt_bias a b bias =
    i4/i2 region boundaries keep every row on the same saxpy variant
    (4×4 / 4×2 / single, with the remainder rows' zero-skip) it takes in
    the full sweep. *)
-let mat_mul_tn_acc_range ~dst a b ~lo ~hi =
+let mat_mul_tn_acc_block ~dst a b ~lo ~hi =
   let ad = a.data and bd = b.data and od = dst.data in
   let i4 = a.cols - (a.cols land 3) in
   let i2 = a.cols - (a.cols land 1) in
@@ -607,15 +857,34 @@ let mat_mul_tn_acc_range ~dst a b ~lo ~hi =
     done
   done
 
+(* dst rows per pass of the i-blocked driver below: one stripe of [dst]
+   stays hot across every sample instead of the whole gradient matrix
+   being streamed once per 4-sample group. A multiple of 4, so block
+   starts stay 4-aligned and the i4/i2 variant boundaries inside each
+   block coincide with the full sweep's. Each stripe completes all
+   samples in ascending order before the next stripe starts, so every
+   cell's accumulation chain is unchanged — bit-identical. *)
+let tn_ib = 64
+
+let mat_mul_tn_acc_range ~dst a b ~lo ~hi =
+  let i = ref lo in
+  while !i < hi do
+    let bhi = min hi (!i + tn_ib) in
+    mat_mul_tn_acc_block ~dst a b ~lo:!i ~hi:bhi;
+    i := bhi
+  done
+
+let mat_mul_tn_row_flops a b = 2 * a.rows * b.cols
+
 let mat_mul_tn_acc ~dst a b =
   if a.rows <> b.rows then invalid_arg "Mat.mat_mul_tn_acc: dims";
   if dst.rows <> a.cols || dst.cols <> b.cols then
     invalid_arg "Mat.mat_mul_tn_acc: dst";
-  let row_flops = 2 * a.rows * b.cols in
-  if use_parallel ~rows:a.cols ~row_flops then
-    Canopy_util.Pool.parallel_for_chunks ~chunk:(chunk_rows ~row_flops) a.cols
-      (fun ~lo ~hi -> mat_mul_tn_acc_range ~dst a b ~lo ~hi)
-  else mat_mul_tn_acc_range ~dst a b ~lo:0 ~hi:a.cols
+  match plan_chunks ~rows:a.cols ~row_flops:(mat_mul_tn_row_flops a b) with
+  | Some chunk ->
+      Canopy_util.Pool.parallel_for_chunks ~chunk a.cols (fun ~lo ~hi ->
+          mat_mul_tn_acc_range ~dst a b ~lo ~hi)
+  | None -> mat_mul_tn_acc_range ~dst a b ~lo:0 ~hi:a.cols
 
 let outer_acc m y x =
   if m.rows <> Array.length y || m.cols <> Array.length x then
@@ -698,6 +967,22 @@ let cols_slice m ~pos ~len =
   done;
   out
 
+let sub_rows m ~lo ~hi =
+  if lo < 0 || hi > m.rows || lo >= hi then invalid_arg "Mat.sub_rows: range";
+  {
+    rows = hi - lo;
+    cols = m.cols;
+    data = Array.sub m.data (lo * m.cols) ((hi - lo) * m.cols);
+  }
+
+(* A matrix over a scratch-arena buffer: same uninitialized-contents
+   contract as [create_uninit], same ownership rules as [Scratch.get]
+   (the returned matrix aliases the arena — it is a workspace, not a
+   value to retain across further [get]s on the same slot). *)
+let scratch_mat scratch ~slot ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.scratch_mat: dims";
+  { rows; cols; data = Scratch.get scratch ~slot ~len:(rows * cols) }
+
 let frobenius m =
   sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
 
@@ -722,3 +1007,109 @@ let pp ppf m =
   Format.fprintf ppf "@]"
 
 let raw m = m.data
+
+(* ------------------------------------------------------------------ *)
+(* Grain calibration.
+
+   The grain defaults above are placeholders. The first pool created
+   with workers triggers a one-shot measurement (via the init hook
+   registered below) of (a) sequential GEMM throughput and (b) the
+   per-chunk hand-off cost of a live pool, then sets the grain so one
+   chunk carries roughly 50× its hand-off cost and a region fans out
+   only once it has several chunks' worth of work. Precedence: a manual
+   [set_parallel_grain] and the [CANOPY_PAR_GRAIN] env knob (format
+   "<min_flops>:<chunk_flops>") both pin the grain and disarm the
+   measurement. Calibration runs on the pool-creating domain, outside
+   any task, against the explicit pool handle (never [Pool.default],
+   which may be mid-initialization). It only moves chunk boundaries and
+   the parallel/sequential choice — both bit-invariant for every kernel
+   in this module — so a noisy measurement can change speed, never
+   results. *)
+
+let () =
+  match Sys.getenv_opt "CANOPY_PAR_GRAIN" with
+  | None -> ()
+  | Some s -> (
+      let fail () =
+        invalid_arg
+          (Printf.sprintf
+             "Mat: CANOPY_PAR_GRAIN must be <min_flops>:<chunk_flops>, got %S"
+             s)
+      in
+      match String.split_on_char ':' (String.trim s) with
+      | [ mf; cf ] -> (
+          match (int_of_string_opt mf, int_of_string_opt cf) with
+          | Some min_flops, Some chunk_flops
+            when min_flops >= 0 && chunk_flops > 0 ->
+              par_min_flops := min_flops;
+              par_chunk_flops := chunk_flops;
+              calibration_state :=
+                {
+                  !calibration_state with
+                  source = "env";
+                  min_flops;
+                  chunk_flops;
+                };
+              calibrated := true
+          | _ -> fail ())
+      | _ -> fail ())
+
+(* Nanoseconds per call of [f], over a window long enough to trust. *)
+let timed_ns f =
+  let rec go reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= 2e-3 then dt *. 1e9 /. float_of_int reps else go (reps * 4)
+  in
+  go 1
+
+let measure_grain pool =
+  let m = 48 and k = 64 and n = 64 in
+  let a =
+    init ~rows:m ~cols:k (fun i j ->
+        float_of_int (((i * 31) + j) mod 13) *. 0.1)
+  in
+  let b =
+    init ~rows:n ~cols:k (fun i j ->
+        float_of_int (((i * 17) + j) mod 11) *. 0.1)
+  in
+  let bias = Array.make n 0.5 in
+  let dst = create_uninit ~rows:m ~cols:n in
+  let gemm_ns =
+    (* The direct range kernel: throughput must be sampled sequentially,
+       not through the dispatcher being calibrated. *)
+    timed_ns (fun () -> mat_mul_nt_bias_into_range ~dst a b bias ~lo:0 ~hi:m)
+  in
+  let flops_per_ns = float_of_int (2 * m * k * n) /. gemm_ns in
+  let probe_chunks = 128 in
+  let marks = Array.make probe_chunks 0 in
+  let region_ns =
+    timed_ns (fun () ->
+        Canopy_util.Pool.parallel_for_chunks ~pool ~chunk:1 probe_chunks
+          (fun ~lo ~hi:_ -> marks.(lo) <- marks.(lo) + 1))
+  in
+  ignore (Array.fold_left ( + ) 0 marks);
+  let chunk_overhead_ns = region_ns /. float_of_int probe_chunks in
+  (* Clamp in float space (NaN-safe) before converting, so the int is
+     always in range whatever the timers returned. *)
+  let target = chunk_overhead_ns *. 50. *. flops_per_ns in
+  let target = if Float.is_nan target then 65_536. else target in
+  let chunk_flops =
+    int_of_float (Float.max 65_536. (Float.min 16_777_216. target))
+  in
+  let min_flops = max 262_144 (min 33_554_432 (4 * chunk_flops)) in
+  par_chunk_flops := chunk_flops;
+  par_min_flops := min_flops;
+  calibration_state :=
+    { source = "measured"; min_flops; chunk_flops; chunk_overhead_ns;
+      flops_per_ns }
+
+let () =
+  Canopy_util.Pool.add_init_hook (fun pool ->
+      if (not !calibrated) && Canopy_util.Pool.domains pool > 1 then begin
+        calibrated := true;
+        measure_grain pool
+      end)

@@ -104,11 +104,43 @@ val set_parallel_grain : min_flops:int -> chunk_flops:int -> unit
     kernel call goes parallel only when its total flop count reaches
     [min_flops], and rows are grouped into chunks of roughly
     [chunk_flops] (rounded up to a multiple of 4 rows, preserving the
-    register-block alignment). Raises [Invalid_argument] if
-    [min_flops < 0] or [chunk_flops <= 0]. Mainly a test/bench hook. *)
+    register-block alignment). Pins the grain: the one-shot measured
+    calibration (see {!calibration}) is disarmed. Raises
+    [Invalid_argument] if [min_flops < 0] or [chunk_flops <= 0]. Mainly
+    a test/bench hook. *)
 
 val parallel_grain : unit -> int * int
 (** Current [(min_flops, chunk_flops)]. *)
+
+val plan_chunks : rows:int -> row_flops:int -> int option
+(** The single chunk planner behind every pool consumer (this module's
+    dispatchers, [Anet]/[Zonotope] box sweeps): [Some chunk] when a
+    workload of [rows] rows at [row_flops] flops each should fan out
+    over [Pool.default ()] in chunks of [chunk] rows (a multiple of 4),
+    [None] for the sequential path — including when called from inside
+    a pool task or when the pool has no workers. The decision and the
+    chunk size depend only on the arguments and the process-global
+    grain, never on the domain count. *)
+
+type calibration = {
+  source : string;
+      (** ["default"] (built-in placeholder), ["env"] ([CANOPY_PAR_GRAIN]),
+          ["measured"] (one-shot sampling at pool init), or ["manual"]
+          ({!set_parallel_grain}). *)
+  min_flops : int;
+  chunk_flops : int;
+  chunk_overhead_ns : float;  (** 0. unless [source = "measured"]. *)
+  flops_per_ns : float;  (** 0. unless [source = "measured"]. *)
+}
+
+val calibration : unit -> calibration
+(** How the current grain was chosen. The first pool created with
+    workers triggers a one-shot measurement of sequential GEMM
+    throughput and per-chunk hand-off cost, and sizes the grain from
+    them — unless [CANOPY_PAR_GRAIN="<min_flops>:<chunk_flops>"] or
+    {!set_parallel_grain} pinned it first. Calibration only moves chunk
+    boundaries, which every kernel is bit-invariant to. The bench
+    records this value in [BENCH_par.json]. *)
 
 val outer_acc : t -> Vec.t -> Vec.t -> unit
 (** [outer_acc m y x] accumulates the outer product [y xᵀ] into [m]
@@ -143,6 +175,29 @@ val concat_cols : t -> t -> t
 val cols_slice : t -> pos:int -> len:int -> t
 (** [cols_slice m ~pos ~len] copies columns [pos..pos+len-1] into a fresh
     matrix (e.g. the action block of a critic input gradient). *)
+
+val sub_rows : t -> lo:int -> hi:int -> t
+(** [sub_rows m ~lo ~hi] copies rows [lo..hi-1] into a fresh
+    [(hi-lo) × cols] matrix (e.g. one shard of a training batch).
+    Raises [Invalid_argument] unless [0 <= lo < hi <= rows m]. *)
+
+val scratch_mat : Canopy_util.Scratch.t -> slot:int -> rows:int -> cols:int -> t
+(** A matrix over a scratch-arena buffer: the data array is
+    [Scratch.get scratch ~slot ~len:(rows*cols)], so contents are
+    unspecified (as {!create_uninit}) and the matrix aliases the arena —
+    a workspace to fully overwrite and consume before the next [get] on
+    the same slot, never a value to retain. *)
+
+val mat_mul_row_flops : t -> t -> int
+(** Flops per output row of [mat_mul a b]. The kernels own their cost
+    model: call sites planning chunks must use these instead of
+    restating the formulas. *)
+
+val mat_mul_nt_row_flops : t -> t -> int
+(** Flops per output row of [mat_mul_nt a b] (bias form included). *)
+
+val mat_mul_tn_row_flops : t -> t -> int
+(** Flops per output ([dst]) row of [mat_mul_tn_acc ~dst a b]. *)
 
 val frobenius : t -> float
 val approx_equal : ?eps:float -> t -> t -> bool

@@ -141,6 +141,20 @@ let resolve_domains = function
                    "Pool: CANOPY_DOMAINS must be a positive integer, got %S" s))
       | None -> max 1 (Domain.recommended_domain_count ()))
 
+(* Pool-creation hooks. [Canopy_tensor.Mat] registers its one-shot grain
+   calibration here at module-init time: Pool cannot call Mat directly
+   (the dependency points the other way), but calibration must sample
+   the machine with a live pool — so [create] runs every registered hook
+   once the workers are up. Hooks run on the creating domain, outside
+   any task, and may submit jobs to the pool they are handed. *)
+let init_hooks : (t -> unit) list ref = ref []
+let init_hooks_m = Mutex.create ()
+
+let add_init_hook f =
+  Mutex.lock init_hooks_m;
+  init_hooks := f :: !init_hooks;
+  Mutex.unlock init_hooks_m
+
 let create ?domains () =
   let size = resolve_domains domains in
   let pool =
@@ -159,6 +173,13 @@ let create ?domains () =
   in
   pool.workers <-
     Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  let hooks =
+    Mutex.lock init_hooks_m;
+    let h = !init_hooks in
+    Mutex.unlock init_hooks_m;
+    h
+  in
+  List.iter (fun f -> f pool) hooks;
   pool
 
 let domains pool = pool.size

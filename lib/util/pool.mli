@@ -34,6 +34,15 @@ val create : ?domains:int -> unit -> t
 val domains : t -> int
 (** Total parallelism of the pool: worker domains + the calling domain. *)
 
+val add_init_hook : (t -> unit) -> unit
+(** Register [f] to run on every subsequently created pool, right after
+    its workers are spawned (on the creating domain, outside any task;
+    [f] may submit jobs to the pool it is handed). This is the inverted
+    dependency channel for one-time machine sampling — notably the GEMM
+    grain calibration in [Canopy_tensor.Mat], which must run against a
+    live pool but cannot be called from here. Hooks should be idempotent
+    or self-disarming: they run once per [create], not once ever. *)
+
 val shutdown : t -> unit
 (** Stop and join the workers. Idempotent. Further parallel calls on the
     pool raise [Invalid_argument]. *)

@@ -1,0 +1,28 @@
+(** Per-domain scratch arenas: reusable float-array workspaces.
+
+    An arena is a table of numbered slots; {!get} returns a cached array
+    of the exact requested length for a slot, allocating only on the
+    first request per (slot, length). Arenas are meant to be owned by a
+    [Domain.DLS] key — one arena per domain — so parallel kernels stop
+    allocating workspace per chunk (DESIGN §10 has the ownership rules:
+    only the domain that fetched an arena from its DLS key may write
+    through it; an array obtained from another domain's arena may be
+    shared read-only across a pool region's mutex hand-off).
+
+    Reused arrays come back {e uninitialized} (whatever the previous use
+    left behind): callers must overwrite every cell they later read.
+    That discipline is what keeps results bit-identical whether the
+    arena is warm or cold. *)
+
+type t
+
+val create : unit -> t
+(** Empty arena. Typical use:
+    [let key = Domain.DLS.new_key Scratch.create]. *)
+
+val get : t -> slot:int -> len:int -> float array
+(** [get t ~slot ~len] returns a float array of exactly [len] cells,
+    reusing the array previously returned for this (slot, length) pair
+    when there is one. Contents are unspecified. Distinct slots never
+    share storage, so two buffers needed at once must use two slots.
+    Raises [Invalid_argument] if [slot < 0] or [len <= 0]. *)

@@ -118,6 +118,50 @@ let test_pool_worker_exception_propagates () =
           Mutex.unlock m);
       check_int "usable after failure" 45 !sum)
 
+let test_pool_multiple_failures_lowest_wins () =
+  let p = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      (* Every chunk fails concurrently: the surfaced exception must be
+         the lowest-numbered chunk's, not whichever domain lost the
+         race to raise first. *)
+      check_bool "all chunks fail, chunk 0 wins" true
+        (match
+           Pool.parallel_for_chunks ~pool:p ~chunk:1 8 (fun ~lo ~hi:_ ->
+               failwith (Printf.sprintf "chunk %d" lo))
+         with
+        | () -> false
+        | exception Failure msg -> msg = "chunk 0");
+      (* A scattered subset of failures: still the lowest index. *)
+      check_bool "scattered failures, lowest wins" true
+        (match
+           Pool.parallel_for_chunks ~pool:p ~chunk:1 10 (fun ~lo ~hi:_ ->
+               if lo = 3 || lo = 6 || lo = 9 then
+                 failwith (Printf.sprintf "chunk %d" lo))
+         with
+        | () -> false
+        | exception Failure msg -> msg = "chunk 3");
+      (* Repeated failing regions must not wedge the pool: workers park
+         and re-arm cleanly every time. *)
+      for round = 1 to 5 do
+        (match
+           Pool.parallel_for_chunks ~pool:p ~chunk:2 12 (fun ~lo ~hi:_ ->
+               if lo >= 4 then failwith "boom")
+         with
+        | () -> Alcotest.fail "region should have failed"
+        | exception Failure _ -> ());
+        let hits = Array.make 12 0 in
+        Pool.parallel_for_chunks ~pool:p ~chunk:3 12 (fun ~lo ~hi ->
+            for i = lo to hi - 1 do
+              hits.(i) <- hits.(i) + 1
+            done);
+        Array.iteri
+          (fun i h ->
+            check_int (Printf.sprintf "round %d index %d once" round i) 1 h)
+          hits
+      done)
+
 let test_pool_nested_rejected () =
   let p = Pool.create ~domains:2 () in
   Fun.protect
@@ -248,6 +292,104 @@ let test_gemm_bit_exact_coarser_chunks () =
       let dst = Mat.create ~rows:m ~cols:n in
       Mat.mat_mul_nt_bias_into ~dst a b bias;
       bits dst)
+
+let test_packed_and_blocked_gemm_scratch_bit_exact () =
+  (* Shapes big enough to trip the per-domain scratch machinery: >= 12
+     rows engages the packed-B panel of the nt kernels, > 128 shared
+     dims spans multiple k-blocks of [mat_mul_into]. Each domain count
+     gets a fresh pool (cold arenas) and runs the kernel twice — the
+     second call reuses warm panels, and both runs must equal the
+     1-domain reference bit for bit. *)
+  let nt_run (m, k, n) () =
+    let rng = Prng.create ((m * 131) + (k * 17) + n) in
+    let a = mk_mat rng m k and b = mk_mat rng n k in
+    let bias = Array.init n (fun _ -> Prng.uniform rng (-1.) 1.) in
+    let dst = Mat.create ~rows:m ~cols:n in
+    Mat.mat_mul_nt_bias_into ~dst a b bias;
+    bits dst
+  in
+  let mm_run (m, k, n) () =
+    let rng = Prng.create ((m * 911) + (k * 3) + n) in
+    let a = mk_mat rng m k and b = mk_mat rng k n in
+    let dst = Mat.create ~rows:m ~cols:n in
+    Mat.mat_mul_into ~dst a b;
+    bits dst
+  in
+  List.iter
+    (fun (label, run) ->
+      let reference = with_default_pool 1 run in
+      List.iter
+        (fun d ->
+          with_default_pool d (fun () ->
+              with_tiny_grain (fun () ->
+                  let cold = run () and warm = run () in
+                  check_bool
+                    (Printf.sprintf "%s cold arena at %d domains" label d)
+                    true (reference = cold);
+                  check_bool
+                    (Printf.sprintf "%s warm arena at %d domains" label d)
+                    true (reference = warm))))
+        [ 1; 2; 4 ])
+    [
+      ("packed nt 24x20x16", nt_run (24, 20, 16));
+      ("packed nt 37x33x21", nt_run (37, 33, 21));
+      ("blocked mm 16x300x9", mm_run (16, 300, 9));
+      ("blocked mm 24x260x17", mm_run (24, 260, 17));
+    ]
+
+let test_td3_parallel_update_bit_exact () =
+  (* The sharded TD3 update (per-shard gradient shadows + fixed-shape
+     tree reduction) against the 1-domain run: two full gradient steps
+     (policy delay 2, so the second moves the actor and targets) from
+     an identical snapshot, at 1, 2 and 4 domains; both updates in one
+     pool also exercise warm shadow reuse. All learned parameters of
+     all six networks must agree bit for bit. *)
+  let module Td3 = Canopy_rl.Td3 in
+  let rng = Prng.create 211 in
+  let cfg =
+    {
+      (Td3.default_config ~state_dim:5 ~action_dim:2) with
+      Td3.hidden = 24;
+      batch_size = 64;
+      warmup = 64;
+      buffer_capacity = 512;
+    }
+  in
+  let agent = Td3.create ~rng cfg in
+  let data = Prng.create 212 in
+  let rv n = Array.init n (fun _ -> Prng.uniform data (-1.) 1.) in
+  for i = 1 to 300 do
+    Td3.observe agent
+      {
+        Canopy_rl.Replay_buffer.state = rv 5;
+        action = rv 2;
+        reward = Prng.uniform data (-1.) 1.;
+        next_state = rv 5;
+        terminal = i mod 37 = 0;
+        truncated = i mod 53 = 0;
+      }
+  done;
+  let snap0 = Td3.snapshot agent in
+  let run () =
+    Td3.restore agent snap0;
+    Td3.update ~kernel:Td3.Batched agent;
+    Td3.update ~kernel:Td3.Batched agent;
+    let snap = Td3.snapshot agent in
+    List.concat_map
+      (fun (_, net) ->
+        List.map
+          (fun (v, _) -> Array.map Int64.bits_of_float v)
+          (Canopy_nn.Mlp.params net))
+      snap.Td3.nets
+  in
+  let reference = with_default_pool 1 run in
+  List.iter
+    (fun d ->
+      let got = with_default_pool d (fun () -> with_tiny_grain run) in
+      check_bool
+        (Printf.sprintf "td3 parameters identical at %d domains" d)
+        true (reference = got))
+    [ 2; 4 ]
 
 let test_parallel_disabled_switch () =
   (* The master switch forces the sequential path outright. *)
@@ -387,6 +529,9 @@ let suite =
     ( "pool worker exception propagates",
       `Quick,
       test_pool_worker_exception_propagates );
+    ( "pool concurrent failures, lowest wins",
+      `Quick,
+      test_pool_multiple_failures_lowest_wins );
     ("pool nested call rejected", `Quick, test_pool_nested_rejected);
     ("pool shutdown idempotent", `Quick, test_pool_shutdown_idempotent);
     ("pool map preserves order", `Quick, test_pool_map_order);
@@ -397,6 +542,10 @@ let suite =
       test_mat_mul_nt_bias_into_bit_exact );
     ("mat_mul_tn_acc bit-exact", `Quick, test_mat_mul_tn_acc_bit_exact);
     ("gemm bit-exact, coarser chunks", `Quick, test_gemm_bit_exact_coarser_chunks);
+    ( "packed/blocked gemm scratch bit-exact",
+      `Quick,
+      test_packed_and_blocked_gemm_scratch_bit_exact );
+    ("td3 parallel update bit-exact", `Quick, test_td3_parallel_update_bit_exact);
     ("parallel master switch", `Quick, test_parallel_disabled_switch);
     ("certify bit-exact across pools", `Quick, test_certify_bit_exact_across_pools);
     ( "certify_adaptive bit-exact across pools",

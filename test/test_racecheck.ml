@@ -333,6 +333,53 @@ let test_e2e_baseline_exact () =
     stale;
   check_int "no stale baseline entries" 0 (List.length stale)
 
+(* The per-domain scratch arenas of this PR must land in the inventory
+   as [Domain.DLS] globals — blessed by construction, so they need no
+   racecheck baseline waiver. Scanning the real files (not fixtures)
+   pins both the classification and the "clean, not baselined" state:
+   if a refactor demotes one to a plain ref, this fails before the
+   e2e baseline test starts reporting fresh findings. *)
+let test_scratch_arenas_blessed () =
+  let root = repo_root () in
+  let arenas =
+    [
+      ("lib/tensor/mat.ml", "scratch_key");
+      ("lib/absint/anet.ml", "scratch_key");
+      ("lib/nn/mlp.ml", "eval_scratch_key");
+    ]
+  in
+  List.iter
+    (fun (rel, name) ->
+      let path = Filename.concat root rel in
+      let inv = Inventory.scan ~path (Lexer.lex (Sources.read_file path)) in
+      match
+        List.find_opt
+          (fun (e : Inventory.entry) -> e.Inventory.name = name)
+          inv.Inventory.globals
+      with
+      | None -> Alcotest.fail (rel ^ ": " ^ name ^ " missing from inventory")
+      | Some e ->
+          check_bool
+            (rel ^ ": " ^ name ^ " classified Domain.DLS")
+            true
+            (e.Inventory.kind = Inventory.Dls);
+          check_bool
+            (rel ^ ": " ^ name ^ " blessed")
+            true
+            (Inventory.blessed e.Inventory.kind))
+    arenas;
+  let baseline = Sources.read_file (Filename.concat root "lint.baseline") in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (_, name) ->
+      check_bool ("no baseline waiver mentions " ^ name) false
+        (contains baseline name))
+    arenas
+
 let suite =
   [
     Alcotest.test_case "lexer: strings and comments" `Quick
@@ -367,6 +414,8 @@ let suite =
       test_race_sequential_write_not_flagged;
     Alcotest.test_case "racecheck: seeded fixture pair" `Quick
       test_race_seeded_fixture_pair;
+    Alcotest.test_case "racecheck: scratch arenas blessed as DLS" `Quick
+      test_scratch_arenas_blessed;
     Alcotest.test_case "e2e: committed baseline exact" `Quick
       test_e2e_baseline_exact;
   ]
