@@ -1548,6 +1548,261 @@ let par_bench () =
   List.iter (fun (d, p) -> if d <> 1 then Pool.shutdown p) pools
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: vectorized simulator throughput + batched policy serving *)
+
+let fleet_bench () =
+  header "fleet: vectorized links, one policy GEMM per decision tick";
+  let module Mat = Canopy_tensor.Mat in
+  let module Pool = Canopy_util.Pool in
+  let module Mlp = Canopy_nn.Mlp in
+  let module Agent_env = Canopy_orca.Agent_env in
+  let module Fleet_env = Canopy_orca.Fleet_env in
+  let module Fleet_eval = Canopy.Fleet_eval in
+  let num_cores = Domain.recommended_domain_count () in
+  let counts = List.sort_uniq Int.compare [ 1; 2; num_cores ] in
+  let pools = List.map (fun d -> (d, Pool.create ~domains:d ())) counts in
+  let pool_of d = List.assoc d pools in
+  let under d f =
+    Pool.set_default (pool_of d);
+    f ()
+  in
+  let state_dim = history * Canopy_orca.Observation.feature_count in
+  let actor =
+    Mlp.actor
+      ~rng:(Canopy_util.Prng.create 3)
+      ~in_dim:state_dim ~hidden:64 ~out_dim:1
+  in
+  let clamp = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1. in
+  (* One episode config per flow: capacities staggered across the fleet
+     so flows genuinely diverge, optional impairments to exercise the
+     per-flow PRNG and the jittered-return resort path. *)
+  let mk_cfg ?(interval = 40) ?(buffer = 160)
+      ?(impair = Canopy_netsim.Env.no_impairments) ~duration_ms i =
+    let mbps = 12. +. (6. *. float_of_int (i mod 7)) in
+    let trace =
+      Trace.constant
+        ~name:(Printf.sprintf "fleet-c%02d" (i mod 7))
+        ~duration_ms ~mbps
+    in
+    {
+      (Agent_env.default_config ~trace ~min_rtt_ms ~buffer_pkts:buffer
+         ~duration_ms)
+      with
+      Agent_env.interval_ms = Some interval;
+      impairments = impair;
+    }
+  in
+  (* -- bit-exactness probes ---------------------------------------- *)
+  let probes_run = ref [] in
+  let probe name got =
+    probes_run := name :: !probes_run;
+    if not got then
+      failwith (Printf.sprintf "fleet: %s trajectories differ" name);
+    Format.printf "probe %-16s OK@." name
+  in
+  (* A full-episode trajectory fingerprint: per decision tick the bits
+     of every flow's state row, action, reward and enforced window.
+     Anything the sim or the serving path computes differently shows up
+     here. *)
+  let fleet_trajectory cfgs =
+    let env = Fleet_env.create cfgs in
+    let n = Fleet_env.flows env in
+    let x = Mat.create ~rows:n ~cols:(Fleet_env.state_dim env) in
+    let y = Mat.create_uninit ~rows:n ~cols:1 in
+    let actions = Array.make n 0. in
+    let bits = ref [] in
+    let push a = bits := Array.map Int64.bits_of_float a :: !bits in
+    let fin = ref false in
+    while not !fin do
+      Fleet_env.write_states env ~dst:x;
+      push (Array.copy (Mat.raw x));
+      Mlp.forward_eval_into ~dst:y actor x;
+      for i = 0 to n - 1 do
+        actions.(i) <- clamp (Mat.raw y).(i)
+      done;
+      let r = Fleet_env.step env ~actions in
+      push actions;
+      push r.Fleet_env.rewards;
+      push r.Fleet_env.cwnd_enforced;
+      fin := r.Fleet_env.finished
+    done;
+    List.rev !bits
+  in
+  let scalar_trajectory cfgs =
+    let envs = Array.map Agent_env.create cfgs in
+    let n = Array.length envs in
+    let bits = ref [] in
+    let push a = bits := Array.map Int64.bits_of_float a :: !bits in
+    let fin = ref false in
+    while not !fin do
+      let states =
+        Array.concat (Array.to_list (Array.map Agent_env.state envs))
+      in
+      push states;
+      let steps =
+        Array.mapi
+          (fun i env ->
+            let action = clamp (Mlp.forward actor (Agent_env.state envs.(i))).(0) in
+            (action, Agent_env.step env ~action))
+          envs
+      in
+      push (Array.map fst steps);
+      push (Array.map (fun (_, r) -> r.Agent_env.raw_reward) steps);
+      push (Array.map (fun (_, r) -> r.Agent_env.cwnd_enforced) steps);
+      fin := (snd steps.(n - 1)).Agent_env.finished
+    done;
+    List.rev !bits
+  in
+  (* 6 flows, one with wireless-style impairments so the per-flow PRNG
+     stream and the jittered-return-path resort are in the comparison. *)
+  let probe_cfgs =
+    Array.init 6 (fun i ->
+        let impair =
+          if i = 4 then
+            { Canopy_netsim.Env.random_loss = 0.01; ack_jitter_ms = 2; seed = 7 }
+          else Canopy_netsim.Env.no_impairments
+        in
+        mk_cfg ~impair ~duration_ms:800 i)
+  in
+  probe "fleet_vs_scalar"
+    (under 1 (fun () -> fleet_trajectory probe_cfgs)
+    = scalar_trajectory probe_cfgs);
+  (* 64 flows at a 300 ms cadence put each advancement call at
+     64 × 300 = 19 200 flow·ms, above the fleet's parallel threshold
+     (16 384), so the multi-domain runs genuinely chunk. *)
+  let domain_cfgs =
+    Array.init 64 (fun i ->
+        let impair =
+          if i mod 9 = 0 then
+            {
+              Canopy_netsim.Env.random_loss = 0.005;
+              ack_jitter_ms = 1;
+              seed = 100 + i;
+            }
+          else Canopy_netsim.Env.no_impairments
+        in
+        mk_cfg ~interval:300 ~impair ~duration_ms:1_200 i)
+  in
+  let ref_traj = under 1 (fun () -> fleet_trajectory domain_cfgs) in
+  probe "fleet_domains"
+    (List.for_all
+       (fun d -> under d (fun () -> fleet_trajectory domain_cfgs) = ref_traj)
+       (List.filter (fun d -> d <> 1) counts));
+  List.iter
+    (fun name ->
+      if not (List.mem name !probes_run) then
+        failwith (Printf.sprintf "fleet: probe %s never ran" name))
+    [ "fleet_vs_scalar"; "fleet_domains" ];
+  (* -- throughput -------------------------------------------------- *)
+  (* Long fleet episodes are timed wall-clock (as [ablation] does)
+     rather than via bechamel: one run is seconds at the large sizes
+     and the quantity of interest is aggregate flow·ms/s, not ns/op. *)
+  let sizes =
+    if !smoke_mode then [ (32, 400) ]
+    else [ (1_000, 1_600); (10_000, 800); (100_000, 400) ]
+  in
+  let time_fleet ~flows:n ~duration_ms d =
+    under d (fun () ->
+        let cfgs =
+          Array.init n
+            (mk_cfg ~buffer:(if n >= 100_000 then 64 else 160) ~duration_ms)
+        in
+        let env = Fleet_env.create cfgs in
+        let t0 = Unix.gettimeofday () in
+        let r = Fleet_eval.serve ~actor env in
+        let wall = Unix.gettimeofday () -. t0 in
+        (r, wall))
+  in
+  let entries =
+    List.concat_map
+      (fun (n, duration_ms) ->
+        List.map
+          (fun d ->
+            let r, wall = time_fleet ~flows:n ~duration_ms d in
+            let flow_ms = float_of_int (n * duration_ms) in
+            let decisions = float_of_int (n * r.Fleet_eval.decision_ticks) in
+            Format.printf
+              "fleet %6d flows, %4d ms, %d domain%s: %.2fs wall, %.2e \
+               flow·ms/s, %.2e decisions/s (jain %.3f, util %.1f%%)@."
+              n duration_ms d
+              (if d = 1 then " " else "s")
+              wall (flow_ms /. wall) (decisions /. wall)
+              r.Fleet_eval.jain
+              (100. *. r.Fleet_eval.mean_utilization);
+            (n, duration_ms, d, r.Fleet_eval.decision_ticks, wall,
+             flow_ms /. wall, decisions /. wall))
+          counts)
+      sizes
+  in
+  (* Scalar baseline at the smallest size: the same episodes driven one
+     [Agent_env] at a time with per-flow [Mlp.forward] inference — what
+     the fleet's batching replaces. *)
+  let base_n, base_dur = List.hd sizes in
+  let scalar_wall =
+    let cfgs = Array.init base_n (mk_cfg ~duration_ms:base_dur) in
+    let t0 = Unix.gettimeofday () in
+    ignore (scalar_trajectory cfgs : Int64.t array list);
+    Unix.gettimeofday () -. t0
+  in
+  let fleet_wall_1d =
+    match
+      List.find_opt (fun (n, dur, d, _, _, _, _) ->
+          n = base_n && dur = base_dur && d = 1)
+        entries
+    with
+    | Some (_, _, _, _, w, _, _) -> w
+    | None -> nan
+  in
+  let speedup = scalar_wall /. fleet_wall_1d in
+  Format.printf
+    "scalar baseline, %d flows: %.2fs wall — fleet(1 domain) speedup %.2fx@."
+    base_n scalar_wall speedup;
+  let json_path =
+    if !smoke_mode then Filename.temp_file "canopy-bench-fleet" ".json"
+    else "BENCH_fleet.json"
+  in
+  json_write json_path (fun buf ->
+      Printf.bprintf buf
+        "{\n  \"bench\": \"fleet\",\n  \"mode\": %S,\n\
+        \  \"num_cores\": %d,\n  \"domain_counts\": [%s],\n\
+        \  \"probes\": [%s],\n  \"entries\": [\n"
+        (if !smoke_mode then "smoke" else "full")
+        num_cores
+        (String.concat ", " (List.map string_of_int counts))
+        (String.concat ", "
+           (List.rev_map (fun p -> Printf.sprintf "%S" p) !probes_run));
+      let last = List.length entries - 1 in
+      List.iteri
+        (fun i (n, dur, d, ticks, wall, fps, dps) ->
+          Printf.bprintf buf
+            "    {\"flows\": %d, \"duration_ms\": %d, \"domains\": %d, \
+             \"decision_ticks\": %d, \"wall_s\": %.3f, \
+             \"flow_ms_per_sec\": %.1f, \"decisions_per_sec\": %.1f%s}%s\n"
+            n dur d ticks wall fps dps
+            (match
+               if d > num_cores then
+                 Some
+                   (Printf.sprintf
+                      "%d domains oversubscribe %d core%s: measures \
+                       time-slicing, not parallel speedup"
+                      d num_cores
+                      (if num_cores = 1 then "" else "s"))
+               else None
+             with
+            | None -> ""
+            | Some reason -> Printf.sprintf ", \"skipped_reason\": %S" reason)
+            (if i = last then "" else ","))
+        entries;
+      Printf.bprintf buf
+        "  ],\n\
+        \  \"scalar_baseline\": {\"flows\": %d, \"duration_ms\": %d, \
+         \"wall_s\": %.3f, \"fleet_wall_s\": %.3f, \"speedup\": %.3f}\n}\n"
+        base_n base_dur scalar_wall fleet_wall_1d speedup);
+  Format.printf "wrote %s@." json_path;
+  Pool.set_default (pool_of 1);
+  List.iter (fun (d, p) -> if d <> 1 then Pool.shutdown p) pools
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: verifier domain and subdivision strategy *)
 
 let ablation () =
@@ -1684,6 +1939,7 @@ let experiments =
     ("kernels", kernels);
     ("certify", certify_bench);
     ("par", par_bench);
+    ("fleet", fleet_bench);
     ("ablation", ablation);
     ("traces", traces_fig);
   ]

@@ -20,8 +20,57 @@ let schemes_of checkpoint history =
       ignore history;
       ("canopy", `Policy actor) :: tcp
 
+(* Coexistence mode: mixed Canopy-vs-TCP flows on one shared bottleneck,
+   reporting per-flow throughput/delay/loss and Jain's index. Without a
+   checkpoint an untrained seeded actor stands in (stated in the output)
+   so the harness stays runnable end to end. *)
+let run_coexist checkpoint history bdp min_rtt duration_ms =
+  let actor =
+    match checkpoint with
+    | Some path -> Canopy.Trainer.load_actor path
+    | None ->
+        Format.printf
+          "note: no --checkpoint given; using an UNTRAINED seed-1 actor \
+           (coexistence mechanics demo, not a trained-policy result)@.@.";
+        Canopy_nn.Mlp.actor
+          ~rng:(Canopy_util.Prng.create 1)
+          ~in_dim:(history * Canopy_orca.Observation.feature_count)
+          ~hidden:64 ~out_dim:1
+  in
+  let trace =
+    Canopy_trace.Trace.constant ~name:"const48" ~duration_ms ~mbps:48.
+  in
+  let link = Eval.link ~min_rtt_ms:min_rtt ~bdp ~duration_ms trace in
+  let mixes =
+    [
+      ( "canopy-vs-cubic",
+        [
+          Eval.Coexist_canopy actor;
+          Eval.Coexist_tcp ("cubic", Eval.cubic_scheme);
+        ] );
+      ( "canopy-vs-bbr",
+        [
+          Eval.Coexist_canopy actor;
+          Eval.Coexist_tcp ("bbr", Eval.bbr_scheme);
+        ] );
+      ( "cubic-vs-cubic",
+        [
+          Eval.Coexist_tcp ("cubic", Eval.cubic_scheme);
+          Eval.Coexist_tcp ("cubic", Eval.cubic_scheme);
+        ] );
+    ]
+  in
+  List.iter
+    (fun (label, flows) ->
+      let r = Eval.eval_coexist ~history ~flows link in
+      Format.printf "== %s ==@.%a@." label Eval.pp_coexist r)
+    mixes
+
 let run checkpoint history bdp min_rtt duration_ms n_components with_cert
-    property_name with_shield noise_mu refute_seed =
+    property_name with_shield noise_mu refute_seed coexist =
+  if coexist then
+    run_coexist checkpoint history bdp min_rtt duration_ms
+  else
   let property =
     match property_name with
     | "performance" -> Canopy.Property.performance ()
@@ -134,6 +183,15 @@ let refute_seed =
               deriving one reproducible PRNG stream per scheme×trace cell \
               from this seed.")
 
+let coexist =
+  Arg.(value & flag
+       & info [ "coexist" ]
+           ~doc:
+             "Instead of the per-scheme trace grid, run mixed \
+              Canopy-vs-Cubic and Canopy-vs-BBR flows on one shared \
+              bottleneck and report per-flow throughput, delay and \
+              Jain's fairness index.")
+
 let cmd =
   let doc = "evaluate controllers over the 22-trace suite" in
   Cmd.v
@@ -141,6 +199,6 @@ let cmd =
     Term.(
       const run $ checkpoint $ history $ bdp $ min_rtt $ duration_ms
       $ n_components $ with_cert $ property_name $ with_shield $ noise_mu
-      $ refute_seed)
+      $ refute_seed $ coexist)
 
 let () = exit (Cmd.eval cmd)

@@ -1,7 +1,10 @@
 open Canopy_nn
 module Agent_env = Canopy_orca.Agent_env
 module Observation = Canopy_orca.Observation
+module Monitor = Canopy_orca.Monitor
+module Multiflow = Canopy_netsim.Multiflow
 module Stats = Canopy_util.Stats
+module Mat = Canopy_tensor.Mat
 
 type result = {
   scheme : string;
@@ -89,13 +92,24 @@ let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
     }
   in
   let env = Agent_env.create cfg in
+  (* Per-step inference goes through the batched scratch-backed path as
+     a 1-row block: [Mlp.forward_eval_into] rows are bit-identical to
+     [Mlp.forward], so this changes no trajectory — it just keeps the
+     whole serving stack (scalar eval and fleet alike) on one code
+     path with no per-step output allocation. *)
+  if Mlp.in_dim actor <> Agent_env.state_dim cfg then
+    invalid_arg "Eval.eval_policy: actor input dim";
+  let xrow = Mat.create ~rows:1 ~cols:(Mlp.in_dim actor) in
+  let yrow = Mat.create_uninit ~rows:1 ~cols:(Mlp.out_dim actor) in
   let steps = ref [] in
   let fcc_acc = ref 0. and fcs_acc = ref 0 and nsteps = ref 0 in
   let uncertified_acc = ref 0 and refuted_acc = ref 0 in
   let finished = ref false in
   while not !finished do
     let s = Agent_env.state env in
-    let action = clamp_action (Mlp.forward actor s).(0) in
+    Array.blit s 0 (Mat.raw xrow) 0 (Array.length s);
+    Mlp.forward_eval_into ~dst:yrow actor xrow;
+    let action = clamp_action (Mat.raw yrow).(0) in
     let action =
       match shield with
       | None -> action
@@ -249,6 +263,234 @@ let mean_results group results =
         fcs = mean_opt (fun r -> r.fcs);
         refuted = mean_opt (fun r -> r.refuted);
       }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-traffic coexistence on a shared bottleneck *)
+
+type coexist_spec =
+  | Coexist_canopy of Mlp.t
+  | Coexist_tcp of string * (unit -> Canopy_cc.Controller.t)
+
+type coexist_flow = {
+  scheme : string;
+  throughput_mbps : float;
+  avg_qdelay_ms : float;
+  loss_rate : float;
+  share : float;
+}
+
+type coexist_result = {
+  trace : string;
+  duration_ms : int;
+  interval_ms : int;
+  flows : coexist_flow array;
+  jain : float;
+  utilization : float;
+}
+
+let pp_coexist ppf (r : coexist_result) =
+  Format.fprintf ppf "%s (%d flows, %d ms): jain=%.3f util=%.1f%%@."
+    r.trace (Array.length r.flows) r.duration_ms r.jain
+    (100. *. r.utilization);
+  Array.iteri
+    (fun i f ->
+      Format.fprintf ppf
+        "  flow %d %-8s thr=%6.2fMbps share=%5.1f%% qdelay=%6.1fms \
+         loss=%5.2f%%@."
+        i f.scheme f.throughput_mbps (100. *. f.share) f.avg_qdelay_ms
+        (100. *. f.loss_rate))
+    r.flows
+
+(* Per-flow driver state of a Canopy flow inside the shared bottleneck:
+   the same Cubic-backbone + monitor + feature-history machinery as
+   [Agent_env], but the link advancement is [Multiflow]'s. *)
+type coexist_canopy_state = {
+  cc_cubic : Canopy_cc.Cubic.t;
+  cc_monitor : Monitor.t;
+  cc_hist : float array; (* history × feature_count ring of frames *)
+  mutable cc_head : int;
+  mutable cc_thr_scale : float;
+  mutable cc_enforced : float;
+}
+
+let eval_coexist ?(history = 5) ?interval_ms ~flows link =
+  let specs = Array.of_list flows in
+  let n = Array.length specs in
+  if n = 0 then invalid_arg "Eval.eval_coexist: no flows";
+  let interval_ms =
+    match interval_ms with
+    | Some ms ->
+        if ms <= 0 then invalid_arg "Eval.eval_coexist: interval";
+        ms
+    | None -> max 20 link.min_rtt_ms
+  in
+  let fc = Observation.feature_count in
+  let state_dim = history * fc in
+  let mf =
+    Multiflow.create
+      {
+        Multiflow.trace = link.trace;
+        min_rtt_ms = Array.make n link.min_rtt_ms;
+        buffer_pkts = buffer_pkts link;
+        mtu_bytes = Canopy_netsim.Env.default_mtu;
+        initial_cwnd = 10.;
+      }
+  in
+  (* Build per-flow drivers and handlers. *)
+  let canopy = Array.make n None in
+  let tcp = Array.make n None in
+  let handlers =
+    Array.init n (fun i ->
+        match specs.(i) with
+        | Coexist_canopy actor ->
+            if Mlp.in_dim actor <> state_dim then
+              invalid_arg "Eval.eval_coexist: actor input dim";
+            if Mlp.out_dim actor <> 1 then
+              invalid_arg "Eval.eval_coexist: actor output dim";
+            let st =
+              {
+                cc_cubic = Canopy_cc.Cubic.create ();
+                cc_monitor = Monitor.create ~min_rtt_ms:link.min_rtt_ms ();
+                cc_hist = Array.make state_dim 0.;
+                cc_head = 0;
+                cc_thr_scale = 0.;
+                cc_enforced = 10.;
+              }
+            in
+            canopy.(i) <- Some st;
+            Canopy_netsim.Env.chain
+              (Canopy_cc.Controller.handlers
+                 (Canopy_cc.Cubic.to_controller st.cc_cubic))
+              (Monitor.handlers st.cc_monitor)
+        | Coexist_tcp (_, make) ->
+            let c = make () in
+            tcp.(i) <- Some c;
+            Canopy_cc.Controller.handlers c)
+  in
+  (* Group Canopy flows by actor (physical equality) so each distinct
+     actor serves all of its flows with a single GEMM per decision tick
+     — with one shared actor, one GEMM serves every Canopy flow. *)
+  let groups =
+    let acc = ref [] in
+    Array.iteri
+      (fun i spec ->
+        match spec with
+        | Coexist_tcp _ -> ()
+        | Coexist_canopy actor -> (
+            match List.find_opt (fun (a, _) -> a == actor) !acc with
+            | Some (_, ids) -> ids := i :: !ids
+            | None -> acc := !acc @ [ (actor, ref [ i ]) ]))
+      specs;
+    List.map
+      (fun (actor, ids) ->
+        let ids = Array.of_list (List.rev !ids) in
+        let rows = Array.length ids in
+        ( actor,
+          ids,
+          Mat.create ~rows ~cols:state_dim,
+          Mat.create_uninit ~rows ~cols:1 ))
+      !acc
+  in
+  let clamp = clamp_action in
+  (* Decide from the current feature histories and enforce the Eq. 1
+     windows; one forward_eval GEMM per actor group. *)
+  let decide () =
+    List.iter
+      (fun (actor, ids, x, y) ->
+        let raw = Mat.raw x in
+        Array.iteri
+          (fun row i ->
+            let st = Option.get canopy.(i) in
+            let base = row * state_dim in
+            for f = 0 to history - 1 do
+              Array.blit st.cc_hist
+                ((st.cc_head + f) mod history * fc)
+                raw
+                (base + (f * fc))
+                fc
+            done)
+          ids;
+        Mlp.forward_eval_into ~dst:y actor x;
+        let out = Mat.raw y in
+        Array.iteri
+          (fun row i ->
+            let st = Option.get canopy.(i) in
+            let action = clamp out.(row) in
+            let cwnd_tcp = Canopy_cc.Cubic.cwnd st.cc_cubic in
+            let enforced = Agent_env.cwnd_of_action ~action ~cwnd_tcp in
+            Canopy_cc.Cubic.force_cwnd st.cc_cubic enforced;
+            Multiflow.set_cwnd mf ~flow:i enforced;
+            st.cc_enforced <- enforced)
+          ids)
+      groups
+  in
+  (* Close the interval: take each Canopy flow's observation and push
+     its feature frame (same sequencing as [Agent_env.step]). *)
+  let take_observations () =
+    Array.iter
+      (fun st ->
+        match st with
+        | None -> ()
+        | Some st ->
+            let obs =
+              Monitor.take st.cc_monitor ~now_ms:(Multiflow.now_ms mf)
+                ~cwnd_pkts:st.cc_enforced
+            in
+            st.cc_thr_scale <-
+              Float.max st.cc_thr_scale obs.Observation.thr_mbps;
+            Observation.features_into ~thr_scale_mbps:st.cc_thr_scale obs
+              ~dst:st.cc_hist ~off:(st.cc_head * fc);
+            st.cc_head <- (st.cc_head + 1) mod history)
+      canopy
+  in
+  decide ();
+  for ms = 1 to link.duration_ms do
+    Multiflow.tick mf handlers;
+    (* Refresh each flow's live window from its controller backbone. *)
+    for i = 0 to n - 1 do
+      match (tcp.(i), canopy.(i)) with
+      | Some c, _ -> Multiflow.set_cwnd mf ~flow:i (c.Canopy_cc.Controller.cwnd ())
+      | _, Some st ->
+          Multiflow.set_cwnd mf ~flow:i (Canopy_cc.Cubic.cwnd st.cc_cubic)
+      | None, None -> ()
+    done;
+    if ms mod interval_ms = 0 then begin
+      take_observations ();
+      decide ()
+    end
+  done;
+  let total_delivered =
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc + Multiflow.delivered mf ~flow:i
+    done;
+    !acc
+  in
+  let flows =
+    Array.init n (fun i ->
+        {
+          scheme =
+            (match specs.(i) with
+            | Coexist_canopy _ -> "canopy"
+            | Coexist_tcp (name, _) -> name);
+          throughput_mbps = Multiflow.throughput_mbps mf ~flow:i;
+          avg_qdelay_ms = Multiflow.avg_qdelay_ms mf ~flow:i;
+          loss_rate = Multiflow.loss_rate mf ~flow:i;
+          share =
+            (if total_delivered = 0 then 0.
+             else
+               float_of_int (Multiflow.delivered mf ~flow:i)
+               /. float_of_int total_delivered);
+        })
+  in
+  {
+    trace = Canopy_trace.Trace.name link.trace;
+    duration_ms = link.duration_ms;
+    interval_ms;
+    flows;
+    jain = Multiflow.jain_index mf;
+    utilization = Multiflow.utilization mf;
+  }
 
 type noise_delta = {
   scheme : string;

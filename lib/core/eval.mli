@@ -96,6 +96,48 @@ val mean_results : string -> result list -> result
     results, e.g. all synthetic traces. The [string] names the group.
     Raises [Invalid_argument] on an empty list. *)
 
+type coexist_spec =
+  | Coexist_canopy of Mlp.t
+      (** a Canopy flow served by this actor (Cubic backbone, Eq. 1
+          override at every decision tick) *)
+  | Coexist_tcp of string * (unit -> Canopy_cc.Controller.t)
+      (** a classical flow, e.g. [("cubic", cubic_scheme)] *)
+
+type coexist_flow = {
+  scheme : string;
+  throughput_mbps : float;
+  avg_qdelay_ms : float;
+  loss_rate : float;
+  share : float;  (** fraction of total delivered packets *)
+}
+
+type coexist_result = {
+  trace : string;
+  duration_ms : int;
+  interval_ms : int;
+  flows : coexist_flow array;  (** in the order the specs were given *)
+  jain : float;  (** Jain's index over per-flow delivered counts *)
+  utilization : float;
+}
+
+val pp_coexist : Format.formatter -> coexist_result -> unit
+
+val eval_coexist :
+  ?history:int ->
+  ?interval_ms:int ->
+  flows:coexist_spec list ->
+  link ->
+  coexist_result
+(** Run a mix of Canopy and classical flows contending on one shared
+    [Multiflow] bottleneck and report per-flow throughput/delay/loss
+    plus Jain's fairness index — the Canopy-vs-Cubic/BBR coexistence
+    experiment. Canopy flows keep the full [Agent_env] machinery
+    (Cubic backbone refreshed every millisecond, monitor observation
+    and feature-history push per interval) and are all served from a
+    single [Mlp.forward_eval_into] GEMM per decision tick per distinct
+    actor. Defaults: [history] 5 frames, [interval_ms] =
+    [max 20 link.min_rtt_ms] (the [Agent_env] cadence). *)
+
 type noise_delta = {
   scheme : string;
   d_avg_qdelay_pct : float;

@@ -1,0 +1,364 @@
+(* Struct-of-arrays fleet of independent bottleneck links.
+
+   Each flow is an exact transliteration of [Env]: same state, same
+   tick order (process return path, sender fill, drain bottleneck), the
+   same float-operation order, and the same per-flow PRNG streams — a
+   fleet of N links reproduces N [Env]s bit-for-bit (see
+   test/test_fleet.ml). What changes is the layout and the driver: all
+   per-flow scalars live in flat arrays indexed by flow, the bottleneck
+   queue and the return path are per-flow int rings carved out of
+   per-flow arrays, and [run] advances every flow through a whole block
+   of milliseconds at once so the per-flow loop can be chunked over
+   [Canopy_util.Pool] (flows never share state, so parallel execution
+   is bit-identical to sequential by construction).
+
+   Trace lookups are hoisted: [run] precomputes one packets-per-ms table
+   per trace family (links sharing a trace by physical equality) and
+   every flow of the family reads the shared table instead of calling
+   [Trace.packets_per_ms] per flow per millisecond. *)
+
+module Trace = Canopy_trace.Trace
+module Prng = Canopy_util.Prng
+module Pool = Canopy_util.Pool
+
+(* Return-path event kinds (Env.return_event flattened to ints). *)
+let ev_ack = 0
+let ev_loss = 1
+
+type t = {
+  cfgs : Env.config array;
+  n : int;
+  mutable now_ms : int;
+  (* trace families: distinct (trace, mtu) pairs; [family.(i)] indexes
+     [fam_trace]/[fam_mtu] *)
+  fam_trace : Trace.t array;
+  fam_mtu : int array;
+  family : int array;
+  (* per-flow scalar state, flat *)
+  min_rtt : int array;
+  buffer : int array;
+  random_loss : float array;
+  jitter : int array;
+  cwnd : float array;
+  inflight : int array;
+  next_seq : int array;
+  sent : int array;
+  delivered : int array;
+  dropped : int array;
+  credit : float array;
+  capacity_pkts : float array;
+  qdelay_sum_ms : float array;
+  last_scheduled : int array;
+  (* bottleneck queue: per-flow fixed-capacity ring of (seq, sent_ms);
+     capacity = buffer_pkts, the droptail bound *)
+  q_seq : int array array;
+  q_sent : int array array;
+  q_head : int array;
+  q_len : int array;
+  (* return path: per-flow growable ring of (arrival, kind, seq,
+     sent_ms); the outer slots are replaced on growth *)
+  r_arrival : int array array;
+  r_kind : int array array;
+  r_seq : int array array;
+  r_sent : int array array;
+  r_head : int array;
+  r_len : int array;
+  rng : Prng.t array;
+}
+
+let create cfgs =
+  let n = Array.length cfgs in
+  if n = 0 then invalid_arg "Fleet.create: no links";
+  Array.iter
+    (fun (cfg : Env.config) ->
+      if cfg.min_rtt_ms < 2 then invalid_arg "Fleet.create: min_rtt_ms";
+      if cfg.buffer_pkts < 1 then invalid_arg "Fleet.create: buffer_pkts";
+      if cfg.mtu_bytes <= 0 then invalid_arg "Fleet.create: mtu_bytes";
+      if cfg.initial_cwnd < 1. then invalid_arg "Fleet.create: initial_cwnd";
+      if cfg.impairments.random_loss < 0. || cfg.impairments.random_loss >= 1.
+      then invalid_arg "Fleet.create: random_loss";
+      if cfg.impairments.ack_jitter_ms < 0 then
+        invalid_arg "Fleet.create: ack_jitter_ms")
+    cfgs;
+  (* Dedup trace families by physical equality on the trace (plus mtu,
+     which scales the packets-per-ms conversion). *)
+  let fams = ref [] (* reversed (trace, mtu) list *) and nfam = ref 0 in
+  let family =
+    Array.map
+      (fun (cfg : Env.config) ->
+        let rec find k = function
+          | [] -> None
+          | (tr, mtu) :: tl ->
+              if tr == cfg.trace && mtu = cfg.mtu_bytes then Some (k - 1)
+              else find (k - 1) tl
+        in
+        match find !nfam !fams with
+        | Some k -> k
+        | None ->
+            fams := (cfg.trace, cfg.mtu_bytes) :: !fams;
+            incr nfam;
+            !nfam - 1)
+      cfgs
+  in
+  let fam_arr = Array.of_list (List.rev !fams) in
+  {
+    cfgs;
+    n;
+    now_ms = 0;
+    fam_trace = Array.map fst fam_arr;
+    fam_mtu = Array.map snd fam_arr;
+    family;
+    min_rtt = Array.map (fun (c : Env.config) -> c.min_rtt_ms) cfgs;
+    buffer = Array.map (fun (c : Env.config) -> c.buffer_pkts) cfgs;
+    random_loss =
+      Array.map (fun (c : Env.config) -> c.impairments.random_loss) cfgs;
+    jitter =
+      Array.map (fun (c : Env.config) -> c.impairments.ack_jitter_ms) cfgs;
+    cwnd = Array.map (fun (c : Env.config) -> c.initial_cwnd) cfgs;
+    inflight = Array.make n 0;
+    next_seq = Array.make n 0;
+    sent = Array.make n 0;
+    delivered = Array.make n 0;
+    dropped = Array.make n 0;
+    credit = Array.make n 0.;
+    capacity_pkts = Array.make n 0.;
+    qdelay_sum_ms = Array.make n 0.;
+    last_scheduled = Array.make n 0;
+    q_seq = Array.map (fun (c : Env.config) -> Array.make c.buffer_pkts 0) cfgs;
+    q_sent = Array.map (fun (c : Env.config) -> Array.make c.buffer_pkts 0) cfgs;
+    q_head = Array.make n 0;
+    q_len = Array.make n 0;
+    r_arrival = Array.init n (fun _ -> Array.make 16 0);
+    r_kind = Array.init n (fun _ -> Array.make 16 0);
+    r_seq = Array.init n (fun _ -> Array.make 16 0);
+    r_sent = Array.init n (fun _ -> Array.make 16 0);
+    r_head = Array.make n 0;
+    r_len = Array.make n 0;
+    rng = Array.map (fun (c : Env.config) -> Prng.create c.impairments.seed) cfgs;
+  }
+
+let flows t = t.n
+let now_ms t = t.now_ms
+let config t ~flow = t.cfgs.(flow)
+let cwnd t ~flow = t.cwnd.(flow)
+let set_cwnd t ~flow w = t.cwnd.(flow) <- Float.max 1. w
+let inflight t ~flow = t.inflight.(flow)
+let queue_len t ~flow = t.q_len.(flow)
+let sent t ~flow = t.sent.(flow)
+let delivered t ~flow = t.delivered.(flow)
+let dropped t ~flow = t.dropped.(flow)
+let capacity_pkts t ~flow = t.capacity_pkts.(flow)
+
+(* ------------------------------------------------------------------ *)
+(* Return-path ring *)
+
+let ret_push t i arrival kind seq sent_ms =
+  let cap = Array.length t.r_arrival.(i) in
+  if t.r_len.(i) = cap then begin
+    (* Grow ×2, unrolling the ring to offset 0 (order preserved). *)
+    let ncap = 2 * cap in
+    let head = t.r_head.(i) and len = t.r_len.(i) in
+    let grow src =
+      let dst = Array.make ncap 0 in
+      for k = 0 to len - 1 do
+        dst.(k) <- src.((head + k) mod cap)
+      done;
+      dst
+    in
+    t.r_arrival.(i) <- grow t.r_arrival.(i);
+    t.r_kind.(i) <- grow t.r_kind.(i);
+    t.r_seq.(i) <- grow t.r_seq.(i);
+    t.r_sent.(i) <- grow t.r_sent.(i);
+    t.r_head.(i) <- 0
+  end;
+  let cap = Array.length t.r_arrival.(i) in
+  let tail = (t.r_head.(i) + t.r_len.(i)) mod cap in
+  t.r_arrival.(i).(tail) <- arrival;
+  t.r_kind.(i).(tail) <- kind;
+  t.r_seq.(i).(tail) <- seq;
+  t.r_sent.(i).(tail) <- sent_ms;
+  t.r_len.(i) <- t.r_len.(i) + 1
+
+(* Mirror of [Env.schedule]: O(1) watermark append in the jitter-free
+   case; under jitter, rebuild in exactly the order Env produces (the
+   new event consed ahead of the FIFO contents, then stable-sorted by
+   arrival — the watermark itself is left untouched, as in Env). *)
+let schedule t i arrival kind seq sent_ms =
+  if arrival >= t.last_scheduled.(i) then begin
+    t.last_scheduled.(i) <- arrival;
+    ret_push t i arrival kind seq sent_ms
+  end
+  else begin
+    let len = t.r_len.(i) and head = t.r_head.(i) in
+    let cap = Array.length t.r_arrival.(i) in
+    let existing =
+      List.init len (fun k ->
+          let p = (head + k) mod cap in
+          (t.r_arrival.(i).(p), t.r_kind.(i).(p), t.r_seq.(i).(p),
+           t.r_sent.(i).(p)))
+    in
+    let sorted =
+      List.stable_sort
+        (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b)
+        ((arrival, kind, seq, sent_ms) :: existing)
+    in
+    t.r_head.(i) <- 0;
+    t.r_len.(i) <- 0;
+    List.iter (fun (a, k, s, m) -> ret_push t i a k s m) sorted
+  end
+
+(* ------------------------------------------------------------------ *)
+(* One millisecond of one flow — the three phases of [Env.tick] *)
+
+let process_return_path t (handlers : Env.handlers array) i ~now =
+  let continue = ref true in
+  while !continue && t.r_len.(i) > 0 do
+    let head = t.r_head.(i) in
+    let arrival = t.r_arrival.(i).(head) in
+    if arrival > now then continue := false
+    else begin
+      let kind = t.r_kind.(i).(head) in
+      let seq = t.r_seq.(i).(head) and sent_ms = t.r_sent.(i).(head) in
+      let cap = Array.length t.r_arrival.(i) in
+      t.r_head.(i) <- (head + 1) mod cap;
+      t.r_len.(i) <- t.r_len.(i) - 1;
+      if kind = ev_ack then begin
+        t.inflight.(i) <- max 0 (t.inflight.(i) - 1);
+        t.delivered.(i) <- t.delivered.(i) + 1;
+        let rtt = now - sent_ms in
+        (* Running queueing-delay sum in ack order: dividing by the
+           delivered count reproduces [Env.avg_qdelay_ms]'s
+           fold-over-samples bitwise. *)
+        t.qdelay_sum_ms.(i) <-
+          t.qdelay_sum_ms.(i)
+          +. Float.max 0. (float_of_int rtt -. float_of_int t.min_rtt.(i));
+        handlers.(i).Env.on_ack
+          { Env.now_ms = now; seq; rtt_ms = rtt; delivered = t.delivered.(i) }
+      end
+      else begin
+        t.inflight.(i) <- max 0 (t.inflight.(i) - 1);
+        handlers.(i).Env.on_loss ~now_ms:now
+      end
+    end
+  done
+
+let sender_fill t i ~now =
+  let window = max 1 (int_of_float (Float.floor t.cwnd.(i))) in
+  while t.inflight.(i) < window do
+    let seq = t.next_seq.(i) in
+    t.next_seq.(i) <- seq + 1;
+    t.sent.(i) <- t.sent.(i) + 1;
+    t.inflight.(i) <- t.inflight.(i) + 1;
+    if t.q_len.(i) < t.buffer.(i) then begin
+      let cap = t.buffer.(i) in
+      let tail = (t.q_head.(i) + t.q_len.(i)) mod cap in
+      t.q_seq.(i).(tail) <- seq;
+      t.q_sent.(i).(tail) <- now;
+      t.q_len.(i) <- t.q_len.(i) + 1
+    end
+    else begin
+      t.dropped.(i) <- t.dropped.(i) + 1;
+      schedule t i (now + t.min_rtt.(i)) ev_loss 0 0
+    end
+  done
+
+let drain_bottleneck t i ~now ~ppms =
+  t.capacity_pkts.(i) <- t.capacity_pkts.(i) +. ppms;
+  t.credit.(i) <- t.credit.(i) +. ppms;
+  let opportunities = int_of_float (Float.floor t.credit.(i)) in
+  t.credit.(i) <- t.credit.(i) -. float_of_int opportunities;
+  let used = min opportunities t.q_len.(i) in
+  for _ = 1 to used do
+    let cap = t.buffer.(i) in
+    let head = t.q_head.(i) in
+    let seq = t.q_seq.(i).(head) and sent_ms = t.q_sent.(i).(head) in
+    t.q_head.(i) <- (head + 1) mod cap;
+    t.q_len.(i) <- t.q_len.(i) - 1;
+    if t.random_loss.(i) > 0. && Prng.float t.rng.(i) 1. < t.random_loss.(i)
+    then begin
+      t.dropped.(i) <- t.dropped.(i) + 1;
+      schedule t i (now + t.min_rtt.(i)) ev_loss 0 0
+    end
+    else begin
+      let jitter =
+        if t.jitter.(i) = 0 then 0 else Prng.int t.rng.(i) (t.jitter.(i) + 1)
+      in
+      schedule t i (now + t.min_rtt.(i) + jitter) ev_ack seq sent_ms
+    end
+  done
+
+let tick_flow t handlers i ~now ~ppms =
+  process_return_path t handlers i ~now;
+  (* Fill before draining (Mahimahi semantics), as in [Env.tick]. *)
+  sender_fill t i ~now;
+  drain_bottleneck t i ~now ~ppms
+
+(* ------------------------------------------------------------------ *)
+(* Fleet driver *)
+
+(* Below this much flow·ms work, chunk setup costs more than it saves. *)
+let par_threshold = 16_384
+
+(* Chunk choice is a pure function of the workload shape — never of
+   scheduling — and the per-flow stepping itself is flow-local, so any
+   chunking (including none) produces identical bits. *)
+let plan_chunk ~n ~ms =
+  if Pool.in_task () then None
+  else if Pool.domains (Pool.default ()) < 2 then None
+  else if n * ms < par_threshold then None
+  else Some (max 1 (8_192 / max 1 ms))
+
+let run ?after_tick t handlers ~ms =
+  if Array.length handlers <> t.n then
+    invalid_arg "Fleet.run: one handlers record per flow";
+  if ms < 0 then invalid_arg "Fleet.run: ms";
+  if ms > 0 then begin
+    let now0 = t.now_ms in
+    (* Shared read-only packets-per-ms table, one row per trace family:
+       row f, entry k is the family's delivery opportunities in
+       millisecond [now0 + 1 + k]. *)
+    let ppms_tab =
+      Array.init (Array.length t.fam_trace) (fun f ->
+          let tr = t.fam_trace.(f) and mtu = t.fam_mtu.(f) in
+          Array.init ms (fun k ->
+              Trace.packets_per_ms ~mtu_bytes:mtu tr (now0 + 1 + k)))
+    in
+    let step_range ~lo ~hi =
+      for i = lo to hi - 1 do
+        let tab = ppms_tab.(t.family.(i)) in
+        for k = 0 to ms - 1 do
+          tick_flow t handlers i ~now:(now0 + k + 1) ~ppms:tab.(k);
+          match after_tick with Some f -> f i | None -> ()
+        done
+      done
+    in
+    (match plan_chunk ~n:t.n ~ms with
+    | Some chunk -> Pool.parallel_for_chunks ~chunk t.n step_range
+    | None -> step_range ~lo:0 ~hi:t.n);
+    t.now_ms <- now0 + ms
+  end
+
+let tick ?after_tick t handlers = run ?after_tick t handlers ~ms:1
+
+(* ------------------------------------------------------------------ *)
+(* Per-flow metrics (matching Env's definitions bitwise) *)
+
+let utilization t ~flow =
+  if t.capacity_pkts.(flow) <= 0. then 0.
+  else Float.min 1. (float_of_int t.delivered.(flow) /. t.capacity_pkts.(flow))
+
+let loss_rate t ~flow =
+  if t.sent.(flow) = 0 then 0.
+  else float_of_int t.dropped.(flow) /. float_of_int t.sent.(flow)
+
+let avg_qdelay_ms t ~flow =
+  if t.delivered.(flow) = 0 then 0.
+  else t.qdelay_sum_ms.(flow) /. float_of_int t.delivered.(flow)
+
+let throughput_mbps t ~flow =
+  if t.now_ms = 0 then 0.
+  else
+    float_of_int t.delivered.(flow)
+    *. float_of_int t.cfgs.(flow).Env.mtu_bytes
+    *. 8. /. 1e6
+    /. (float_of_int t.now_ms /. 1000.)

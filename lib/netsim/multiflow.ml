@@ -18,6 +18,7 @@ type flow_state = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable qdelay_sum_ms : float; (* over acked packets, in ack order *)
 }
 
 type t = {
@@ -54,6 +55,7 @@ let create (cfg : config) =
             sent = 0;
             delivered = 0;
             dropped = 0;
+            qdelay_sum_ms = 0.;
           })
         cfg.min_rtt_ms;
     queue = Queue.create ();
@@ -83,11 +85,15 @@ let process_return_path t handlers =
           let f = t.flows.(flow) in
           f.inflight <- max 0 (f.inflight - 1);
           f.delivered <- f.delivered + 1;
+          let rtt = t.now_ms - sent_ms in
+          f.qdelay_sum_ms <-
+            f.qdelay_sum_ms
+            +. Float.max 0. (float_of_int rtt -. float_of_int f.min_rtt_ms);
           handlers.(flow).Env.on_ack
             {
               Env.now_ms = t.now_ms;
               seq;
-              rtt_ms = t.now_ms - sent_ms;
+              rtt_ms = rtt;
               delivered = f.delivered;
             }
       | Ev_loss { flow } ->
@@ -183,6 +189,15 @@ let delivered t ~flow = t.flows.(flow).delivered
 let dropped t ~flow = t.flows.(flow).dropped
 let sent t ~flow = t.flows.(flow).sent
 
+let loss_rate t ~flow =
+  let f = t.flows.(flow) in
+  if f.sent = 0 then 0. else float_of_int f.dropped /. float_of_int f.sent
+
+let avg_qdelay_ms t ~flow =
+  let f = t.flows.(flow) in
+  if f.delivered = 0 then 0.
+  else f.qdelay_sum_ms /. float_of_int f.delivered
+
 let throughput_mbps t ~flow =
   if t.now_ms = 0 then 0.
   else
@@ -191,15 +206,8 @@ let throughput_mbps t ~flow =
     /. (float_of_int t.now_ms /. 1000.)
 
 let jain_index t =
-  let n = Array.length t.flows in
-  if n < 2 then 1.
-  else begin
-    let xs = Array.map (fun f -> float_of_int f.delivered) t.flows in
-    let sum = Array.fold_left ( +. ) 0. xs in
-    let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
-    if sum_sq <= 0. then 1.
-    else sum *. sum /. (float_of_int n *. sum_sq)
-  end
+  Canopy_util.Stats.jain_index
+    (Array.map (fun f -> float_of_int f.delivered) t.flows)
 
 let utilization t =
   if t.capacity_pkts <= 0. then 0.

@@ -38,13 +38,21 @@ val delivered : t -> flow:int -> int
 val dropped : t -> flow:int -> int
 val sent : t -> flow:int -> int
 
+val loss_rate : t -> flow:int -> float
+(** Dropped over sent for the flow; [0.] before any send. *)
+
+val avg_qdelay_ms : t -> flow:int -> float
+(** Mean queueing delay (RTT minus the flow's minRTT) over the flow's
+    acked packets; [0.] before any ack. *)
+
 val throughput_mbps : t -> flow:int -> float
 (** Average delivered rate of the flow since creation. *)
 
 val jain_index : t -> float
-(** Jain's fairness index over per-flow delivered counts; 1 when all
-    flows received identical shares, [1/n] in the most unfair case.
-    Returns 1 for fewer than two flows or before any delivery. *)
+(** Jain's fairness index over per-flow delivered counts
+    ([Canopy_util.Stats.jain_index]); 1 when all flows received
+    identical shares, [1/n] in the most unfair case. Returns 1 for
+    fewer than two flows or before any delivery. *)
 
 val utilization : t -> float
 (** Aggregate delivered packets over offered capacity. *)

@@ -331,6 +331,71 @@ let forward_eval ?(reuse_input = false) layer x =
       done;
       out
 
+(* Allocation-free batched eval forward whose every output row is
+   bit-identical to [forward1_into] on that row: the dense arm runs the
+   plain GEMM and adds the bias afterwards (not the bias-seeded
+   [mat_mul_nt_bias], which sums in a different order), and the
+   batch-norm arm restates [forward1_into]'s unfolded per-element
+   expression instead of [forward_eval]'s folded scale/shift. This is
+   what lets the fleet serve thousands of flows from one GEMM while
+   reproducing the scalar [Mlp.forward] trajectories exactly.
+   [dst] must not alias [x]. *)
+let forward_eval_into ~dst layer x =
+  let n = Mat.rows x in
+  if n = 0 then invalid_arg "Layer.forward_eval_into: empty batch";
+  if Mat.rows dst <> n then invalid_arg "Layer.forward_eval_into: rows";
+  match layer with
+  | Dense d ->
+      if Mat.cols x <> Mat.cols d.w then
+        invalid_arg "Layer.forward_eval_into: dims";
+      if Mat.cols dst <> Mat.rows d.w then
+        invalid_arg "Layer.forward_eval_into: dims";
+      (* Each output row of [mat_mul_nt_into] is bit-identical to
+         [mat_vec w row]; adding the bias afterwards matches
+         [forward1_into]'s [dst.(i) <- dst.(i) +. b.(i)]. *)
+      Mat.mat_mul_nt_into ~dst x d.w;
+      Mat.add_row dst d.b
+  | Batch_norm bn ->
+      let dim = Vec.dim bn.gamma in
+      if Mat.cols x <> dim || Mat.cols dst <> dim then
+        invalid_arg "Layer.forward_eval_into: dims";
+      let xd = Mat.raw x and od = Mat.raw dst in
+      let gamma = bn.gamma and beta = bn.beta in
+      let rm = bn.running_mean and rv = bn.running_var in
+      for b = 0 to n - 1 do
+        let base = b * dim in
+        for i = 0 to dim - 1 do
+          let inv = 1. /. sqrt (Array.unsafe_get rv i +. bn.eps) in
+          Array.unsafe_set od (base + i)
+            ((Array.unsafe_get gamma i
+             *. (Array.unsafe_get xd (base + i) -. Array.unsafe_get rm i)
+             *. inv)
+            +. Array.unsafe_get beta i)
+        done
+      done
+  | Leaky_relu slope ->
+      if Mat.cols x <> Mat.cols dst then
+        invalid_arg "Layer.forward_eval_into: dims";
+      let xd = Mat.raw x and od = Mat.raw dst in
+      for i = 0 to Array.length xd - 1 do
+        let v = Array.unsafe_get xd i in
+        Array.unsafe_set od i (if v >= 0. then v else slope *. v)
+      done
+  | Relu ->
+      if Mat.cols x <> Mat.cols dst then
+        invalid_arg "Layer.forward_eval_into: dims";
+      let xd = Mat.raw x and od = Mat.raw dst in
+      for i = 0 to Array.length xd - 1 do
+        Array.unsafe_set od i (Float.max 0. (Array.unsafe_get xd i))
+      done
+  | Tanh ->
+      if Mat.cols x <> Mat.cols dst then
+        invalid_arg "Layer.forward_eval_into: dims";
+      let xd = Mat.raw x and od = Mat.raw dst in
+      for i = 0 to Array.length xd - 1 do
+        Array.unsafe_set od i (Float.tanh (Array.unsafe_get xd i))
+      done
+
 let backward ?(input_grad = true) ?(reuse_dout = false) layer cache dout =
   let n = Mat.rows dout in
   (* With [~reuse_dout:true] the element-wise layers write their input

@@ -81,6 +81,16 @@ val forward_eval : ?reuse_input:bool -> t -> Mat.t -> Mat.t
     form the abstract-interpretation transfers use, so results differ
     from {!forward} by rounding only). [reuse_input] as in {!forward}. *)
 
+val forward_eval_into : dst:Mat.t -> t -> Mat.t -> unit
+(** Allocation-free [Eval]-mode forward into a caller-owned
+    [batch × out_dim] matrix, with every output row bit-identical to
+    {!forward1_into} on the corresponding input row (plain GEMM plus a
+    bias broadcast, unfolded batch-norm expression) — unlike
+    {!forward_eval}, which uses the bias-seeded GEMM and the folded
+    batch-norm map and so differs by rounding. [dst] must not alias the
+    input. This is the per-layer kernel of the fleet's batched decision
+    tick. *)
+
 val forward1 : mode -> t -> Vec.t -> Vec.t
 (** Single-sample forward without a cache (no running-stat update even in
     [Train] mode); convenient for action selection. *)

@@ -96,6 +96,43 @@ let forward_batch t x =
   in
   out
 
+(* Per-domain scratch arena for the batched serving hot path (the fleet
+   decision tick): slots 0/1 ping-pong the [batch × dim] intermediates,
+   the last layer writes straight into the caller's destination. Every
+   slot is fully overwritten before it is read back, so a warm arena
+   returns the same bits as a cold one (DESIGN §10 ownership rules). *)
+let batch_scratch_key : Canopy_util.Scratch.t Domain.DLS.key =
+  Domain.DLS.new_key Canopy_util.Scratch.create
+
+let forward_eval_into ~dst t x =
+  let n = Mat.rows x in
+  if Mat.cols x <> t.in_dim then
+    invalid_arg "Mlp.forward_eval_into: input dim";
+  if Mat.rows dst <> n || Mat.cols dst <> t.out_dim then
+    invalid_arg "Mlp.forward_eval_into: output shape";
+  let nlayers = List.length t.layers in
+  if nlayers = 0 then Array.blit (Mat.raw x) 0 (Mat.raw dst) 0 (n * t.in_dim)
+  else begin
+    let scratch = Domain.DLS.get batch_scratch_key in
+    ignore
+      (List.fold_left
+         (fun (i, dim, acc) layer ->
+           let od = Layer.out_dim ~in_dim:dim layer in
+           let out =
+             if i = nlayers - 1 then dst
+             else Mat.scratch_mat scratch ~slot:(i land 1) ~rows:n ~cols:od
+           in
+           Layer.forward_eval_into ~dst:out layer acc;
+           (i + 1, od, out))
+         (0, t.in_dim, x) t.layers
+        : int * int * Mat.t)
+  end
+
+let forward_eval t x =
+  let dst = Mat.create_uninit ~rows:(Mat.rows x) ~cols:t.out_dim in
+  forward_eval_into ~dst t x;
+  dst
+
 type tape = Layer.cache list (* in layer order *)
 
 (* Unlike {!forward_batch}, the training pass leaves caches behind:

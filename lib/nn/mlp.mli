@@ -54,6 +54,21 @@ val forward_batch : t -> Mat.t -> Mat.t
     element-wise layers applied in place on the chain's intermediates
     (the input matrix itself is never mutated). *)
 
+val forward_eval_into : dst:Mat.t -> t -> Mat.t -> unit
+(** Batched inference into a caller-owned [batch × out_dim] matrix with
+    zero steady-state allocation: intermediates ping-pong between two
+    slots of a per-domain scratch arena ([Domain.DLS]-keyed, warm ≡ cold
+    bit-exactly), the last layer writes directly into [dst]. Every
+    output row is bit-identical to {!forward} on the corresponding input
+    row (see [Layer.forward_eval_into]) — the property that lets the
+    fleet's one-GEMM-per-tick serving path reproduce scalar per-flow
+    trajectories exactly. [dst] must not alias the input. *)
+
+val forward_eval : t -> Mat.t -> Mat.t
+(** {!forward_eval_into} into a fresh matrix the caller owns. Unlike
+    {!forward_batch} the result rows are bit-identical to {!forward}
+    (not merely equal up to rounding). *)
+
 type tape
 (** Activation record from a batched training-mode pass. *)
 

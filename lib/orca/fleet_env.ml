@@ -1,0 +1,199 @@
+(* Vectorized agent environment: N [Agent_env]-equivalent episodes over
+   one [Canopy_netsim.Fleet], with the observation assembly batched into
+   a flat [n × history × feature_count] block so a decision tick can
+   hand every flow's state to the policy as one [n × state_dim] matrix
+   (one GEMM serves the whole fleet).
+
+   Per flow the step sequence is exactly [Agent_env.step] — validate
+   action, read the Cubic backbone, enforce Eq. 1's window, advance the
+   link one interval with Cubic refreshing the live window after every
+   millisecond, take the monitor observation, update the throughput
+   scale, push the feature frame, score the reward — so a fleet of N
+   single-flow links reproduces N scalar [Agent_env] trajectories
+   bit-for-bit (pinned in test/test_fleet.ml). All per-flow work runs
+   inside the fleet's pool chunks; every mutable cell involved (cubic,
+   monitor, history slice, reward) is owned by exactly one flow. *)
+
+module Env = Canopy_netsim.Env
+module Fleet = Canopy_netsim.Fleet
+module Mat = Canopy_tensor.Mat
+
+type t = {
+  cfgs : Agent_env.config array;
+  n : int;
+  history : int;
+  interval_ms : int;
+  duration_ms : int;
+  state_dim : int;
+  fleet : Fleet.t;
+  cubic : Canopy_cc.Cubic.t array;
+  monitor : Monitor.t array;
+  reward : Reward.t array;
+  handlers : Env.handlers array;
+  after_tick : int -> unit;
+  (* Flat history block: flow i's frame f lives at
+     [(i*history + f) * feature_count]; [hist_head.(i)] is the index of
+     flow i's oldest frame (frames are a per-flow ring). *)
+  hist : float array;
+  hist_head : int array;
+  thr_scale : float array;
+  prev_cwnd : float array;
+  mutable finished : bool;
+}
+
+let interval_of (cfg : Agent_env.config) =
+  match cfg.interval_ms with
+  | Some ms ->
+      if ms <= 0 then invalid_arg "Fleet_env.create: interval";
+      ms
+  | None -> max 20 cfg.min_rtt_ms
+
+let create (cfgs : Agent_env.config array) =
+  let n = Array.length cfgs in
+  if n = 0 then invalid_arg "Fleet_env.create: no envs";
+  Array.iter
+    (fun (cfg : Agent_env.config) ->
+      if cfg.history <= 0 then invalid_arg "Fleet_env.create: history";
+      if cfg.duration_ms <= 0 then invalid_arg "Fleet_env.create: duration")
+    cfgs;
+  (* One batched decision tick serves every flow, so the decision
+     cadence, episode length and state shape must agree across flows. *)
+  let history = cfgs.(0).history in
+  let interval_ms = interval_of cfgs.(0) in
+  let duration_ms = cfgs.(0).duration_ms in
+  Array.iter
+    (fun (cfg : Agent_env.config) ->
+      if cfg.history <> history then
+        invalid_arg "Fleet_env.create: heterogeneous history";
+      if interval_of cfg <> interval_ms then
+        invalid_arg "Fleet_env.create: heterogeneous interval";
+      if cfg.duration_ms <> duration_ms then
+        invalid_arg "Fleet_env.create: heterogeneous duration")
+    cfgs;
+  let fleet =
+    Fleet.create
+      (Array.map
+         (fun (cfg : Agent_env.config) ->
+           {
+             Env.trace = cfg.trace;
+             min_rtt_ms = cfg.min_rtt_ms;
+             buffer_pkts = cfg.buffer_pkts;
+             mtu_bytes = Env.default_mtu;
+             initial_cwnd = 10.;
+             impairments = cfg.impairments;
+           })
+         cfgs)
+  in
+  let cubic = Array.init n (fun _ -> Canopy_cc.Cubic.create ()) in
+  let monitor =
+    Array.map
+      (fun (cfg : Agent_env.config) ->
+        Monitor.create ?delay_noise:cfg.delay_noise ~min_rtt_ms:cfg.min_rtt_ms
+          ())
+      cfgs
+  in
+  let handlers =
+    Array.init n (fun i ->
+        Env.chain
+          (Canopy_cc.Controller.handlers
+             (Canopy_cc.Cubic.to_controller cubic.(i)))
+          (Monitor.handlers monitor.(i)))
+  in
+  let after_tick i = Fleet.set_cwnd fleet ~flow:i (Canopy_cc.Cubic.cwnd cubic.(i)) in
+  {
+    cfgs;
+    n;
+    history;
+    interval_ms;
+    duration_ms;
+    state_dim = history * Observation.feature_count;
+    fleet;
+    cubic;
+    monitor;
+    reward =
+      Array.map
+        (fun (cfg : Agent_env.config) -> Reward.create ~config:cfg.reward ())
+        cfgs;
+    handlers;
+    after_tick;
+    hist = Array.make (n * history * Observation.feature_count) 0.;
+    hist_head = Array.make n 0;
+    thr_scale = Array.make n 0.;
+    prev_cwnd = Array.make n 10.;
+    finished = false;
+  }
+
+let flows t = t.n
+let history t = t.history
+let interval_ms t = t.interval_ms
+let state_dim t = t.state_dim
+let fleet t = t.fleet
+let finished t = t.finished
+let now_ms t = Fleet.now_ms t.fleet
+let thr_scale_mbps t ~flow = t.thr_scale.(flow)
+let prev_cwnd_enforced t ~flow = t.prev_cwnd.(flow)
+
+let fc = Observation.feature_count
+
+(* Oldest-first frame order, as [Agent_env.state]'s ring concatenation. *)
+let write_state_row t i dst off =
+  let hbase = i * t.history * fc in
+  let head = t.hist_head.(i) in
+  for f = 0 to t.history - 1 do
+    let src = hbase + ((head + f) mod t.history * fc) in
+    Array.blit t.hist src dst (off + (f * fc)) fc
+  done
+
+let state t ~flow =
+  let dst = Array.make t.state_dim 0. in
+  write_state_row t flow dst 0;
+  dst
+
+let write_states t ~dst =
+  if Mat.rows dst <> t.n || Mat.cols dst <> t.state_dim then
+    invalid_arg "Fleet_env.write_states: shape";
+  let raw = Mat.raw dst in
+  for i = 0 to t.n - 1 do
+    write_state_row t i raw (i * t.state_dim)
+  done
+
+type step_result = {
+  rewards : float array;
+  cwnd_tcp : float array;
+  cwnd_enforced : float array;
+  finished : bool;
+}
+
+let step (t : t) ~actions =
+  if t.finished then invalid_arg "Fleet_env.step: episode finished";
+  if Array.length actions <> t.n then invalid_arg "Fleet_env.step: actions";
+  let cwnd_tcp = Array.make t.n 0. in
+  let cwnd_enforced = Array.make t.n 0. in
+  for i = 0 to t.n - 1 do
+    let action = actions.(i) in
+    if Float.is_nan action || action < -1. || action > 1. then
+      invalid_arg "Fleet_env.step: action out of range";
+    let tcp = Canopy_cc.Cubic.cwnd t.cubic.(i) in
+    let enforced = Agent_env.cwnd_of_action ~action ~cwnd_tcp:tcp in
+    Canopy_cc.Cubic.force_cwnd t.cubic.(i) enforced;
+    Fleet.set_cwnd t.fleet ~flow:i enforced;
+    cwnd_tcp.(i) <- tcp;
+    cwnd_enforced.(i) <- enforced
+  done;
+  Fleet.run ~after_tick:t.after_tick t.fleet t.handlers ~ms:t.interval_ms;
+  let now = Fleet.now_ms t.fleet in
+  let rewards = Array.make t.n 0. in
+  for i = 0 to t.n - 1 do
+    let obs = Monitor.take t.monitor.(i) ~now_ms:now ~cwnd_pkts:cwnd_enforced.(i) in
+    t.thr_scale.(i) <- Float.max t.thr_scale.(i) obs.Observation.thr_mbps;
+    (* Overwrite the oldest frame in place and advance the ring head:
+       same frame sequence as [Agent_env]'s [Ring.push]. *)
+    let off = (i * t.history * fc) + (t.hist_head.(i) * fc) in
+    Observation.features_into ~thr_scale_mbps:t.thr_scale.(i) obs ~dst:t.hist
+      ~off;
+    t.hist_head.(i) <- (t.hist_head.(i) + 1) mod t.history;
+    rewards.(i) <- Reward.of_observation t.reward.(i) obs;
+    t.prev_cwnd.(i) <- cwnd_enforced.(i)
+  done;
+  if now >= t.duration_ms then t.finished <- true;
+  { rewards; cwnd_tcp; cwnd_enforced; finished = t.finished }

@@ -1,0 +1,56 @@
+(** Vectorized agent environment: N [Agent_env]-equivalent episodes over
+    one [Canopy_netsim.Fleet], with batched observation assembly.
+
+    Per flow the step sequence is exactly [Agent_env.step], so a fleet
+    of N single-flow links reproduces N scalar [Agent_env] trajectories
+    bit-for-bit. The value added is the layout: all flows' feature
+    histories live in one flat block, {!write_states} assembles the
+    whole fleet's states into one [flows × state_dim] matrix row block,
+    and {!step} takes the whole fleet's actions at once — the shape
+    [Mlp.forward_eval_into] needs to serve every flow with a single
+    GEMM per decision tick. *)
+
+type t
+
+val create : Agent_env.config array -> t
+(** One episode per config. All configs must agree on [history],
+    decision interval and [duration_ms] (the batched tick runs the
+    whole fleet on one cadence); traces, buffers, minRTTs, impairments
+    and reward configs may differ per flow. Raises [Invalid_argument]
+    on an empty array or heterogeneous cadence. *)
+
+val flows : t -> int
+val history : t -> int
+val interval_ms : t -> int
+
+val state_dim : t -> int
+(** [history × Observation.feature_count], per flow. *)
+
+val fleet : t -> Canopy_netsim.Fleet.t
+(** The underlying fleet, for per-flow link metrics. *)
+
+val finished : t -> bool
+val now_ms : t -> int
+val thr_scale_mbps : t -> flow:int -> float
+val prev_cwnd_enforced : t -> flow:int -> float
+
+val state : t -> flow:int -> float array
+(** Flow [flow]'s current state (oldest frame first), identical to
+    [Agent_env.state] at the same point of the episode. *)
+
+val write_states : t -> dst:Canopy_tensor.Mat.t -> unit
+(** Write every flow's state into row [i] of [dst]
+    ([flows × state_dim]), with no allocation. *)
+
+type step_result = {
+  rewards : float array;
+  cwnd_tcp : float array;  (** Cubic backbone window per flow, pre-override *)
+  cwnd_enforced : float array;  (** Eq. 1 window actually enforced *)
+  finished : bool;
+}
+
+val step : t -> actions:float array -> step_result
+(** Advance every flow by one decision interval under [actions.(i)] ∈
+    [[-1,1]]. Per flow this is exactly [Agent_env.step]. Raises
+    [Invalid_argument] on a finished episode, a wrong-length array or
+    an out-of-range action. *)

@@ -25,7 +25,12 @@ let normalized_delay o =
 
 let saturating x = x /. (x +. 1.)
 
-let to_features ~thr_scale_mbps o =
+(* Allocation-free frame encoding for batched observation assembly: the
+   fleet writes each flow's frame directly into its slice of the flat
+   history block. [to_features] is this over a fresh array. *)
+let features_into ~thr_scale_mbps o ~dst ~off =
+  if off < 0 || off + feature_count > Array.length dst then
+    invalid_arg "Observation.features_into: slice out of bounds";
   let clamp01 = Canopy_util.Mathx.clamp ~lo:0. ~hi:1. in
   let thr_norm =
     if thr_scale_mbps <= 0. then 0. else clamp01 (o.thr_mbps /. thr_scale_mbps)
@@ -40,15 +45,18 @@ let to_features ~thr_scale_mbps o =
     if o.srtt_ms <= 0. then 1. else clamp01 (o.min_rtt_ms /. o.srtt_ms)
   in
   let cwnd_norm = clamp01 (Canopy_util.Mathx.log2 (1. +. o.cwnd_pkts) /. 16.) in
-  [|
-    clamp01 (normalized_delay o);
-    thr_norm;
-    loss_frac;
-    n_norm;
-    m_norm;
-    srtt_norm;
-    cwnd_norm;
-  |]
+  dst.(off) <- clamp01 (normalized_delay o);
+  dst.(off + 1) <- thr_norm;
+  dst.(off + 2) <- loss_frac;
+  dst.(off + 3) <- n_norm;
+  dst.(off + 4) <- m_norm;
+  dst.(off + 5) <- srtt_norm;
+  dst.(off + 6) <- cwnd_norm
+
+let to_features ~thr_scale_mbps o =
+  let dst = Array.make feature_count 0. in
+  features_into ~thr_scale_mbps o ~dst ~off:0;
+  dst
 
 let zero_features = Array.make feature_count 0.
 

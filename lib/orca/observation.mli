@@ -40,6 +40,12 @@ val to_features : thr_scale_mbps:float -> t -> float array
     throughput (Orca's THR_max) used to scale the throughput feature. All
     features land in [\[0,1\]]. *)
 
+val features_into : thr_scale_mbps:float -> t -> dst:float array -> off:int -> unit
+(** {!to_features} written into [dst.(off .. off+feature_count-1)]
+    (identical values, no allocation) — the batched observation-assembly
+    path of the fleet's decision tick. Raises [Invalid_argument] when
+    the slice is out of bounds. *)
+
 val zero_features : float array
 (** All-zero frame used to pad the history before [k] intervals have
     elapsed. *)

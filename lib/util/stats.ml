@@ -43,6 +43,19 @@ let stddev xs =
     sqrt (acc /. float_of_int (n - 1))
   end
 
+(* Typed float folds throughout — no polymorphic compare, and the
+   ascending accumulation order is part of the contract: callers that
+   migrated their own fold here (e.g. [Canopy_netsim.Multiflow]) rely on
+   producing bit-identical indices. *)
+let jain_index xs =
+  let n = Array.length xs in
+  if n = 0 then 1.
+  else begin
+    let sum = Array.fold_left ( +. ) 0. xs in
+    let sumsq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if sumsq <= 0. then 1. else sum *. sum /. (float_of_int n *. sumsq)
+  end
+
 let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty sample";

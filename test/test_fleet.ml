@@ -1,0 +1,391 @@
+(* Tests for the vectorized fleet simulator and its serving stack:
+   bit-for-bit equivalence of [Fleet] with per-flow [Env] instances and
+   of [Fleet_env] with per-flow [Agent_env] episodes, determinism of the
+   pool-parallel advancement across domain counts, and the mixed
+   Canopy-vs-TCP coexistence harness. *)
+
+module Env = Canopy_netsim.Env
+module Fleet = Canopy_netsim.Fleet
+module Trace = Canopy_trace.Trace
+module Agent_env = Canopy_orca.Agent_env
+module Fleet_env = Canopy_orca.Fleet_env
+module Fleet_eval = Canopy.Fleet_eval
+module Eval = Canopy.Eval
+module Mlp = Canopy_nn.Mlp
+module Mat = Canopy_tensor.Mat
+module Pool = Canopy_util.Pool
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let bits a = Array.map Int64.bits_of_float a
+let clamp = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
+
+(* Same helper as test_pool: a fresh default pool of [d] domains for the
+   duration of [f], previous default restored afterwards. *)
+let with_default_pool d f =
+  let saved = Pool.default () in
+  let pool = Pool.create ~domains:d () in
+  Pool.set_default pool;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_default saved;
+      Pool.shutdown pool)
+    (fun () -> f ())
+
+let impaired = { Env.random_loss = 0.02; ack_jitter_ms = 3; seed = 11 }
+
+let link_cfg ?(impair = Env.no_impairments) ?(min_rtt = 40) ~duration_ms i =
+  let mbps = 12. +. (6. *. float_of_int (i mod 5)) in
+  {
+    Env.trace =
+      Trace.constant
+        ~name:(Printf.sprintf "t%d" (i mod 5))
+        ~duration_ms ~mbps;
+    min_rtt_ms = min_rtt;
+    buffer_pkts = 120;
+    mtu_bytes = Env.default_mtu;
+    initial_cwnd = 10.;
+    impairments = impair;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fleet vs per-flow Env, bit for bit *)
+
+(* Drive N scalar [Env]s and one N-flow [Fleet] through the same cwnd
+   schedule, recording every ack and loss event, and require identical
+   event streams and identical (to the bit) counters. One flow carries
+   random loss + ACK jitter so the per-flow PRNG and the jittered
+   return-path resort are part of the comparison. *)
+let test_fleet_matches_env () =
+  let n = 5 in
+  let duration = 400 in
+  let cfgs =
+    Array.init n (fun i ->
+        link_cfg
+          ~impair:(if i = 3 then impaired else Env.no_impairments)
+          ~min_rtt:(if i = 1 then 30 else 40)
+          ~duration_ms:duration i)
+  in
+  (* Events per flow, as (now, seq, rtt, delivered) / loss-time lists. *)
+  let record () =
+    let acks = Array.make n [] and losses = Array.make n [] in
+    let handlers =
+      Array.init n (fun i ->
+          {
+            Env.on_ack =
+              (fun (a : Env.ack) ->
+                acks.(i) <-
+                  (a.Env.now_ms, a.Env.seq, a.Env.rtt_ms, a.Env.delivered)
+                  :: acks.(i));
+            on_loss = (fun ~now_ms -> losses.(i) <- now_ms :: losses.(i));
+          })
+    in
+    (acks, losses, handlers)
+  in
+  let schedule i seg = 4. +. float_of_int (((i * 7) + (seg * 13)) mod 40) in
+  (* Scalar reference. *)
+  let envs = Array.map Env.create cfgs in
+  let e_acks, e_losses, e_handlers = record () in
+  for seg = 0 to 7 do
+    Array.iteri (fun i env -> Env.set_cwnd env (schedule i seg)) envs;
+    Array.iteri (fun i env -> Env.run env e_handlers.(i) ~ms:50) envs
+  done;
+  (* Fleet under the same schedule. *)
+  let fleet = Fleet.create cfgs in
+  let f_acks, f_losses, f_handlers = record () in
+  for seg = 0 to 7 do
+    for i = 0 to n - 1 do
+      Fleet.set_cwnd fleet ~flow:i (schedule i seg)
+    done;
+    Fleet.run fleet f_handlers ~ms:50
+  done;
+  check_int "now" (Env.now_ms envs.(0)) (Fleet.now_ms fleet);
+  for i = 0 to n - 1 do
+    let tag fmt = Printf.sprintf ("flow %d: " ^^ fmt) i in
+    check_bool (tag "ack stream") true (e_acks.(i) = f_acks.(i));
+    check_bool (tag "loss stream") true (e_losses.(i) = f_losses.(i));
+    let s = Env.stats envs.(i) in
+    check_int (tag "sent") s.Env.sent (Fleet.sent fleet ~flow:i);
+    check_int (tag "delivered") s.Env.delivered (Fleet.delivered fleet ~flow:i);
+    check_int (tag "dropped") s.Env.dropped (Fleet.dropped fleet ~flow:i);
+    check_bool (tag "capacity bits") true
+      (Int64.bits_of_float s.Env.capacity_pkts
+      = Int64.bits_of_float (Fleet.capacity_pkts fleet ~flow:i));
+    check_bool (tag "cwnd bits") true
+      (Int64.bits_of_float (Env.cwnd envs.(i))
+      = Int64.bits_of_float (Fleet.cwnd fleet ~flow:i));
+    check_int (tag "inflight") (Env.inflight envs.(i))
+      (Fleet.inflight fleet ~flow:i);
+    check_int (tag "queue") (Env.queue_len envs.(i))
+      (Fleet.queue_len fleet ~flow:i);
+    check_bool (tag "utilization bits") true
+      (Int64.bits_of_float (Env.utilization envs.(i))
+      = Int64.bits_of_float (Fleet.utilization fleet ~flow:i));
+    check_bool (tag "loss rate bits") true
+      (Int64.bits_of_float (Env.loss_rate envs.(i))
+      = Int64.bits_of_float (Fleet.loss_rate fleet ~flow:i));
+    check_bool (tag "avg qdelay bits") true
+      (Int64.bits_of_float (Env.avg_qdelay_ms envs.(i))
+      = Int64.bits_of_float (Fleet.avg_qdelay_ms fleet ~flow:i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fleet_env vs per-flow Agent_env, bit for bit *)
+
+let agent_cfg ?(impair = Env.no_impairments) ~duration_ms i =
+  let mbps = 16. +. (8. *. float_of_int (i mod 3)) in
+  let trace =
+    Trace.constant ~name:(Printf.sprintf "a%d" (i mod 3)) ~duration_ms ~mbps
+  in
+  {
+    (Agent_env.default_config ~trace ~min_rtt_ms:40 ~buffer_pkts:120
+       ~duration_ms)
+    with
+    Agent_env.interval_ms = Some 40;
+    impairments = impair;
+  }
+
+let test_fleet_env_matches_agent_env () =
+  let n = 4 in
+  let cfgs =
+    Array.init n (fun i ->
+        agent_cfg
+          ~impair:(if i = 2 then impaired else Env.no_impairments)
+          ~duration_ms:600 i)
+  in
+  let actor =
+    Mlp.actor
+      ~rng:(Canopy_util.Prng.create 5)
+      ~in_dim:(Agent_env.state_dim cfgs.(0))
+      ~hidden:16 ~out_dim:1
+  in
+  let fenv = Fleet_env.create cfgs in
+  let envs = Array.map Agent_env.create cfgs in
+  let x = Mat.create ~rows:n ~cols:(Fleet_env.state_dim fenv) in
+  let y = Mat.create_uninit ~rows:n ~cols:1 in
+  let actions = Array.make n 0. in
+  let step = ref 0 in
+  let fin = ref false in
+  while not !fin do
+    Fleet_env.write_states fenv ~dst:x;
+    for i = 0 to n - 1 do
+      check_bool
+        (Printf.sprintf "step %d flow %d: state bits" !step i)
+        true
+        (bits (Mat.row x i) = bits (Agent_env.state envs.(i)))
+    done;
+    Mlp.forward_eval_into ~dst:y actor x;
+    for i = 0 to n - 1 do
+      actions.(i) <- clamp (Mat.raw y).(i)
+    done;
+    let fr = Fleet_env.step fenv ~actions in
+    let srs =
+      Array.mapi (fun i env -> Agent_env.step env ~action:actions.(i)) envs
+    in
+    let tag what = Printf.sprintf "step %d: %s bits" !step what in
+    check_bool (tag "reward") true
+      (bits fr.Fleet_env.rewards
+      = bits (Array.map (fun (r : Agent_env.step_result) -> r.raw_reward) srs));
+    check_bool (tag "cwnd_tcp") true
+      (bits fr.Fleet_env.cwnd_tcp
+      = bits (Array.map (fun (r : Agent_env.step_result) -> r.cwnd_tcp) srs));
+    check_bool (tag "cwnd_enforced") true
+      (bits fr.Fleet_env.cwnd_enforced
+      = bits
+          (Array.map
+             (fun (r : Agent_env.step_result) -> r.cwnd_enforced)
+             srs));
+    check_bool "finished agrees" true
+      (fr.Fleet_env.finished = srs.(n - 1).Agent_env.finished);
+    fin := fr.Fleet_env.finished;
+    incr step
+  done;
+  check_int "decision steps" (600 / 40) !step
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across domain counts *)
+
+(* 64 flows at a 300 ms interval put every advancement call at
+   64 × 300 = 19 200 flow·ms — above the fleet's parallel threshold —
+   so the 2- and 4-domain runs really execute on pool chunks. The full
+   served episode (actions, rewards, windows) must be bit-identical to
+   the 1-domain run; impaired flows keep the per-flow PRNGs in play. *)
+let fleet_episode_bits cfgs actor =
+  let acc = ref [] in
+  let r =
+    Fleet_eval.run ~actor
+      ~on_tick:(fun ~tick:_ ~actions ~result ->
+        acc := bits result.Fleet_env.cwnd_enforced :: bits actions :: !acc)
+      cfgs
+  in
+  (List.rev !acc, bits (Array.map (fun (f : Fleet_eval.flow_result) -> f.throughput_mbps) r.Fleet_eval.per_flow))
+
+let test_fleet_domains_bit_identical () =
+  let cfgs =
+    Array.init 64 (fun i ->
+        {
+          (agent_cfg
+             ~impair:
+               (if i mod 9 = 0 then
+                  { Env.random_loss = 0.005; ack_jitter_ms = 1; seed = 50 + i }
+                else Env.no_impairments)
+             ~duration_ms:900 i)
+          with
+          Agent_env.interval_ms = Some 300;
+        })
+  in
+  let actor =
+    Mlp.actor
+      ~rng:(Canopy_util.Prng.create 9)
+      ~in_dim:(Agent_env.state_dim cfgs.(0))
+      ~hidden:16 ~out_dim:1
+  in
+  let reference =
+    with_default_pool 1 (fun () -> fleet_episode_bits cfgs actor)
+  in
+  List.iter
+    (fun d ->
+      let got = with_default_pool d (fun () -> fleet_episode_bits cfgs actor) in
+      check_bool
+        (Printf.sprintf "%d domains == sequential" d)
+        true (got = reference))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Batched serving loop *)
+
+let test_fleet_eval_run () =
+  let cfgs = Array.init 8 (fun i -> agent_cfg ~duration_ms:400 i) in
+  let actor =
+    Mlp.actor
+      ~rng:(Canopy_util.Prng.create 2)
+      ~in_dim:(Agent_env.state_dim cfgs.(0))
+      ~hidden:16 ~out_dim:1
+  in
+  let r = Fleet_eval.run ~actor cfgs in
+  check_int "flows" 8 r.Fleet_eval.flows;
+  check_int "duration" 400 r.Fleet_eval.duration_ms;
+  check_int "ticks" (400 / 40) r.Fleet_eval.decision_ticks;
+  check_int "per-flow rows" 8 (Array.length r.Fleet_eval.per_flow);
+  check_bool "jain in (0,1]" true
+    (r.Fleet_eval.jain > 0. && r.Fleet_eval.jain <= 1.0000001);
+  Array.iter
+    (fun (f : Fleet_eval.flow_result) ->
+      check_bool "throughput finite" true (Float.is_finite f.throughput_mbps);
+      check_bool "qdelay finite" true (Float.is_finite f.avg_qdelay_ms);
+      check_bool "reward finite" true (Float.is_finite f.avg_reward))
+    r.Fleet_eval.per_flow
+
+let test_fleet_env_validation () =
+  check_bool "empty rejected" true
+    (match Fleet_env.create [||] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let a = agent_cfg ~duration_ms:400 0 in
+  let b = { a with Agent_env.interval_ms = Some 20 } in
+  check_bool "mixed cadence rejected" true
+    (match Fleet_env.create [| a; b |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let env = Fleet_env.create [| a; a |] in
+  check_bool "wrong action count rejected" true
+    (match Fleet_env.step env ~actions:[| 0. |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "out-of-range action rejected" true
+    (match Fleet_env.step env ~actions:[| 0.; 1.5 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Coexistence *)
+
+let coexist_link duration_ms =
+  Eval.link ~min_rtt_ms:40 ~bdp:2. ~duration_ms
+    (Trace.constant ~name:"const48" ~duration_ms ~mbps:48.)
+
+let test_coexist_cubic_pair_fair () =
+  let r =
+    Eval.eval_coexist
+      ~flows:
+        [
+          Eval.Coexist_tcp ("cubic", Eval.cubic_scheme);
+          Eval.Coexist_tcp ("cubic", Eval.cubic_scheme);
+        ]
+      (coexist_link 4_000)
+  in
+  check_int "two flows" 2 (Array.length r.Eval.flows);
+  (* Two identical Cubics on one droptail queue: near-perfect fairness. *)
+  check_bool "jain high" true (r.Eval.jain > 0.9);
+  check_bool "utilization sane" true
+    (r.Eval.utilization > 0.3 && r.Eval.utilization <= 1.0000001)
+
+let test_coexist_canopy_vs_tcp_runs () =
+  let actor =
+    Mlp.actor
+      ~rng:(Canopy_util.Prng.create 1)
+      ~in_dim:(5 * Canopy_orca.Observation.feature_count)
+      ~hidden:16 ~out_dim:1
+  in
+  List.iter
+    (fun (name, make) ->
+      let r =
+        Eval.eval_coexist
+          ~flows:[ Eval.Coexist_canopy actor; Eval.Coexist_tcp (name, make) ]
+          (coexist_link 3_000)
+      in
+      check_int (name ^ ": two flows") 2 (Array.length r.Eval.flows);
+      check_bool (name ^ ": jain in (0,1]") true
+        (r.Eval.jain > 0. && r.Eval.jain <= 1.0000001);
+      let shares =
+        Array.fold_left
+          (fun acc (f : Eval.coexist_flow) -> acc +. f.share)
+          0. r.Eval.flows
+      in
+      check_bool (name ^ ": shares sum to 1") true
+        (Float.abs (shares -. 1.) < 1e-9);
+      Array.iter
+        (fun (f : Eval.coexist_flow) ->
+          check_bool
+            (name ^ ": " ^ f.Eval.scheme ^ " throughput finite")
+            true
+            (Float.is_finite f.throughput_mbps && f.throughput_mbps >= 0.))
+        r.Eval.flows)
+    [ ("cubic", Eval.cubic_scheme); ("bbr", Eval.bbr_scheme) ]
+
+(* Determinism of the coexistence harness itself: same spec, same
+   trajectory, and flow order does not change totals. *)
+let test_coexist_deterministic () =
+  let run () =
+    let r =
+      Eval.eval_coexist
+        ~flows:
+          [
+            Eval.Coexist_tcp ("cubic", Eval.cubic_scheme);
+            Eval.Coexist_tcp ("vegas", Eval.vegas_scheme);
+          ]
+        (coexist_link 2_000)
+    in
+    ( bits
+        (Array.map (fun (f : Eval.coexist_flow) -> f.throughput_mbps) r.Eval.flows),
+      Int64.bits_of_float r.Eval.jain )
+  in
+  check_bool "repeat run identical" true (run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "fleet == per-flow Env (bits)" `Quick
+      test_fleet_matches_env;
+    Alcotest.test_case "fleet_env == per-flow Agent_env (bits)" `Quick
+      test_fleet_env_matches_agent_env;
+    Alcotest.test_case "fleet domains 2,4 == sequential" `Quick
+      test_fleet_domains_bit_identical;
+    Alcotest.test_case "fleet_eval serve result" `Quick test_fleet_eval_run;
+    Alcotest.test_case "fleet_env validation" `Quick test_fleet_env_validation;
+    Alcotest.test_case "coexist: cubic pair fair" `Quick
+      test_coexist_cubic_pair_fair;
+    Alcotest.test_case "coexist: canopy vs cubic/bbr" `Quick
+      test_coexist_canopy_vs_tcp_runs;
+    Alcotest.test_case "coexist: deterministic" `Quick
+      test_coexist_deterministic;
+  ]

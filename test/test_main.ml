@@ -10,6 +10,7 @@ let () =
       ("trace", Test_trace.suite);
       ("netsim", Test_netsim.suite);
       ("multiflow", Test_multiflow.suite);
+      ("fleet", Test_fleet.suite);
       ("cc", Test_cc.suite);
       ("rl", Test_rl.suite);
       ("orca", Test_orca.suite);

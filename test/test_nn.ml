@@ -274,6 +274,94 @@ let test_forward_batch_matches_forward1 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Batched eval inference (fleet serving path) *)
+
+(* [forward_eval_into] is the one-GEMM-per-tick serving primitive: its
+   claim is not closeness but bit-identity per row with [Mlp.forward],
+   which is what the fleet-vs-scalar equivalence proofs lean on. The
+   nets below get a few training steps first so batch-norm running
+   stats are non-trivial before the eval path folds them in. *)
+
+let eval_net () =
+  let net = Mlp.actor ~rng:(rng ()) ~in_dim:6 ~hidden:16 ~out_dim:2 in
+  let warm =
+    Mat.of_rows
+      (Array.init 8 (fun i ->
+           Array.init 6 (fun j -> Float.cos (float_of_int ((i * 7) + j)))))
+  in
+  for _ = 1 to 3 do
+    ignore (Mlp.forward_train net warm)
+  done;
+  net
+
+let bits a = Array.map Int64.bits_of_float a
+
+let test_forward_eval_into_matches_forward () =
+  let net = eval_net () in
+  (* 17 rows trips the >=12-row packed-panel GEMM, so the batched path
+     under test is the one the fleet actually runs, not a fallback. *)
+  let rows =
+    Array.init 17 (fun i ->
+        Array.init 6 (fun j -> Float.sin (float_of_int ((i * 11) + j))))
+  in
+  let dst = Mat.create_uninit ~rows:17 ~cols:2 in
+  Mlp.forward_eval_into ~dst net (Mat.of_rows rows);
+  Array.iteri
+    (fun i x ->
+      check_bool
+        (Printf.sprintf "row %d bit-identical to Mlp.forward" i)
+        true
+        (bits (Mat.row dst i) = bits (Mlp.forward net x)))
+    rows
+
+let test_forward_eval_into_warm_equals_cold () =
+  let net = eval_net () in
+  let x =
+    Mat.of_rows
+      (Array.init 13 (fun i ->
+           Array.init 6 (fun j -> Float.sin (float_of_int ((i * 5) + j)))))
+  in
+  let run () =
+    let dst = Mat.create ~rows:13 ~cols:2 in
+    (* Poison dst: the into-path must overwrite every cell. *)
+    Array.fill (Mat.raw dst) 0 (13 * 2) Float.nan;
+    Mlp.forward_eval_into ~dst net x;
+    bits (Mat.raw dst)
+  in
+  let cold = run () in
+  (* Steady state: scratch slots are warm now; results must not move. *)
+  check_bool "warm == cold" true (run () = cold);
+  check_bool "third call stable" true (run () = cold)
+
+let test_forward_eval_wrapper_matches_into () =
+  let net = eval_net () in
+  let x =
+    Mat.of_rows
+      (Array.init 5 (fun i ->
+           Array.init 6 (fun j -> Float.cos (float_of_int ((i * 3) + j)))))
+  in
+  let dst = Mat.create_uninit ~rows:5 ~cols:2 in
+  Mlp.forward_eval_into ~dst net x;
+  check_bool "forward_eval == forward_eval_into" true
+    (bits (Mat.raw (Mlp.forward_eval net x)) = bits (Mat.raw dst))
+
+let test_forward_eval_into_shape_checks () =
+  let net = eval_net () in
+  let x = Mat.create ~rows:3 ~cols:6 in
+  check_bool "bad dst cols rejected" true
+    (match
+       Mlp.forward_eval_into ~dst:(Mat.create ~rows:3 ~cols:3) net x
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "bad dst rows rejected" true
+    (match
+       Mlp.forward_eval_into ~dst:(Mat.create ~rows:2 ~cols:2) net x
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Mlp structure *)
 
 let test_mlp_actor_shape () =
@@ -602,6 +690,18 @@ let suite =
     ("batched = rows: critic", `Quick, test_batched_matches_rows_critic);
     ("batched = rows: relu+bn stack", `Quick, test_batched_matches_rows_relu_stack);
     ("forward_batch = forward1", `Quick, test_forward_batch_matches_forward1);
+    ( "forward_eval_into = forward (bits)",
+      `Quick,
+      test_forward_eval_into_matches_forward );
+    ( "forward_eval_into warm = cold",
+      `Quick,
+      test_forward_eval_into_warm_equals_cold );
+    ( "forward_eval wrapper = into",
+      `Quick,
+      test_forward_eval_wrapper_matches_into );
+    ( "forward_eval_into shape checks",
+      `Quick,
+      test_forward_eval_into_shape_checks );
     ("mlp actor shape", `Quick, test_mlp_actor_shape);
     ("mlp critic shape", `Quick, test_mlp_critic_shape);
     ("mlp bad shape rejected", `Quick, test_mlp_bad_shape_rejected);

@@ -346,6 +346,7 @@ let test_scratch_arenas_blessed () =
       ("lib/tensor/mat.ml", "scratch_key");
       ("lib/absint/anet.ml", "scratch_key");
       ("lib/nn/mlp.ml", "eval_scratch_key");
+      ("lib/nn/mlp.ml", "batch_scratch_key");
     ]
   in
   List.iter
@@ -379,6 +380,34 @@ let test_scratch_arenas_blessed () =
       check_bool ("no baseline waiver mentions " ^ name) false
         (contains baseline name))
     arenas
+
+(* The fleet's pool-parallel advancement must stay clean by
+   construction: every mutable cell it touches is flow-indexed state
+   reached through the chunked [lo, hi) range, so the racecheck pass
+   should find nothing to baseline. An entry naming fleet.ml under the
+   race rule would mean someone waived a real shared-mutable finding
+   instead of fixing the layout. *)
+let test_fleet_parallel_unbaselined () =
+  let root = repo_root () in
+  let entries =
+    Suppress.load_entries (Filename.concat root "lint.baseline")
+  in
+  let offending =
+    List.filter
+      (fun (e : Suppress.entry) ->
+        e.Suppress.e_rule = Racecheck.rule_name
+        &&
+        let hay = e.Suppress.e_rest in
+        let needle = "lib/netsim/fleet.ml" in
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0)
+      entries
+  in
+  check_int "no racecheck baseline entry for fleet.ml" 0
+    (List.length offending)
 
 let suite =
   [
@@ -416,6 +445,8 @@ let suite =
       test_race_seeded_fixture_pair;
     Alcotest.test_case "racecheck: scratch arenas blessed as DLS" `Quick
       test_scratch_arenas_blessed;
+    Alcotest.test_case "racecheck: fleet parallel region unbaselined" `Quick
+      test_fleet_parallel_unbaselined;
     Alcotest.test_case "e2e: committed baseline exact" `Quick
       test_e2e_baseline_exact;
   ]

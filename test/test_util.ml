@@ -198,6 +198,21 @@ let test_summarize () =
 
 let test_stats_mean_empty () = check_float "mean empty" 0. (Stats.mean [||])
 
+(* Jain's index: exact at the two analytic anchors (both computable
+   without rounding), and degenerate inputs defined as perfectly fair. *)
+let test_jain_equal_share () =
+  check_float "equal allocations" 1. (Stats.jain_index [| 3.; 3.; 3.; 3. |]);
+  check_float "singleton" 1. (Stats.jain_index [| 42. |])
+
+let test_jain_single_hog () =
+  (* One flow gets everything: J = 1/n, exactly representable for n=4. *)
+  check_float "1/n for a single hog" 0.25
+    (Stats.jain_index [| 8.; 0.; 0.; 0. |])
+
+let test_jain_degenerate () =
+  check_float "empty is fair" 1. (Stats.jain_index [||]);
+  check_float "all-zero is fair" 1. (Stats.jain_index [| 0.; 0.; 0. |])
+
 (* ------------------------------------------------------------------ *)
 (* Ring *)
 
@@ -497,6 +512,9 @@ let suite =
     ("percentile empty raises", `Quick, test_percentile_empty_raises);
     ("summarize", `Quick, test_summarize);
     ("mean of empty", `Quick, test_stats_mean_empty);
+    ("jain equal share", `Quick, test_jain_equal_share);
+    ("jain single hog", `Quick, test_jain_single_hog);
+    ("jain degenerate", `Quick, test_jain_degenerate);
     ("ring basic", `Quick, test_ring_basic);
     ("ring eviction", `Quick, test_ring_eviction);
     ("ring clear", `Quick, test_ring_clear);
