@@ -124,11 +124,33 @@ let csv_write name ~columns rows =
 
 (* Machine-readable perf records ([BENCH_*.json]) are assembled in a
    buffer and land via the stage+rename path, so a bench interrupted
-   mid-write can never leave a torn perf-history file at the repo root. *)
+   mid-write can never leave a torn perf-history file at the repo root.
+   Every repo-root BENCH_* snapshot additionally lands as a timestamped
+   copy under [_artifacts/bench_history/], so successive runs build a
+   local perf history instead of overwriting each other (smoke runs
+   write to temp paths and are excluded). *)
 let json_write path emit =
   let buf = Buffer.create 4096 in
   emit buf;
-  Canopy_util.Atomic_file.write path (Buffer.contents buf)
+  let contents = Buffer.contents buf in
+  Canopy_util.Atomic_file.write path contents;
+  let base = Filename.basename path in
+  if Filename.dirname path = "." && String.length base > 6
+     && String.sub base 0 6 = "BENCH_"
+  then begin
+    let dir = Filename.concat artifacts_dir "bench_history" in
+    Canopy_util.Atomic_file.mkdir_p dir;
+    let tm = Unix.localtime (Unix.gettimeofday ()) in
+    let stamp =
+      Printf.sprintf "%04d%02d%02dT%02d%02d%02d" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+        tm.Unix.tm_sec
+    in
+    let stem = Filename.remove_extension base in
+    Canopy_util.Atomic_file.write
+      (Filename.concat dir (Printf.sprintf "%s-%s.json" stem stamp))
+      contents
+  end
 
 (* Per-case FCC/FCS from collected step certificates. *)
 let percase_stats steps case =
@@ -1653,13 +1675,20 @@ let fleet_bench () =
     done;
     List.rev !bits
   in
-  (* 6 flows, one with wireless-style impairments so the per-flow PRNG
-     stream and the jittered-return-path resort are in the comparison. *)
+  (* 6 flows, one with wireless-style impairments (loss + jitter +
+     reordering) so the per-flow PRNG stream, the jittered-return-path
+     resort and the reorder hold-back are all in the comparison. *)
   let probe_cfgs =
     Array.init 6 (fun i ->
         let impair =
           if i = 4 then
-            { Canopy_netsim.Env.random_loss = 0.01; ack_jitter_ms = 2; seed = 7 }
+            {
+              Canopy_netsim.Env.random_loss = 0.01;
+              ack_jitter_ms = 2;
+              reorder_prob = 0.05;
+              reorder_ms = 6;
+              seed = 7;
+            }
           else Canopy_netsim.Env.no_impairments
         in
         mk_cfg ~impair ~duration_ms:800 i)
@@ -1677,6 +1706,8 @@ let fleet_bench () =
             {
               Canopy_netsim.Env.random_loss = 0.005;
               ack_jitter_ms = 1;
+              reorder_prob = 0.02;
+              reorder_ms = 4;
               seed = 100 + i;
             }
           else Canopy_netsim.Env.no_impairments

@@ -10,7 +10,12 @@
                  transformers backing every certificate.
    - netcheck:   static shape/finiteness validation of checkpoints.
    - faultcheck: fault-injection audit of the crash-safe training
-                 runtime (kill/resume, corruption, NaN recovery). *)
+                 runtime (kill/resume, corruption, NaN recovery).
+   - scenariocheck: adversarial worst-case scenario search — compares
+                 the searched worst case against the fixed 22-trace
+                 suite's worst member, archives it to the scenario
+                 corpus, and regression-checks the policy against the
+                 archived corpus. *)
 
 open Cmdliner
 module A = Canopy_analysis
@@ -307,14 +312,201 @@ let faultcheck_cmd =
        ~doc:"fault-injection audit of the crash-safe training runtime")
     Term.(const run_faultcheck $ fc_trials $ fc_seed $ fc_smoke)
 
+(* --- scenariocheck ---------------------------------------------------- *)
+
+module Scn_space = Canopy_scenario.Space
+module Scn_search = Canopy_scenario.Search
+module Scn_corpus = Canopy_scenario.Corpus
+
+(* A sandbox-local staging directory for smoke runs, so `dune runtest`
+   never mutates the real corpus. *)
+let fresh_tmp_dir () =
+  let stem = Filename.temp_file "canopy-scn" "" in
+  Sys.remove stem;
+  Canopy_util.Atomic_file.mkdir_p stem;
+  stem
+
+let run_scenariocheck checkpoint objective dir seed duration_ms candidates
+    rounds batch smoke =
+  let objective = Scn_search.objective_of_name objective in
+  let cfg =
+    if smoke then Scn_search.smoke_config ~seed ()
+    else
+      {
+        (Scn_search.default_config ~seed ()) with
+        Scn_search.duration_ms;
+        random_candidates = candidates;
+        cem_rounds = rounds;
+        cem_batch = batch;
+      }
+  in
+  let history = cfg.Scn_search.history in
+  let actor =
+    match checkpoint with
+    | Some path -> Canopy.Trainer.load_actor path
+    | None ->
+        Format.printf
+          "note: no --checkpoint given; searching against an UNTRAINED \
+           seed-1 actor@.";
+        Canopy_nn.Mlp.actor
+          ~rng:(Canopy_util.Prng.create 1)
+          ~in_dim:(history * Canopy_orca.Observation.feature_count)
+          ~hidden:(if smoke then 8 else 32)
+          ~out_dim:1
+  in
+  let dir =
+    match dir with
+    | Some d -> d
+    | None -> if smoke then fresh_tmp_dir () else "_artifacts/scenarios"
+  in
+  (* Regression pass first: re-score the archived corpus with this
+     policy, so hardening progress (or regressions) is visible before
+     the new search runs. *)
+  let corpus = Scn_corpus.load_dir dir in
+  if corpus <> [] then begin
+    Format.printf "-- corpus regression (%d archived scenario(s)) --@."
+      (List.length corpus);
+    List.iter
+      (fun (r : Scn_corpus.record) ->
+        let obj = Scn_search.objective_of_name r.objective in
+        let score =
+          Scn_search.score_compiled
+            ~refute_rng:(Canopy_util.Prng.create r.scn_seed)
+            ~actor ~history ~duration_ms:cfg.Scn_search.duration_ms obj
+            (Scn_corpus.compiled ~duration_ms:cfg.Scn_search.duration_ms r)
+        in
+        Format.printf "  %-28s archived=%+.4f now=%+.4f@." r.rec_name r.score
+          score)
+      corpus
+  end;
+  let suite_name, suite_score =
+    Scn_search.suite_worst ~duration_ms:cfg.Scn_search.duration_ms ~history
+      ~actor objective
+  in
+  let result = Scn_search.search cfg ~actor objective in
+  let worst = result.Scn_search.worst in
+  Format.printf
+    "scenariocheck: objective=%s seed=%d evaluated=%d@.  suite worst:    \
+     %-22s score=%+.4f@.  searched worst: scn_seed=%-12d score=%+.4f@.  \
+     round best: %s@.  worst params: %a@."
+    (Scn_search.objective_name objective)
+    cfg.Scn_search.seed result.Scn_search.evaluated suite_name suite_score
+    worst.Scn_search.scn_seed worst.Scn_search.score
+    (String.concat " "
+       (List.map (Printf.sprintf "%+.4f") result.Scn_search.round_best))
+    Scn_space.pp_params worst.Scn_search.params;
+  (* Archive the worst case and prove it replays: save, reload, and
+     re-score both the in-memory and the reloaded record through the
+     same scorer — any bit divergence in the vector round-trip or the
+     compile path shows up as a score mismatch. *)
+  let record = Scn_corpus.of_search ~search_seed:cfg.Scn_search.seed objective worst in
+  let path =
+    Scn_corpus.save ~dir ~duration_ms:cfg.Scn_search.duration_ms record
+  in
+  Format.printf "  archived: %s@." path;
+  let rescore (r : Scn_corpus.record) =
+    Scn_search.score_compiled
+      ~refute_rng:(Canopy_util.Prng.create r.scn_seed)
+      ~actor ~history ~duration_ms:cfg.Scn_search.duration_ms objective
+      (Scn_corpus.compiled ~duration_ms:cfg.Scn_search.duration_ms r)
+  in
+  let direct = rescore record in
+  let replayed = rescore (Scn_corpus.load_file path) in
+  let replay_ok =
+    Int64.bits_of_float direct = Int64.bits_of_float replayed
+  in
+  if not replay_ok then
+    Format.printf
+      "scenariocheck: REPLAY MISMATCH — archived record re-scores to %h, \
+       in-memory to %h@."
+      replayed direct;
+  let gap = suite_score -. worst.Scn_search.score in
+  Format.printf "  gap (suite worst − searched worst): %+.4f@." gap;
+  let beats_suite = Float.compare worst.Scn_search.score suite_score < 0 in
+  if not beats_suite then
+    Format.printf
+      "scenariocheck: searched worst case does NOT beat the fixed suite's \
+       worst member@.";
+  (* Machine-readable report next to the corpus (atomic). *)
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf
+    "{\n  \"objective\": %S,\n  \"seed\": %d,\n  \"evaluated\": %d,\n  \
+     \"suite_worst_trace\": %S,\n  \"suite_worst_score\": %.6f,\n  \
+     \"searched_worst_score\": %.6f,\n  \"searched_worst_record\": %S,\n  \
+     \"gap\": %.6f\n}\n"
+    (Scn_search.objective_name objective)
+    cfg.Scn_search.seed result.Scn_search.evaluated suite_name suite_score
+    worst.Scn_search.score record.Scn_corpus.rec_name gap;
+  Canopy_util.Atomic_file.write
+    (Filename.concat dir "REPORT.json")
+    (Buffer.contents buf);
+  if replay_ok && beats_suite then 0 else 1
+
+let scn_checkpoint =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ]
+           ~doc:"Actor checkpoint to search against; an untrained seed-1 \
+                 actor stands in when absent.")
+
+let scn_objective =
+  Arg.(value & opt string "utility"
+       & info [ "objective" ]
+           ~doc:"Objective to minimize: utility | p95 | violation | jain.")
+
+let scn_dir =
+  Arg.(value & opt (some string) None
+       & info [ "dir" ]
+           ~doc:"Scenario corpus directory (default _artifacts/scenarios; a \
+                 fresh temporary directory under --smoke).")
+
+let scn_seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Search master seed.")
+
+let scn_duration =
+  Arg.(value & opt int 8_000
+       & info [ "duration-ms" ] ~doc:"Candidate episode length.")
+
+let scn_candidates =
+  Arg.(value & opt int 24
+       & info [ "candidates" ] ~doc:"Random-exploration evaluations.")
+
+let scn_rounds =
+  Arg.(value & opt int 3 & info [ "rounds" ] ~doc:"CEM refinement rounds.")
+
+let scn_batch =
+  Arg.(value & opt int 16
+       & info [ "batch" ] ~doc:"Evaluations per refinement round.")
+
+let scn_smoke =
+  Arg.(value & flag
+       & info [ "smoke" ]
+           ~doc:"Quick mode for CI: tiny search budget, 2 s episodes, \
+                 temporary corpus directory.")
+
+let scenariocheck_cmd =
+  Cmd.v
+    (Cmd.info "scenariocheck"
+       ~doc:"adversarial worst-case scenario search and corpus regression")
+    Term.(
+      const run_scenariocheck $ scn_checkpoint $ scn_objective $ scn_dir
+      $ scn_seed $ scn_duration $ scn_candidates $ scn_rounds $ scn_batch
+      $ scn_smoke)
+
 (* ---------------------------------------------------------------------- *)
 
 let cmd =
   let doc =
     "correctness tooling: lint, racecheck, verifier soundness audit, \
-     netcheck, faultcheck"
+     netcheck, faultcheck, scenariocheck"
   in
   Cmd.group (Cmd.info "canopy-check" ~doc)
-    [ lint_cmd; racecheck_cmd; audit_cmd; netcheck_cmd; faultcheck_cmd ]
+    [
+      lint_cmd;
+      racecheck_cmd;
+      audit_cmd;
+      netcheck_cmd;
+      faultcheck_cmd;
+      scenariocheck_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

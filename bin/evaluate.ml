@@ -67,7 +67,7 @@ let run_coexist checkpoint history bdp min_rtt duration_ms =
     mixes
 
 let run checkpoint history bdp min_rtt duration_ms n_components with_cert
-    property_name with_shield noise_mu refute_seed coexist =
+    property_name with_shield noise_mu refute_seed coexist scenario_dir =
   if coexist then
     run_coexist checkpoint history bdp min_rtt duration_ms
   else
@@ -77,7 +77,18 @@ let run checkpoint history bdp min_rtt duration_ms n_components with_cert
     | "robustness" -> Canopy.Property.robustness ()
     | other -> failwith (Printf.sprintf "unknown property %S" other)
   in
-  let traces = Canopy_trace.Suite.all ~duration_ms () in
+  (* Archived adversarial scenarios join the grid as a third category, so
+     worst-found conditions are evaluated alongside the fixed suite. *)
+  let adversarial =
+    match scenario_dir with
+    | None -> []
+    | Some dir ->
+        let ts = Canopy_trace.Suite.adversarial ~dir () in
+        if ts = [] then
+          Format.printf "note: no archived scenarios under %s@." dir;
+        ts
+  in
+  let traces = Canopy_trace.Suite.all ~duration_ms () @ adversarial in
   let schemes = schemes_of checkpoint history in
   (* Flatten the scheme × trace grid into independent tasks and fan them
      out over the domain pool. Per-task refutation streams are split from
@@ -140,7 +151,11 @@ let run checkpoint history bdp min_rtt duration_ms n_components with_cert
               (Eval.mean_results
                  (Format.asprintf "%a-mean" Canopy_trace.Suite.pp_category cat)
                  of_cat))
-        [ Canopy_trace.Suite.Synthetic; Canopy_trace.Suite.Real ])
+        [
+          Canopy_trace.Suite.Synthetic;
+          Canopy_trace.Suite.Real;
+          Canopy_trace.Suite.Adversarial;
+        ])
     schemes
 
 let checkpoint =
@@ -192,6 +207,14 @@ let coexist =
               bottleneck and report per-flow throughput, delay and \
               Jain's fairness index.")
 
+let scenario_dir =
+  Arg.(value & opt (some string) None
+       & info [ "scenario-dir" ]
+           ~doc:
+             "Also evaluate every archived adversarial scenario trace \
+              (*.trace) under this directory (e.g. _artifacts/scenarios), \
+              reported as the 'adversarial' category.")
+
 let cmd =
   let doc = "evaluate controllers over the 22-trace suite" in
   Cmd.v
@@ -199,6 +222,6 @@ let cmd =
     Term.(
       const run $ checkpoint $ history $ bdp $ min_rtt $ duration_ms
       $ n_components $ with_cert $ property_name $ with_shield $ noise_mu
-      $ refute_seed $ coexist)
+      $ refute_seed $ coexist $ scenario_dir)
 
 let () = exit (Cmd.eval cmd)

@@ -1,9 +1,10 @@
-(* canopy-tracegen: emit bandwidth traces (the Appendix-B families) in
-   Mahimahi's packet-delivery-opportunity format. *)
+(* canopy-tracegen: emit bandwidth traces (the Appendix-B families, plus
+   archived adversarial scenarios) in Mahimahi's
+   packet-delivery-opportunity format. *)
 
 open Cmdliner
 
-let run family duration_ms period_ms low high seed out =
+let run family duration_ms period_ms low high seed scenario out =
   let trace =
     match family with
     | "step" ->
@@ -18,6 +19,16 @@ let run family duration_ms period_ms low high seed out =
     | "lte" -> Canopy_trace.Lte.generate ~name:"lte" ~seed ~duration_ms ()
     | "constant" ->
         Canopy_trace.Trace.constant ~name:"constant" ~duration_ms ~mbps:high
+    | "scenario" -> (
+        (* Render a scenario record (found by `check.exe scenariocheck`,
+           or hand-written) to a replayable trace: the compile is a pure
+           function of the record, so the artifact can be shared and
+           diffed. *)
+        match scenario with
+        | None -> failwith "family 'scenario' requires --scenario FILE.scn"
+        | Some path ->
+            Canopy_scenario.Corpus.trace ~duration_ms
+              (Canopy_scenario.Corpus.load_file path))
     | other -> failwith (Printf.sprintf "unknown family %S" other)
   in
   Format.printf "%a@." Canopy_trace.Trace.pp trace;
@@ -30,7 +41,7 @@ let run family duration_ms period_ms low high seed out =
 let family =
   Arg.(value & pos 0 string "step"
        & info [] ~docv:"FAMILY"
-           ~doc:"step | rampdrop | triangle | lte | constant")
+           ~doc:"step | rampdrop | triangle | lte | constant | scenario")
 
 let duration_ms =
   Arg.(value & opt int 30_000 & info [ "duration-ms" ] ~doc:"Trace length.")
@@ -42,6 +53,12 @@ let low = Arg.(value & opt float 12. & info [ "low" ] ~doc:"Low/floor Mbps.")
 let high = Arg.(value & opt float 48. & info [ "high" ] ~doc:"High/peak Mbps.")
 let seed = Arg.(value & opt int 101 & info [ "seed" ] ~doc:"LTE seed.")
 
+let scenario =
+  Arg.(value & opt (some string) None
+       & info [ "scenario" ]
+           ~doc:"Scenario record (.scn) to render; used by the 'scenario' \
+                 family.")
+
 let out =
   Arg.(value & opt (some string) None
        & info [ "o"; "out" ] ~doc:"Write to file instead of stdout.")
@@ -50,6 +67,8 @@ let cmd =
   let doc = "generate bandwidth traces in Mahimahi format" in
   Cmd.v
     (Cmd.info "canopy-tracegen" ~doc)
-    Term.(const run $ family $ duration_ms $ period_ms $ low $ high $ seed $ out)
+    Term.(
+      const run $ family $ duration_ms $ period_ms $ low $ high $ seed
+      $ scenario $ out)
 
 let () = exit (Cmd.eval cmd)

@@ -4,7 +4,8 @@
 open Cmdliner
 
 let run lambda property_name p q mu epsilon n_components total_steps n_envs
-    duration_ms seed hidden out snapshot_every snapshot resume quiet verbose =
+    duration_ms seed hidden out snapshot_every snapshot resume scenario_dir
+    quiet verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
   let property =
@@ -13,8 +14,25 @@ let run lambda property_name p q mu epsilon n_components total_steps n_envs
     | "robustness" -> Canopy.Property.robustness ~mu ~epsilon ()
     | other -> failwith (Printf.sprintf "unknown property %S" other)
   in
+  (* Closing the hardening loop: archived worst-case scenarios join the
+     stratified training links, so the next policy trains on the
+     conditions that broke the last one. *)
+  let scenario_envs =
+    match scenario_dir with
+    | None -> []
+    | Some dir ->
+        let records = Canopy_scenario.Corpus.load_dir dir in
+        if records = [] then
+          Format.printf "note: no archived scenarios under %s@." dir
+        else
+          Format.printf "training pool: +%d adversarial scenario link(s)@."
+            (List.length records);
+        List.map
+          (Canopy_scenario.Corpus.env_config ~duration_ms)
+          records
+  in
   let envs =
-    Canopy.Trainer.env_pool ~n:n_envs ~duration_ms ~seed ()
+    Canopy.Trainer.env_pool ~n:n_envs ~duration_ms ~seed () @ scenario_envs
   in
   let cfg =
     {
@@ -96,6 +114,12 @@ let resume =
            ~doc:"Resume training from a canopy-train v2 checkpoint; the \
                  run's config must match the checkpoint's fingerprint.")
 
+let scenario_dir =
+  Arg.(value & opt (some string) None
+       & info [ "scenario-dir" ]
+           ~doc:"Append every archived adversarial scenario (*.scn) under \
+                 this directory to the training pool (the hardening loop).")
+
 let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress epoch logs.")
 
 let verbose =
@@ -108,6 +132,6 @@ let cmd =
     Term.(
       const run $ lambda $ property_name $ p $ q $ mu $ epsilon $ n_components
       $ total_steps $ n_envs $ duration_ms $ seed $ hidden $ out
-      $ snapshot_every $ snapshot $ resume $ quiet $ verbose)
+      $ snapshot_every $ snapshot $ resume $ scenario_dir $ quiet $ verbose)
 
 let () = exit (Cmd.eval cmd)

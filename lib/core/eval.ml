@@ -64,8 +64,9 @@ let buffer_pkts link =
 let clamp_action = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
 
 let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
-    ?certificate ?refute_seed ?refute_rng ?shield ?(collect_steps = false)
-    ~actor ~history link =
+    ?certificate ?refute_seed ?refute_rng ?shield
+    ?(impairments = Canopy_netsim.Env.no_impairments)
+    ?(collect_steps = false) ~actor ~history link =
   let delay_noise =
     Option.map
       (fun (seed, mu) -> (Canopy_util.Prng.create seed, mu))
@@ -89,6 +90,7 @@ let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
       with
       history;
       delay_noise;
+      impairments;
     }
   in
   let env = Agent_env.create cfg in
@@ -313,10 +315,14 @@ type coexist_canopy_state = {
   mutable cc_enforced : float;
 }
 
-let eval_coexist ?(history = 5) ?interval_ms ~flows link =
+let eval_coexist ?(history = 5) ?interval_ms ?arrivals ~flows link =
   let specs = Array.of_list flows in
   let n = Array.length specs in
   if n = 0 then invalid_arg "Eval.eval_coexist: no flows";
+  (match arrivals with
+  | Some a when Array.length a <> n ->
+      invalid_arg "Eval.eval_coexist: arrivals"
+  | _ -> ());
   let interval_ms =
     match interval_ms with
     | Some ms ->
@@ -327,7 +333,7 @@ let eval_coexist ?(history = 5) ?interval_ms ~flows link =
   let fc = Observation.feature_count in
   let state_dim = history * fc in
   let mf =
-    Multiflow.create
+    Multiflow.create ?start_ms:arrivals
       {
         Multiflow.trace = link.trace;
         min_rtt_ms = Array.make n link.min_rtt_ms;

@@ -55,6 +55,7 @@ val eval_policy :
   ?refute_seed:int ->
   ?refute_rng:Canopy_util.Prng.t ->
   ?shield:Shield.t ->
+  ?impairments:Canopy_netsim.Env.impairments ->
   ?collect_steps:bool ->
   actor:Mlp.t ->
   history:int ->
@@ -71,8 +72,10 @@ val eval_policy :
     directly and wins over [refute_seed] — parallel sweeps hand each
     task a [Prng.split] child derived by task index); [shield] projects
     each action through a runtime {!Shield} before it is applied;
-    [collect_steps] returns the per-step trajectory (with certificates
-    when enabled). *)
+    [impairments] applies link pathologies (random loss, ACK jitter,
+    reordering — the adversarial scenario engine's knobs) to the run,
+    default none; [collect_steps] returns the per-step trajectory (with
+    certificates when enabled). *)
 
 val eval_tcp :
   name:string -> (unit -> Canopy_cc.Controller.t) -> link -> result
@@ -125,6 +128,7 @@ val pp_coexist : Format.formatter -> coexist_result -> unit
 val eval_coexist :
   ?history:int ->
   ?interval_ms:int ->
+  ?arrivals:int array ->
   flows:coexist_spec list ->
   link ->
   coexist_result
@@ -135,7 +139,9 @@ val eval_coexist :
     (Cubic backbone refreshed every millisecond, monitor observation
     and feature-history push per interval) and are all served from a
     single [Mlp.forward_eval_into] GEMM per decision tick per distinct
-    actor. Defaults: [history] 5 frames, [interval_ms] =
+    actor. [arrivals.(i)] delays flow [i]'s first transmission
+    (staggered competing-flow arrivals; default all flows start at 0).
+    Defaults: [history] 5 frames, [interval_ms] =
     [max 20 link.min_rtt_ms] (the [Agent_env] cadence). *)
 
 type noise_delta = {

@@ -15,9 +15,22 @@ let chain a b =
         b.on_loss ~now_ms);
   }
 
-type impairments = { random_loss : float; ack_jitter_ms : int; seed : int }
+type impairments = {
+  random_loss : float;
+  ack_jitter_ms : int;
+  reorder_prob : float;
+  reorder_ms : int;
+  seed : int;
+}
 
-let no_impairments = { random_loss = 0.; ack_jitter_ms = 0; seed = 0 }
+let no_impairments =
+  {
+    random_loss = 0.;
+    ack_jitter_ms = 0;
+    reorder_prob = 0.;
+    reorder_ms = 0;
+    seed = 0;
+  }
 
 type config = {
   trace : Canopy_trace.Trace.t;
@@ -68,6 +81,9 @@ let create cfg =
   then invalid_arg "Env.create: random_loss";
   if cfg.impairments.ack_jitter_ms < 0 then
     invalid_arg "Env.create: ack_jitter_ms";
+  if cfg.impairments.reorder_prob < 0. || cfg.impairments.reorder_prob >= 1.
+  then invalid_arg "Env.create: reorder_prob";
+  if cfg.impairments.reorder_ms < 0 then invalid_arg "Env.create: reorder_ms";
   {
     cfg;
     now_ms = 0;
@@ -163,8 +179,21 @@ let drain_bottleneck t =
         if imp.ack_jitter_ms = 0 then 0
         else Canopy_util.Prng.int t.rng (imp.ack_jitter_ms + 1)
       in
+      (* Packet reordering: with probability [reorder_prob] this
+         packet's feedback is held back an extra [reorder_ms], so ACKs
+         of later packets overtake it — out-of-order delivery as the
+         sender observes it. Both draws are gated on their knobs so a
+         reorder-free config consumes exactly the pre-reorder PRNG
+         stream. *)
+      let reorder =
+        if
+          imp.reorder_prob > 0.
+          && Canopy_util.Prng.float t.rng 1. < imp.reorder_prob
+        then imp.reorder_ms
+        else 0
+      in
       schedule t
-        (t.now_ms + t.cfg.min_rtt_ms + jitter)
+        (t.now_ms + t.cfg.min_rtt_ms + jitter + reorder)
         (Ev_ack { seq; sent_ms })
     end
   done

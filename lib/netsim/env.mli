@@ -35,11 +35,15 @@ val chain : handlers -> handlers -> handlers
 type impairments = {
   random_loss : float;  (** probability of non-congestive packet loss *)
   ack_jitter_ms : int;  (** max extra delay added to each ACK's return *)
+  reorder_prob : float;
+      (** probability that a delivered packet's feedback is held back by
+          [reorder_ms], letting later packets' ACKs overtake it *)
+  reorder_ms : int;  (** extra delay applied to reordered packets *)
   seed : int;  (** PRNG seed for the impairment processes *)
 }
 (** Optional link pathologies beyond droptail congestion: wireless-style
-    random loss and return-path jitter. Both feed the measurement noise
-    the robustness property is about. *)
+    random loss, return-path jitter and packet reordering. All feed the
+    measurement noise the robustness property is about. *)
 
 val no_impairments : impairments
 

@@ -39,6 +39,8 @@ type t = {
   buffer : int array;
   random_loss : float array;
   jitter : int array;
+  reorder_prob : float array;
+  reorder_ms : int array;
   cwnd : float array;
   inflight : int array;
   next_seq : int array;
@@ -78,7 +80,11 @@ let create cfgs =
       if cfg.impairments.random_loss < 0. || cfg.impairments.random_loss >= 1.
       then invalid_arg "Fleet.create: random_loss";
       if cfg.impairments.ack_jitter_ms < 0 then
-        invalid_arg "Fleet.create: ack_jitter_ms")
+        invalid_arg "Fleet.create: ack_jitter_ms";
+      if cfg.impairments.reorder_prob < 0. || cfg.impairments.reorder_prob >= 1.
+      then invalid_arg "Fleet.create: reorder_prob";
+      if cfg.impairments.reorder_ms < 0 then
+        invalid_arg "Fleet.create: reorder_ms")
     cfgs;
   (* Dedup trace families by physical equality on the trace (plus mtu,
      which scales the packets-per-ms conversion). *)
@@ -114,6 +120,10 @@ let create cfgs =
       Array.map (fun (c : Env.config) -> c.impairments.random_loss) cfgs;
     jitter =
       Array.map (fun (c : Env.config) -> c.impairments.ack_jitter_ms) cfgs;
+    reorder_prob =
+      Array.map (fun (c : Env.config) -> c.impairments.reorder_prob) cfgs;
+    reorder_ms =
+      Array.map (fun (c : Env.config) -> c.impairments.reorder_ms) cfgs;
     cwnd = Array.map (fun (c : Env.config) -> c.initial_cwnd) cfgs;
     inflight = Array.make n 0;
     next_seq = Array.make n 0;
@@ -283,7 +293,16 @@ let drain_bottleneck t i ~now ~ppms =
       let jitter =
         if t.jitter.(i) = 0 then 0 else Prng.int t.rng.(i) (t.jitter.(i) + 1)
       in
-      schedule t i (now + t.min_rtt.(i) + jitter) ev_ack seq sent_ms
+      (* Same gated draw order as [Env.drain_bottleneck]: jitter, then
+         reordering — the per-flow PRNG streams stay aligned bitwise. *)
+      let reorder =
+        if
+          t.reorder_prob.(i) > 0.
+          && Prng.float t.rng.(i) 1. < t.reorder_prob.(i)
+        then t.reorder_ms.(i)
+        else 0
+      in
+      schedule t i (now + t.min_rtt.(i) + jitter + reorder) ev_ack seq sent_ms
     end
   done
 

@@ -12,6 +12,7 @@ type return_event =
 
 type flow_state = {
   min_rtt_ms : int;
+  start_ms : int; (* the flow does not send before this time *)
   mutable cwnd : float;
   mutable inflight : int;
   mutable next_seq : int;
@@ -33,7 +34,7 @@ type t = {
   mutable last_scheduled_ms : int;
 }
 
-let create (cfg : config) =
+let create ?start_ms (cfg : config) =
   let n = Array.length cfg.min_rtt_ms in
   if n = 0 then invalid_arg "Multiflow.create: no flows";
   Array.iter
@@ -41,14 +42,25 @@ let create (cfg : config) =
     cfg.min_rtt_ms;
   if cfg.buffer_pkts < 1 then invalid_arg "Multiflow.create: buffer_pkts";
   if cfg.initial_cwnd < 1. then invalid_arg "Multiflow.create: initial_cwnd";
+  let start_ms =
+    match start_ms with
+    | None -> Array.make n 0
+    | Some s ->
+        if Array.length s <> n then invalid_arg "Multiflow.create: start_ms";
+        Array.iter
+          (fun x -> if x < 0 then invalid_arg "Multiflow.create: start_ms")
+          s;
+        s
+  in
   {
     cfg;
     now_ms = 0;
     flows =
-      Array.map
-        (fun min_rtt_ms ->
+      Array.mapi
+        (fun i min_rtt_ms ->
           {
             min_rtt_ms;
+            start_ms = start_ms.(i);
             cwnd = cfg.initial_cwnd;
             inflight = 0;
             next_seq = 0;
@@ -150,6 +162,11 @@ let sender_fill t =
     let flow = !i mod n in
     let f = t.flows.(flow) in
     if blocked.(flow) then ()
+    else if t.now_ms < f.start_ms then begin
+      (* Not arrived yet: no sends, no window fill. *)
+      blocked.(flow) <- true;
+      decr remaining
+    end
     else if f.inflight >= max 1 (int_of_float (Float.floor f.cwnd)) then begin
       blocked.(flow) <- true;
       decr remaining

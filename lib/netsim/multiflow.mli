@@ -17,8 +17,12 @@ type config = {
 
 type t
 
-val create : config -> t
-(** Raises [Invalid_argument] on an empty flow list or invalid sizes. *)
+val create : ?start_ms:int array -> config -> t
+(** Raises [Invalid_argument] on an empty flow list or invalid sizes.
+    [start_ms.(i)] delays flow [i]'s first transmission (default all 0):
+    a late-arriving flow holds its window but sends nothing until its
+    start time, modelling staggered competing-flow arrivals. The array
+    must match the flow count and be non-negative. *)
 
 val flows : t -> int
 val now_ms : t -> int

@@ -2,13 +2,32 @@ let synthetic ?duration_ms () = Synthetic.standard_suite ?duration_ms ()
 let lte ?duration_ms () = Lte.standard_suite ?duration_ms ()
 let all ?duration_ms () = synthetic ?duration_ms () @ lte ?duration_ms ()
 
-type category = Synthetic | Real
+(* Archived adversarial scenarios (worst cases found by the scenario
+   search engine) rendered as plain Mahimahi traces next to their .scn
+   records; sorted by file name so the list order is deterministic. *)
+let adversarial ~dir () =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace")
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           Trace.load
+             ~name:(Filename.chop_suffix f ".trace")
+             ~mtu_bytes:1500 (Filename.concat dir f))
+
+type category = Synthetic | Real | Adversarial
 
 let category_of t =
   let n = Trace.name t in
-  if String.length n >= 4 && String.sub n 0 4 = "lte-" then Real
+  let has_prefix p =
+    String.length n >= String.length p && String.sub n 0 (String.length p) = p
+  in
+  if has_prefix "lte-" then Real
+  else if has_prefix "adv-" then Adversarial
   else Synthetic
 
 let pp_category ppf = function
   | Synthetic -> Format.fprintf ppf "synthetic"
   | Real -> Format.fprintf ppf "real"
+  | Adversarial -> Format.fprintf ppf "adversarial"

@@ -32,7 +32,14 @@ let with_default_pool d f =
       Pool.shutdown pool)
     (fun () -> f ())
 
-let impaired = { Env.random_loss = 0.02; ack_jitter_ms = 3; seed = 11 }
+let impaired =
+  {
+    Env.random_loss = 0.02;
+    ack_jitter_ms = 3;
+    reorder_prob = 0.1;
+    reorder_ms = 8;
+    seed = 11;
+  }
 
 let link_cfg ?(impair = Env.no_impairments) ?(min_rtt = 40) ~duration_ms i =
   let mbps = 12. +. (6. *. float_of_int (i mod 5)) in
@@ -54,8 +61,9 @@ let link_cfg ?(impair = Env.no_impairments) ?(min_rtt = 40) ~duration_ms i =
 (* Drive N scalar [Env]s and one N-flow [Fleet] through the same cwnd
    schedule, recording every ack and loss event, and require identical
    event streams and identical (to the bit) counters. One flow carries
-   random loss + ACK jitter so the per-flow PRNG and the jittered
-   return-path resort are part of the comparison. *)
+   random loss + ACK jitter + reordering so the per-flow PRNG, the
+   jittered return-path resort and the reorder hold-back are part of the
+   comparison. *)
 let test_fleet_matches_env () =
   let n = 5 in
   let duration = 400 in
@@ -227,7 +235,13 @@ let test_fleet_domains_bit_identical () =
           (agent_cfg
              ~impair:
                (if i mod 9 = 0 then
-                  { Env.random_loss = 0.005; ack_jitter_ms = 1; seed = 50 + i }
+                  {
+                    Env.random_loss = 0.005;
+                    ack_jitter_ms = 1;
+                    reorder_prob = 0.02;
+                    reorder_ms = 4;
+                    seed = 50 + i;
+                  }
                 else Env.no_impairments)
              ~duration_ms:900 i)
           with
@@ -353,6 +367,97 @@ let test_coexist_canopy_vs_tcp_runs () =
         r.Eval.flows)
     [ ("cubic", Eval.cubic_scheme); ("bbr", Eval.bbr_scheme) ]
 
+(* Degenerate mixes: a lone flow is trivially fair and owns every
+   delivered packet; an all-TCP mix (zero Canopy flows) must run the
+   exact same harness with no policy serving involved. *)
+let test_coexist_degenerate_mixes () =
+  let solo =
+    Eval.eval_coexist
+      ~flows:[ Eval.Coexist_tcp ("cubic", Eval.cubic_scheme) ]
+      (coexist_link 3_000)
+  in
+  check_int "single flow" 1 (Array.length solo.Eval.flows);
+  Alcotest.(check (float 1e-9)) "solo jain" 1.0 solo.Eval.jain;
+  Alcotest.(check (float 1e-9)) "solo share" 1.0 solo.Eval.flows.(0).Eval.share;
+  let trio =
+    Eval.eval_coexist
+      ~flows:
+        [
+          Eval.Coexist_tcp ("cubic", Eval.cubic_scheme);
+          Eval.Coexist_tcp ("vegas", Eval.vegas_scheme);
+          Eval.Coexist_tcp ("bbr", Eval.bbr_scheme);
+        ]
+      (coexist_link 3_000)
+  in
+  check_int "all-tcp trio" 3 (Array.length trio.Eval.flows);
+  check_bool "trio jain in (0,1]" true
+    (trio.Eval.jain > 0. && trio.Eval.jain <= 1.0000001);
+  let shares =
+    Array.fold_left
+      (fun acc (f : Eval.coexist_flow) -> acc +. f.share)
+      0. trio.Eval.flows
+  in
+  check_bool "trio shares sum to 1" true (Float.abs (shares -. 1.) < 1e-9)
+
+(* The mixed harness serves Canopy flows through the pool-parallel GEMM,
+   so its results must be bit-identical at any domain count. *)
+let test_coexist_domains_bit_identical () =
+  let actor =
+    Mlp.actor
+      ~rng:(Canopy_util.Prng.create 3)
+      ~in_dim:(5 * Canopy_orca.Observation.feature_count)
+      ~hidden:16 ~out_dim:1
+  in
+  let run () =
+    let r =
+      Eval.eval_coexist
+        ~flows:[ Eval.Coexist_canopy actor; Eval.Coexist_tcp ("cubic", Eval.cubic_scheme) ]
+        (coexist_link 2_000)
+    in
+    ( bits
+        (Array.map (fun (f : Eval.coexist_flow) -> f.throughput_mbps) r.Eval.flows),
+      Int64.bits_of_float r.Eval.jain,
+      Int64.bits_of_float r.Eval.utilization )
+  in
+  let want = with_default_pool 1 run in
+  List.iter
+    (fun d ->
+      check_bool
+        (Printf.sprintf "domains %d == domains 1" d)
+        true
+        (with_default_pool d run = want))
+    [ 2; 3 ]
+
+(* Staggered arrivals: a flow that joins late delivers less than its
+   simultaneous twin, an all-zero arrival vector is the bit-exact
+   default, and a wrong-length vector is rejected. *)
+let test_coexist_arrivals () =
+  let flows =
+    [
+      Eval.Coexist_tcp ("cubic", Eval.cubic_scheme);
+      Eval.Coexist_tcp ("cubic", Eval.cubic_scheme);
+    ]
+  in
+  let base = Eval.eval_coexist ~flows (coexist_link 4_000) in
+  let zeroed =
+    Eval.eval_coexist ~arrivals:[| 0; 0 |] ~flows (coexist_link 4_000)
+  in
+  check_bool "zero arrivals == default (bits)" true
+    (bits (Array.map (fun (f : Eval.coexist_flow) -> f.throughput_mbps) base.Eval.flows)
+     = bits
+         (Array.map (fun (f : Eval.coexist_flow) -> f.throughput_mbps) zeroed.Eval.flows)
+    && Int64.bits_of_float base.Eval.jain = Int64.bits_of_float zeroed.Eval.jain);
+  let late =
+    Eval.eval_coexist ~arrivals:[| 0; 2_000 |] ~flows (coexist_link 4_000)
+  in
+  check_bool "late flow gets smaller share" true
+    (late.Eval.flows.(1).Eval.share < late.Eval.flows.(0).Eval.share);
+  check_bool "late arrival hurts fairness" true (late.Eval.jain < base.Eval.jain);
+  check_bool "wrong-length arrivals rejected" true
+    (match Eval.eval_coexist ~arrivals:[| 0 |] ~flows (coexist_link 2_000) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* Determinism of the coexistence harness itself: same spec, same
    trajectory, and flow order does not change totals. *)
 let test_coexist_deterministic () =
@@ -386,6 +491,12 @@ let suite =
       test_coexist_cubic_pair_fair;
     Alcotest.test_case "coexist: canopy vs cubic/bbr" `Quick
       test_coexist_canopy_vs_tcp_runs;
+    Alcotest.test_case "coexist: degenerate mixes" `Quick
+      test_coexist_degenerate_mixes;
+    Alcotest.test_case "coexist: domains 2,3 == 1 (bits)" `Quick
+      test_coexist_domains_bit_identical;
+    Alcotest.test_case "coexist: staggered arrivals" `Quick
+      test_coexist_arrivals;
     Alcotest.test_case "coexist: deterministic" `Quick
       test_coexist_deterministic;
   ]

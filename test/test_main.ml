@@ -20,6 +20,7 @@ let () =
       ("temporal", Test_temporal.suite);
       ("properties", Test_properties.suite);
       ("analysis", Test_analysis.suite);
+      ("scenario", Test_scenario.suite);
       ("racecheck", Test_racecheck.suite);
       ("pool", Test_pool.suite);
     ]

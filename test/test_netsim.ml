@@ -226,7 +226,8 @@ let suite =
     ("deterministic replay", `Quick, test_deterministic_replay);
   ]
 
-let impaired ?(random_loss = 0.) ?(ack_jitter_ms = 0) () =
+let impaired ?(random_loss = 0.) ?(ack_jitter_ms = 0) ?(reorder_prob = 0.)
+    ?(reorder_ms = 0) () =
   Env.create
     {
       Env.trace = Trace.constant ~name:"c" ~duration_ms:10_000 ~mbps:24.;
@@ -234,7 +235,8 @@ let impaired ?(random_loss = 0.) ?(ack_jitter_ms = 0) () =
       buffer_pkts = 200;
       mtu_bytes = Env.default_mtu;
       initial_cwnd = 20.;
-      impairments = { Env.random_loss; ack_jitter_ms; seed = 42 };
+      impairments =
+        { Env.random_loss; ack_jitter_ms; reorder_prob; reorder_ms; seed = 42 };
     }
 
 let test_random_loss_injected () =
@@ -277,18 +279,72 @@ let test_jitter_keeps_conservation () =
     (st.Env.delivered + st.Env.dropped + Env.inflight env >= st.Env.sent)
 
 let test_impairment_validation () =
+  let mk impairments =
+    ignore
+      (Env.create
+         {
+           Env.trace = Trace.constant ~name:"c" ~duration_ms:10 ~mbps:1.;
+           min_rtt_ms = 10;
+           buffer_pkts = 1;
+           mtu_bytes = 1500;
+           initial_cwnd = 2.;
+           impairments;
+         })
+  in
   Alcotest.check_raises "loss prob" (Invalid_argument "Env.create: random_loss")
-    (fun () ->
-      ignore
-        (Env.create
-           {
-             Env.trace = Trace.constant ~name:"c" ~duration_ms:10 ~mbps:1.;
-             min_rtt_ms = 10;
-             buffer_pkts = 1;
-             mtu_bytes = 1500;
-             initial_cwnd = 2.;
-             impairments = { Env.random_loss = 1.5; ack_jitter_ms = 0; seed = 0 };
-           }))
+    (fun () -> mk { Env.no_impairments with random_loss = 1.5 });
+  Alcotest.check_raises "reorder prob"
+    (Invalid_argument "Env.create: reorder_prob") (fun () ->
+      mk { Env.no_impairments with reorder_prob = -0.1 });
+  Alcotest.check_raises "reorder ms" (Invalid_argument "Env.create: reorder_ms")
+    (fun () -> mk { Env.no_impairments with reorder_prob = 0.1; reorder_ms = -1 })
+
+let test_reorder_spreads_rtt () =
+  (* Reordering holds some ACKs back by reorder_ms: the RTT distribution
+     acquires a visible tail while the floor stays at minRTT. *)
+  let env = impaired ~reorder_prob:0.3 ~reorder_ms:12 () in
+  Env.run env Env.null_handlers ~ms:5000;
+  let rtts = Canopy_util.Fbuf.to_array (Env.stats env).Env.rtt_samples in
+  let mn = Array.fold_left Float.min rtts.(0) rtts in
+  let mx = Array.fold_left Float.max rtts.(0) rtts in
+  check_bool "floor at minRTT" true (mn >= 20.);
+  check_bool "reorder tail visible" true (mx -. mn >= 10.);
+  check_bool "no drops from reordering" true ((Env.stats env).Env.dropped = 0)
+
+let test_reorder_out_of_order_acks () =
+  (* Held-back feedback means later sequence numbers overtake earlier
+     ones: the ACKed seq stream must not be monotone. *)
+  let env = impaired ~reorder_prob:0.3 ~reorder_ms:12 () in
+  let out_of_order = ref false in
+  let last_seq = ref (-1) in
+  let handlers =
+    {
+      Env.on_ack =
+        (fun ack ->
+          if ack.Env.seq < !last_seq then out_of_order := true;
+          last_seq := max !last_seq ack.Env.seq);
+      on_loss = (fun ~now_ms:_ -> ());
+    }
+  in
+  Env.run env handlers ~ms:5000;
+  check_bool "acks overtake" true !out_of_order
+
+let test_reorder_zero_prob_noop () =
+  (* reorder_prob = 0 must leave the PRNG stream untouched: the run is
+     bit-identical to one with no reorder fields set at all. *)
+  let run env =
+    Env.run env Env.null_handlers ~ms:4000;
+    let st = Env.stats env in
+    (st.Env.sent, st.Env.delivered, st.Env.dropped,
+     Canopy_util.Fbuf.to_array st.Env.rtt_samples)
+  in
+  let a = run (impaired ~random_loss:0.02 ~ack_jitter_ms:3 ()) in
+  let b =
+    run
+      (impaired ~random_loss:0.02 ~ack_jitter_ms:3 ~reorder_prob:0.
+         ~reorder_ms:50 ())
+  in
+  check_bool "zero-prob reordering is a no-op" true (a = b)
 
 let impairment_suite =
   [
@@ -297,6 +353,9 @@ let impairment_suite =
     ("ack jitter spreads rtt", `Quick, test_ack_jitter_spreads_rtt);
     ("jitter keeps conservation", `Quick, test_jitter_keeps_conservation);
     ("impairment validation", `Quick, test_impairment_validation);
+    ("reorder spreads rtt", `Quick, test_reorder_spreads_rtt);
+    ("reorder out-of-order acks", `Quick, test_reorder_out_of_order_acks);
+    ("reorder zero prob noop", `Quick, test_reorder_zero_prob_noop);
   ]
 
 let suite = suite @ impairment_suite
