@@ -194,13 +194,24 @@ let certified_runs model property bdp ts =
       let _, steps =
         Eval.eval_policy ~name:model.name
           ~certificate:(property, scale.eval_components) ~collect_steps:true
-          ~actor:model.actor ~history link
+          ~policy:(`Mlp model.actor) ~history link
       in
       (trace, steps))
     ts
 
 let print_fcc_fcs_table ?csv ~cases models property bdp =
   let synth, real = by_category (traces ()) in
+  (* Archived worst-case scenarios (PR 9's search artifacts) join the
+     grid as a third category, so certified metrics are reported on the
+     conditions that actually broke earlier policies, not only the
+     fixed suite. *)
+  let adversarial =
+    Suite.adversarial ~dir:(Filename.concat artifacts_dir "scenarios") ()
+  in
+  let categories =
+    [ ("synthetic", synth); ("real", real) ]
+    @ (if adversarial = [] then [] else [ ("adversarial", adversarial) ])
+  in
   Format.printf "%-12s %-10s %-12s %-18s %-10s@." "model" "category" "case"
     "FCC (mean ± std)" "FCS";
   let rows = ref [] in
@@ -222,7 +233,7 @@ let print_fcc_fcs_table ?csv ~cases models property bdp =
                   Printf.sprintf "%.4f" fcc_std; Printf.sprintf "%.4f" fcs ]
                 :: !rows)
             cases)
-        [ ("synthetic", synth); ("real", real) ])
+        categories)
     models;
   Option.iter
     (fun name ->
@@ -237,7 +248,7 @@ let policy_results model bdp ?noise ts =
     (fun trace ->
       let link = Eval.link ~min_rtt_ms ~bdp trace in
       fst
-        (Eval.eval_policy ~name:model.name ?noise ~actor:model.actor ~history
+        (Eval.eval_policy ~name:model.name ?noise ~policy:(`Mlp model.actor) ~history
            link))
     ts
 
@@ -285,7 +296,7 @@ let component_distribution model property bdp trace n_steps =
   let _, steps =
     Eval.eval_policy ~name:model.name
       ~certificate:(property, scale.eval_components) ~collect_steps:true
-      ~actor:model.actor ~history link
+      ~policy:(`Mlp model.actor) ~history link
   in
   let window = List.filteri (fun i _ -> i < n_steps) steps in
   List.map
@@ -358,11 +369,11 @@ let fig1 () =
     List.map
       (fun model ->
         let clean, _ =
-          Eval.eval_policy ~name:model.name ~actor:model.actor ~history link
+          Eval.eval_policy ~name:model.name ~policy:(`Mlp model.actor) ~history link
         in
         let noisy, _ =
           Eval.eval_policy ~name:model.name ~noise:(23, 0.05)
-            ~actor:model.actor ~history link
+            ~policy:(`Mlp model.actor) ~history link
         in
         List.iter
           (fun (label, (r : Eval.result)) ->
@@ -440,7 +451,7 @@ let fig2 () =
     (fun model ->
       let res, steps =
         Eval.eval_policy ~name:model.name ~collect_steps:true
-          ~actor:model.actor ~history link
+          ~policy:(`Mlp model.actor) ~history link
       in
       (* a step is "bad" when delivered throughput is below 40% of the
          trace's average capacity *)
@@ -1740,7 +1751,7 @@ let fleet_bench () =
         in
         let env = Fleet_env.create cfgs in
         let t0 = Unix.gettimeofday () in
-        let r = Fleet_eval.serve ~actor env in
+        let r = Fleet_eval.serve ~policy:(`Mlp actor) env in
         let wall = Unix.gettimeofday () -. t0 in
         (r, wall))
   in
@@ -1834,6 +1845,256 @@ let fleet_bench () =
   List.iter (fun (d, p) -> if d <> 1 then Pool.shutdown p) pools
 
 (* ------------------------------------------------------------------ *)
+(* distill: piecewise-affine tree serving vs the MLP actor
+   (BENCH_distill) *)
+
+let distill_bench () =
+  header "distill: piecewise-affine tree serving vs MLP actor";
+  let open Bechamel in
+  let module Mat = Canopy_tensor.Mat in
+  let module Pool = Canopy_util.Pool in
+  let module Tree = Canopy_distill.Tree in
+  let module Fit = Canopy_distill.Fit in
+  let model = canopy_perf () in
+  let actor = model.actor in
+  let num_cores = Domain.recommended_domain_count () in
+  (* -- distillation cost: harvest the served policy over a stratified
+     link set, then fit the tree; both walls are part of the record. *)
+  let harvest_cfgs =
+    (* one shared decision interval: the batched fleet harvest needs a
+       homogeneous tick across flows *)
+    Array.of_list
+      (List.map
+         (fun cfg -> { cfg with Canopy_orca.Agent_env.interval_ms = Some 40 })
+         (Trainer.env_pool
+            ~n:(if !smoke_mode then 2 else 6)
+            ~duration_ms:(if !smoke_mode then 2_000 else 8_000)
+            ~seed:7 ()))
+  in
+  let t0 = Unix.gettimeofday () in
+  let xs, ys = Canopy_distill.Harvest.collect ~actor harvest_cfgs in
+  let harvest_wall = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let tree =
+    Fit.fit ~config:{ Fit.default_config with max_leaves = 64 } ~xs ~ys ()
+  in
+  let fit_wall = Unix.gettimeofday () -. t0 in
+  let fidelity = Fit.mse tree ~xs ~ys in
+  Format.printf
+    "distilled %d states -> %d leaves (depth %d) in %.2fs harvest + %.2fs \
+     fit; fidelity MSE %.3e@."
+    (Array.length ys) (Tree.n_leaves tree) (Tree.depth tree) harvest_wall
+    fit_wall fidelity;
+  let d = Tree.in_dim tree in
+  (* -- bit-exactness probe for the pool-parallel tree serving: the
+     batched path must reproduce its 1-domain result exactly on a
+     2-domain pool (tiny grain so the probe workload actually chunks).
+     Coverage is asserted — [--smoke] runs exactly this. *)
+  let saved_pool = Pool.default () in
+  let probes_run = ref 0 in
+  let counts = List.sort_uniq Int.compare [ 1; 2; num_cores ] in
+  let pools = List.map (fun dn -> (dn, Pool.create ~domains:dn ())) counts in
+  (let min_flops, chunk_flops = Mat.parallel_grain () in
+   Fun.protect
+     ~finally:(fun () -> Mat.set_parallel_grain ~min_flops ~chunk_flops)
+     (fun () ->
+       Mat.set_parallel_grain ~min_flops:1 ~chunk_flops:1;
+       let probe_xs =
+         Mat.init ~rows:2_048 ~cols:d (fun i j ->
+             Float.sin (float_of_int ((i * d) + j)))
+       in
+       let serve dn =
+         Pool.set_default (List.assoc dn pools);
+         let dst = Mat.create ~rows:2_048 ~cols:1 in
+         Tree.predict_rows_into ~dst tree probe_xs;
+         Array.map Int64.bits_of_float (Mat.raw dst)
+       in
+       let reference = serve 1 in
+       List.iter
+         (fun dn ->
+           if dn <> 1 then begin
+             if serve dn <> reference then
+               failwith
+                 (Printf.sprintf
+                    "distill: tree serving differs at %d domains" dn);
+             incr probes_run;
+             Format.printf
+               "probe tree_serve        seq == par(%d domains): OK@." dn
+           end)
+         counts));
+  Pool.set_default saved_pool;
+  if !probes_run = 0 then
+    failwith "distill: no tree-serving bit-equality probe ran";
+  (* -- ns/decision: both policies through the one serving entry point
+     ([Policy.predict_rows_into], exactly the scalar-eval and fleet
+     paths) at small and large batches. *)
+  let batches = if !smoke_mode then [ 1; 1_000 ] else [ 1; 1_000; 100_000 ] in
+  let make_serve policy ~batch =
+    let xsb =
+      Mat.init ~rows:batch ~cols:d (fun i j ->
+          Float.sin (float_of_int ((i * d) + j)))
+    in
+    let dst = Mat.create ~rows:batch ~cols:1 in
+    fun () -> Canopy.Policy.predict_rows_into ~dst policy xsb
+  in
+  let tests =
+    List.concat_map
+      (fun b ->
+        [
+          (Printf.sprintf "mlp_b%d" b, "mlp", b, make_serve (`Mlp actor) ~batch:b);
+          ( Printf.sprintf "tree_b%d" b,
+            "tree",
+            b,
+            make_serve (`Tree tree) ~batch:b );
+        ])
+      batches
+  in
+  let grouped =
+    Test.make_grouped ~name:"distill"
+      (List.map (fun (name, _, _, f) -> Test.make ~name (Staged.stage f)) tests)
+  in
+  let cfg =
+    if !smoke_mode then
+      Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~stabilize:false
+        ~compaction:false ()
+    else
+      Benchmark.cfg ~limit:4000 ~quota:(Time.second 2.0) ~stabilize:false
+        ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let ns_of name =
+    match Hashtbl.find_opt results ("distill/" ^ name) with
+    | Some result -> (
+        match Analyze.OLS.estimates result with
+        | Some [ ns ] when ns > 0. -> Some ns
+        | _ -> None)
+    | None -> None
+  in
+  Format.printf "%-16s %-8s %-16s %-16s@." "policy" "batch" "ns/decision"
+    "decisions/s";
+  let measured =
+    List.filter_map
+      (fun (name, kind, batch, _) ->
+        match ns_of name with
+        | Some ns ->
+            let ns = ns /. float_of_int batch in
+            Format.printf "%-16s %-8d %16.1f %16.0f@." kind batch ns (1e9 /. ns);
+            Some (name, kind, batch, ns)
+        | None ->
+            Format.printf "%-16s %-8d (no estimate)@." kind batch;
+            None)
+      tests
+  in
+  let speedup b =
+    let find k =
+      List.find_opt (fun (_, kind, batch, _) -> kind = k && batch = b) measured
+    in
+    match (find "mlp", find "tree") with
+    | Some (_, _, _, mlp_ns), Some (_, _, _, tree_ns) when tree_ns > 0. ->
+        Some (mlp_ns /. tree_ns)
+    | _ -> None
+  in
+  let speedups = List.filter_map (fun b -> Option.map (fun s -> (b, s)) (speedup b)) batches in
+  List.iter
+    (fun (b, s) ->
+      let target = if b = 1 then Some 10. else if b = 100_000 then Some 2. else None in
+      Format.printf "tree vs mlp speedup, batch %d: %.2fx%s@." b s
+        (match target with
+        | Some t when not !smoke_mode ->
+            if s >= t then Printf.sprintf "  (>= %.0fx: OK)" t
+            else Printf.sprintf "  (below %.0fx target!)" t
+        | _ -> ""))
+    speedups;
+  (* -- utility delta: both policies over the evaluation suite, mean
+     utilization per category (the fidelity-in-deployment check; smoke
+     uses a 2-trace subset). *)
+  let suite_traces =
+    let all = traces () in
+    if !smoke_mode then List.filteri (fun i _ -> i < 2) all else all
+  in
+  let eval_of policy trace =
+    let link = Eval.link ~min_rtt_ms ~bdp:2. trace in
+    fst (Eval.eval_policy ~policy ~history link)
+  in
+  let utility =
+    List.filter_map
+      (fun (cat_name, cat) ->
+        let ts =
+          List.filter (fun t -> Suite.category_of t = cat) suite_traces
+        in
+        if ts = [] then None
+        else begin
+          let mean policy =
+            (Eval.mean_results cat_name (List.map (eval_of policy) ts))
+              .Eval.utilization
+          in
+          let mlp_u = mean (`Mlp actor) and tree_u = mean (`Tree tree) in
+          let delta_pct =
+            if Float.abs mlp_u < 1e-9 then 0.
+            else 100. *. (tree_u -. mlp_u) /. mlp_u
+          in
+          Format.printf
+            "utility %-10s mlp=%5.1f%% tree=%5.1f%% delta=%+.2f%%%s@." cat_name
+            (100. *. mlp_u) (100. *. tree_u) delta_pct
+            (if not !smoke_mode && Float.abs delta_pct > 5. then
+               "  (outside 5% target!)"
+             else "");
+          Some (cat_name, mlp_u, tree_u, delta_pct)
+        end)
+      [ ("synthetic", Suite.Synthetic); ("real", Suite.Real) ]
+  in
+  (* Machine-readable record; smoke runs exercise the emitter on a temp
+     path exactly like the other perf benches. *)
+  let json_path =
+    if !smoke_mode then Filename.temp_file "canopy-bench-distill" ".json"
+    else "BENCH_distill.json"
+  in
+  json_write json_path (fun buf ->
+      Printf.bprintf buf
+        "{\n  \"bench\": \"distill\",\n  \"mode\": %S,\n  \"num_cores\": %d,\n\
+        \  \"tree\": {\"samples\": %d, \"leaves\": %d, \"depth\": %d, \
+         \"harvest_wall_s\": %.3f, \"fit_wall_s\": %.3f, \"fidelity_mse\": \
+         %.6e},\n\
+        \  \"probes_run\": %d,\n  \"entries\": [\n"
+        (if !smoke_mode then "smoke" else "full")
+        num_cores (Array.length ys) (Tree.n_leaves tree) (Tree.depth tree)
+        harvest_wall fit_wall fidelity !probes_run;
+      let last = List.length measured - 1 in
+      List.iteri
+        (fun i (name, kind, batch, ns) ->
+          Printf.bprintf buf
+            "    {\"name\": %S, \"policy\": %S, \"batch\": %d, \
+             \"ns_per_decision\": %.1f}%s\n"
+            name kind batch ns
+            (if i = last then "" else ","))
+        measured;
+      Printf.bprintf buf "  ],\n  \"speedups\": [\n";
+      let last = List.length speedups - 1 in
+      List.iteri
+        (fun i (b, s) ->
+          Printf.bprintf buf "    {\"batch\": %d, \"tree_vs_mlp\": %.3f}%s\n" b
+            s
+            (if i = last then "" else ","))
+        speedups;
+      Printf.bprintf buf "  ],\n  \"utility\": [\n";
+      let last = List.length utility - 1 in
+      List.iteri
+        (fun i (cat, mlp_u, tree_u, delta_pct) ->
+          Printf.bprintf buf
+            "    {\"category\": %S, \"mlp_utilization\": %.4f, \
+             \"tree_utilization\": %.4f, \"delta_pct\": %.3f}%s\n"
+            cat mlp_u tree_u delta_pct
+            (if i = last then "" else ","))
+        utility;
+      Printf.bprintf buf "  ]\n}\n");
+  Format.printf "wrote %s@." json_path;
+  List.iter (fun (_, p) -> Pool.shutdown p) pools
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: verifier domain and subdivision strategy *)
 
 let ablation () =
@@ -1848,7 +2109,7 @@ let ablation () =
   (* Collect representative verification contexts from a live run. *)
   let link = Eval.link ~min_rtt_ms ~bdp:2. trace in
   let _, steps =
-    Eval.eval_policy ~name:model.name ~collect_steps:true ~actor:model.actor
+    Eval.eval_policy ~name:model.name ~collect_steps:true ~policy:(`Mlp model.actor)
       ~history link
   in
   let contexts =
@@ -1971,6 +2232,7 @@ let experiments =
     ("certify", certify_bench);
     ("par", par_bench);
     ("fleet", fleet_bench);
+    ("distill", distill_bench);
     ("ablation", ablation);
     ("traces", traces_fig);
   ]

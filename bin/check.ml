@@ -492,12 +492,79 @@ let scenariocheck_cmd =
       $ scn_seed $ scn_duration $ scn_candidates $ scn_rounds $ scn_batch
       $ scn_smoke)
 
+(* --- bench-report ------------------------------------------------------ *)
+
+(* Perf CI over the BENCH_*.json records: the committed repo-root files
+   are the recorded baselines, the timestamped snapshots under
+   _artifacts/bench_history/ are the local measurements. Renders the
+   per-kernel markdown table and fails when any tracked kernel's latest
+   full-run measurement regresses more than the threshold. When no local
+   history exists (fresh checkout, sandboxed CI) there is nothing to
+   gate — that is reported honestly and the gate passes. *)
+let run_bench_report baseline_dir history_dir threshold out smoke =
+  let module B = A.Bench_report in
+  let baselines = B.load_baselines ~dir:baseline_dir in
+  let history = B.load_history ~dir:history_dir in
+  let report = B.build ~threshold_pct:threshold ~baselines ~history () in
+  (match out with
+  | Some path -> Canopy_util.Atomic_file.write path report.B.markdown
+  | None -> if not smoke then print_string report.B.markdown);
+  Format.printf
+    "bench-report: %d baseline kernel(s) tracked, %d history snapshot(s), \
+     %d compared, %d regression(s) beyond %.0f%%@."
+    report.B.tracked (List.length history) report.B.compared
+    (List.length report.B.regressions)
+    threshold;
+  if history = [] then
+    Format.printf
+      "bench-report: no local bench history under %s — nothing to gate \
+       (run the full benches to populate it)@."
+      history_dir;
+  List.iter
+    (fun (r : B.regression) ->
+      Format.printf "REGRESSION %s: baseline %.1f -> latest %.1f (%+.1f%%)@."
+        r.B.r_kernel r.B.baseline r.B.latest r.B.delta_pct)
+    report.B.regressions;
+  if report.B.regressions = [] then 0 else 1
+
+let br_baseline_dir =
+  Arg.(value & opt string "."
+       & info [ "baseline-dir" ]
+           ~doc:"Directory holding the committed BENCH_*.json baselines.")
+
+let br_history_dir =
+  Arg.(value & opt string "_artifacts/bench_history"
+       & info [ "history" ] ~doc:"Bench-history snapshot directory.")
+
+let br_threshold =
+  Arg.(value & opt float 15.
+       & info [ "threshold" ]
+           ~doc:"Regression threshold in percent vs the baseline.")
+
+let br_out =
+  Arg.(value & opt (some string) None
+       & info [ "out" ] ~doc:"Write the markdown report here instead of stdout.")
+
+let br_smoke =
+  Arg.(value & flag
+       & info [ "smoke" ]
+           ~doc:"Quick mode for CI: summary and gate only, no full table.")
+
+let bench_report_cmd =
+  Cmd.v
+    (Cmd.info "bench-report"
+       ~doc:"per-kernel perf table over the bench history, with a \
+             regression gate against the committed BENCH_*.json baselines")
+    Term.(
+      const run_bench_report $ br_baseline_dir $ br_history_dir $ br_threshold
+      $ br_out $ br_smoke)
+
 (* ---------------------------------------------------------------------- *)
 
 let cmd =
   let doc =
     "correctness tooling: lint, racecheck, verifier soundness audit, \
-     netcheck, faultcheck, scenariocheck"
+     netcheck, faultcheck, scenariocheck, bench-report"
   in
   Cmd.group (Cmd.info "canopy-check" ~doc)
     [
@@ -507,6 +574,7 @@ let cmd =
       netcheck_cmd;
       faultcheck_cmd;
       scenariocheck_cmd;
+      bench_report_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

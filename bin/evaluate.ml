@@ -5,7 +5,7 @@
 open Cmdliner
 module Eval = Canopy.Eval
 
-let schemes_of checkpoint history =
+let schemes_of checkpoint distill history =
   let tcp =
     [
       ("cubic", `Tcp Eval.cubic_scheme);
@@ -13,12 +13,59 @@ let schemes_of checkpoint history =
       ("bbr", `Tcp Eval.bbr_scheme);
     ]
   in
-  match checkpoint with
-  | None -> tcp
-  | Some path ->
-      let actor = Canopy.Trainer.load_actor path in
-      ignore history;
-      ("canopy", `Policy actor) :: tcp
+  ignore history;
+  let learned =
+    match checkpoint with
+    | None -> []
+    | Some path ->
+        [ ("canopy", `Policy (`Mlp (Canopy.Trainer.load_actor path))) ]
+  in
+  let distilled =
+    match distill with
+    | None -> []
+    | Some path ->
+        [ ("canopy-tree", `Policy (`Tree (Canopy_distill.Tree.load path))) ]
+  in
+  learned @ distilled @ tcp
+
+(* Distillation fidelity: action MSE of the tree against the MLP on a
+   freshly harvested state set, plus (after the sweep) per-category
+   utility deltas between the two schemes. *)
+let report_fidelity ~checkpoint ~distill ~history ~bdp ~min_rtt =
+  match (checkpoint, distill) with
+  | Some ckpt, Some tree_path ->
+      let actor = Canopy.Trainer.load_actor ckpt in
+      let tree = Canopy_distill.Tree.load tree_path in
+      if Canopy_distill.Tree.in_dim tree <> Canopy_nn.Mlp.in_dim actor then
+        Format.printf "note: tree/actor input dims differ; skipping MSE@."
+      else begin
+        let trace =
+          Canopy_trace.Trace.constant ~name:"fidelity" ~duration_ms:4_000
+            ~mbps:48.
+        in
+        let cfg =
+          {
+            (Canopy_orca.Agent_env.default_config ~trace ~min_rtt_ms:min_rtt
+               ~buffer_pkts:
+                 (Canopy_cc.Runner.buffer_of_bdp ~bdp_multiplier:bdp ~trace
+                    ~min_rtt_ms:min_rtt)
+               ~duration_ms:4_000)
+            with
+            history;
+          }
+        in
+        let xs, ys =
+          Canopy_distill.Harvest.collect ~actor (Array.make 4 cfg)
+        in
+        Format.printf
+          "distillation fidelity: action MSE %.3e over %d states (tree: \
+           %d leaves, depth %d)@."
+          (Canopy_distill.Fit.mse tree ~xs ~ys)
+          (Array.length ys)
+          (Canopy_distill.Tree.n_leaves tree)
+          (Canopy_distill.Tree.depth tree)
+      end
+  | _ -> ()
 
 (* Coexistence mode: mixed Canopy-vs-TCP flows on one shared bottleneck,
    reporting per-flow throughput/delay/loss and Jain's index. Without a
@@ -45,12 +92,12 @@ let run_coexist checkpoint history bdp min_rtt duration_ms =
     [
       ( "canopy-vs-cubic",
         [
-          Eval.Coexist_canopy actor;
+          Eval.Coexist_canopy (`Mlp actor);
           Eval.Coexist_tcp ("cubic", Eval.cubic_scheme);
         ] );
       ( "canopy-vs-bbr",
         [
-          Eval.Coexist_canopy actor;
+          Eval.Coexist_canopy (`Mlp actor);
           Eval.Coexist_tcp ("bbr", Eval.bbr_scheme);
         ] );
       ( "cubic-vs-cubic",
@@ -66,8 +113,9 @@ let run_coexist checkpoint history bdp min_rtt duration_ms =
       Format.printf "== %s ==@.%a@." label Eval.pp_coexist r)
     mixes
 
-let run checkpoint history bdp min_rtt duration_ms n_components with_cert
-    property_name with_shield noise_mu refute_seed coexist scenario_dir =
+let run checkpoint distill history bdp min_rtt duration_ms n_components
+    with_cert property_name with_shield noise_mu refute_seed coexist
+    scenario_dir =
   if coexist then
     run_coexist checkpoint history bdp min_rtt duration_ms
   else
@@ -89,7 +137,8 @@ let run checkpoint history bdp min_rtt duration_ms n_components with_cert
         ts
   in
   let traces = Canopy_trace.Suite.all ~duration_ms () @ adversarial in
-  let schemes = schemes_of checkpoint history in
+  let schemes = schemes_of checkpoint distill history in
+  report_fidelity ~checkpoint ~distill ~history ~bdp ~min_rtt;
   (* Flatten the scheme × trace grid into independent tasks and fan them
      out over the domain pool. Per-task refutation streams are split from
      the master seed by task index before the fan-out, so the sweep is
@@ -110,7 +159,7 @@ let run checkpoint history bdp min_rtt duration_ms n_components with_cert
           let link = Eval.link ~min_rtt_ms:min_rtt ~bdp trace in
           match scheme with
           | `Tcp make -> Eval.eval_tcp ~name make link
-          | `Policy actor ->
+          | `Policy policy ->
               let certificate =
                 if with_cert then Some (property, n_components) else None
               in
@@ -124,7 +173,7 @@ let run checkpoint history bdp min_rtt duration_ms n_components with_cert
               let noise = Option.map (fun mu -> (17, mu)) noise_mu in
               fst
                 (Eval.eval_policy ~name ?certificate ?shield ?noise ?refute_rng
-                   ~actor ~history link))
+                   ~policy ~history link))
       cells
   in
   let results = Eval.run_tasks tasks in
@@ -156,11 +205,53 @@ let run checkpoint history bdp min_rtt duration_ms n_components with_cert
           Canopy_trace.Suite.Real;
           Canopy_trace.Suite.Adversarial;
         ])
-    schemes
+    schemes;
+  (* distilled-vs-MLP utility delta per category *)
+  if List.mem_assoc "canopy" schemes && List.mem_assoc "canopy-tree" schemes
+  then begin
+    Format.printf "@.-- distilled-vs-MLP utility delta --@.";
+    List.iter
+      (fun cat ->
+        let mean_util scheme =
+          let of_cat =
+            List.filter
+              (fun (r : Eval.result) ->
+                r.Eval.scheme = scheme
+                && List.exists
+                     (fun t ->
+                       Canopy_trace.Trace.name t = r.Eval.trace
+                       && Canopy_trace.Suite.category_of t = cat)
+                     traces)
+              results
+          in
+          if of_cat = [] then None
+          else Some (Eval.mean_results "cat" of_cat).Eval.utilization
+        in
+        match (mean_util "canopy", mean_util "canopy-tree") with
+        | Some mlp, Some tree ->
+            Format.printf
+              "%a: mlp=%.1f%% tree=%.1f%% delta=%+.2f%% (%+.2f%% relative)@."
+              Canopy_trace.Suite.pp_category cat (100. *. mlp) (100. *. tree)
+              (100. *. (tree -. mlp))
+              (if Float.abs mlp < 1e-9 then 0.
+               else 100. *. (tree -. mlp) /. mlp)
+        | _ -> ())
+      [
+        Canopy_trace.Suite.Synthetic;
+        Canopy_trace.Suite.Real;
+        Canopy_trace.Suite.Adversarial;
+      ]
+  end
 
 let checkpoint =
   Arg.(value & opt (some string) None
        & info [ "checkpoint" ] ~doc:"Actor checkpoint to evaluate.")
+
+let distill =
+  Arg.(value & opt (some string) None
+       & info [ "distill" ]
+           ~doc:
+             "Distilled canopy-tree checkpoint: evaluated as the               'canopy-tree' scheme (with exact per-leaf certification               under --certify), plus fidelity reporting (action MSE and               per-suite utility delta) when --checkpoint is also given.")
 
 let history = Arg.(value & opt int 5 & info [ "history" ] ~doc:"State frames.")
 let bdp = Arg.(value & opt float 2. & info [ "bdp" ] ~doc:"Buffer in BDPs.")
@@ -220,7 +311,7 @@ let cmd =
   Cmd.v
     (Cmd.info "canopy-evaluate" ~doc)
     Term.(
-      const run $ checkpoint $ history $ bdp $ min_rtt $ duration_ms
+      const run $ checkpoint $ distill $ history $ bdp $ min_rtt $ duration_ms
       $ n_components $ with_cert $ property_name $ with_shield $ noise_mu
       $ refute_seed $ coexist $ scenario_dir)
 

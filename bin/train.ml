@@ -4,8 +4,8 @@
 open Cmdliner
 
 let run lambda property_name p q mu epsilon n_components total_steps n_envs
-    duration_ms seed hidden out snapshot_every snapshot resume scenario_dir
-    quiet verbose =
+    duration_ms seed hidden out distill_out distill_leaves snapshot_every
+    snapshot resume scenario_dir quiet verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
   let property =
@@ -60,7 +60,29 @@ let run lambda property_name p q mu epsilon n_components total_steps n_envs
       ?snapshot_every ?snapshot_path:snapshot ?resume cfg
   in
   Canopy.Trainer.save_actor agent out;
-  Format.printf "saved actor checkpoint to %s@." out
+  Format.printf "saved actor checkpoint to %s@." out;
+  (* Symbolic distillation: harvest the trained policy's served actions
+     over the training links and fit the piecewise-affine serving tree. *)
+  match distill_out with
+  | None -> ()
+  | Some tree_path ->
+      let actor = Canopy_rl.Td3.actor agent in
+      let xs, ys =
+        Canopy_distill.Harvest.collect ~actor (Array.of_list envs)
+      in
+      let config =
+        { Canopy_distill.Fit.default_config with max_leaves = distill_leaves }
+      in
+      let tree = Canopy_distill.Fit.fit ~config ~xs ~ys () in
+      Canopy_distill.Tree.save tree_path tree;
+      Format.printf
+        "saved distilled tree to %s (%d leaves, depth %d; fidelity MSE %.3e \
+         over %d states)@."
+        tree_path
+        (Canopy_distill.Tree.n_leaves tree)
+        (Canopy_distill.Tree.depth tree)
+        (Canopy_distill.Fit.mse tree ~xs ~ys)
+        (Array.length ys)
 
 let lambda =
   Arg.(value & opt float 0.25
@@ -94,6 +116,18 @@ let hidden = Arg.(value & opt int 64 & info [ "hidden" ] ~doc:"Hidden width.")
 let out =
   Arg.(value & opt string "actor.ckpt"
        & info [ "o"; "out" ] ~doc:"Checkpoint output path.")
+
+let distill_out =
+  Arg.(value & opt (some string) None
+       & info [ "distill-out" ]
+           ~doc:"After training, distill the actor into a piecewise-affine \
+                 canopy-tree checkpoint at this path (harvested from the \
+                 training links; see canopy-evaluate --distill).")
+
+let distill_leaves =
+  Arg.(value & opt int 64
+       & info [ "distill-leaves" ]
+           ~doc:"Leaf budget for --distill-out.")
 
 let snapshot_every =
   Arg.(value & opt (some int) None
@@ -131,7 +165,8 @@ let cmd =
     (Cmd.info "canopy-train" ~doc)
     Term.(
       const run $ lambda $ property_name $ p $ q $ mu $ epsilon $ n_components
-      $ total_steps $ n_envs $ duration_ms $ seed $ hidden $ out
-      $ snapshot_every $ snapshot $ resume $ scenario_dir $ quiet $ verbose)
+      $ total_steps $ n_envs $ duration_ms $ seed $ hidden $ out $ distill_out
+      $ distill_leaves $ snapshot_every $ snapshot $ resume $ scenario_dir
+      $ quiet $ verbose)
 
 let () = exit (Cmd.eval cmd)

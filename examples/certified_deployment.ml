@@ -27,13 +27,13 @@ let () =
   let property = Canopy.Property.performance () in
 
   let bare, _ =
-    Canopy.Eval.eval_policy ~name:"bare" ~certificate:(property, 20) ~actor
-      ~history link
+    Canopy.Eval.eval_policy ~name:"bare" ~certificate:(property, 20)
+      ~policy:(`Mlp actor) ~history link
   in
   let shield = Canopy.Shield.create ~property ~history in
   let shielded, steps =
     Canopy.Eval.eval_policy ~name:"shielded" ~certificate:(property, 20)
-      ~shield ~collect_steps:true ~actor ~history link
+      ~shield ~collect_steps:true ~policy:(`Mlp actor) ~history link
   in
   Format.printf "untrained policy, with and without a runtime shield:@.";
   Format.printf "  %a@." Canopy.Eval.pp_result bare;

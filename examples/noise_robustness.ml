@@ -32,9 +32,9 @@ let () =
   Format.printf "@.%-8s %-7s %-10s %-12s %-10s@." "model" "noise" "util"
     "avg qdelay" "p95 qdelay";
   let evaluate name actor =
-    let clean, _ = Canopy.Eval.eval_policy ~name ~actor ~history:5 link in
+    let clean, _ = Canopy.Eval.eval_policy ~name ~policy:(`Mlp actor) ~history:5 link in
     let noisy, _ =
-      Canopy.Eval.eval_policy ~name ~noise:(23, 0.05) ~actor ~history:5 link
+      Canopy.Eval.eval_policy ~name ~noise:(23, 0.05) ~policy:(`Mlp actor) ~history:5 link
     in
     List.iter
       (fun (label, (r : Canopy.Eval.result)) ->

@@ -49,8 +49,8 @@ let () =
   in
   let link = Canopy.Eval.link ~min_rtt_ms:40 ~bdp:2. trace in
   let canopy_result, _ =
-    Canopy.Eval.eval_policy ~name:"canopy" ~certificate:(property, 50) ~actor
-      ~history:5 link
+    Canopy.Eval.eval_policy ~name:"canopy" ~certificate:(property, 50)
+      ~policy:(`Mlp actor) ~history:5 link
   in
   let cubic_result =
     Canopy.Eval.eval_tcp ~name:"cubic" Canopy.Eval.cubic_scheme link

@@ -68,11 +68,11 @@ let target_of_case property case =
   | Property.Performance _, Property.Noise ->
       invalid_arg "Certify.target_of_case"
 
-(* The full evaluation context of a step certificate. *)
-type ctx = {
-  engine : engine;
-  domain : domain;
-  actor : Mlp.t;
+(* Model-independent part of a step-certificate context: everything the
+   box construction and the CWND postcondition check need.  The
+   model-specific part (MLP + abstract engine, or distilled tree) only
+   supplies abstract action intervals per box. *)
+type step_ctx = {
   property : Property.t;
   history : int;
   state : float array;
@@ -81,35 +81,38 @@ type ctx = {
   cwnd_concrete : float; (* the unperturbed decision, for robustness *)
 }
 
+(* The full evaluation context of an MLP step certificate. *)
+type ctx = { engine : engine; domain : domain; actor : Mlp.t; step : step_ctx }
+
 (* Abstract input for one component: substitute the slice (performance)
    or its multiplicative image (robustness) into each delay dimension of
    the concrete state. *)
-let box_of_slice ctx case slice =
+let box_of_slice step case slice =
   let iv_of_observed =
     match case with
     | Property.Large_delay | Property.Small_delay -> fun _ -> slice
     | Property.Noise -> fun observed -> Interval.scale observed slice
   in
-  let box = ref (Box.of_point ctx.state) in
+  let box = ref (Box.of_point step.state) in
   List.iter
     (fun idx ->
-      box := Box.with_dimension !box idx (iv_of_observed ctx.state.(idx)))
-    (delay_indices ~history:ctx.history);
+      box := Box.with_dimension !box idx (iv_of_observed step.state.(idx)))
+    (delay_indices ~history:step.history);
   !box
 
 (* Finish a component from its abstract action: push through the CWND map
    of Eq. 1 and compare against the postcondition (Eq. 7). *)
-let finish_component ctx case index slice action =
-  let target = target_of_case ctx.property case in
-  let cwnd = cwnd_interval ~cwnd_tcp:ctx.cwnd_tcp action in
+let finish_component step case index slice action =
+  let target = target_of_case step.property case in
+  let cwnd = cwnd_interval ~cwnd_tcp:step.cwnd_tcp action in
   let output =
     match case with
     | Property.Large_delay | Property.Small_delay ->
-        Interval.add_scalar (-.ctx.prev_cwnd) cwnd
+        Interval.add_scalar (-.step.prev_cwnd) cwnd
     | Property.Noise ->
         Interval.div_scalar
-          (Interval.add_scalar (-.ctx.cwnd_concrete) cwnd)
-          ctx.cwnd_concrete
+          (Interval.add_scalar (-.step.cwnd_concrete) cwnd)
+          step.cwnd_concrete
   in
   let distance = Interval.overlap_fraction ~target output in
   {
@@ -129,7 +132,7 @@ let finish_component ctx case index slice action =
 let components_of_jobs ctx jobs =
   let boxes =
     Array.of_list
-      (List.map (fun (case, _, slice) -> box_of_slice ctx case slice) jobs)
+      (List.map (fun (case, _, slice) -> box_of_slice ctx.step case slice) jobs)
   in
   let actions =
     output_intervals ~engine:ctx.engine ~domain:ctx.domain ~actor:ctx.actor
@@ -137,8 +140,19 @@ let components_of_jobs ctx jobs =
   in
   List.mapi
     (fun k (case, index, slice) ->
-      finish_component ctx case index slice actions.(k))
+      finish_component ctx.step case index slice actions.(k))
     jobs
+
+let make_step_ctx ~property ~history ~state ~cwnd_tcp ~prev_cwnd
+    ~concrete_action =
+  {
+    property;
+    history;
+    state;
+    cwnd_tcp;
+    prev_cwnd;
+    cwnd_concrete = Agent_env.cwnd_of_action ~action:concrete_action ~cwnd_tcp;
+  }
 
 let make_ctx ~engine ~domain ~actor ~property ~history ~state ~cwnd_tcp
     ~prev_cwnd =
@@ -149,21 +163,19 @@ let make_ctx ~engine ~domain ~actor ~property ~history ~state ~cwnd_tcp
     engine;
     domain;
     actor;
-    property;
-    history;
-    state;
-    cwnd_tcp;
-    prev_cwnd;
-    cwnd_concrete = Agent_env.cwnd_of_action ~action:concrete_action ~cwnd_tcp;
+    step =
+      make_step_ctx ~property ~history ~state ~cwnd_tcp ~prev_cwnd
+        ~concrete_action;
   }
 
-let validate ~n_components ~history ~state ~actor =
-  if n_components <= 0 then invalid_arg "Certify.certify: n_components";
-  if history <= 0 then invalid_arg "Certify.certify: history";
+let validate ?(what = "Certify.certify") ~n_components ~history ~state ~in_dim
+    () =
+  if n_components <= 0 then invalid_arg (what ^ ": n_components");
+  if history <= 0 then invalid_arg (what ^ ": history");
   if Array.length state <> history * Observation.feature_count then
-    invalid_arg "Certify.certify: state dimension";
-  if Mlp.in_dim actor <> Array.length state then
-    invalid_arg "Certify.certify: actor input dimension"
+    invalid_arg (what ^ ": state dimension");
+  if in_dim <> Array.length state then
+    invalid_arg (what ^ ": model input dimension")
 
 let summarize property components =
   let components = Array.of_list components in
@@ -199,23 +211,58 @@ let summarize property components =
     fcs = certified_count = Array.length components;
   }
 
+let jobs_of_property property n_components =
+  List.concat_map
+    (fun case ->
+      let precondition = Property.precondition_delay property case in
+      List.mapi
+        (fun index slice -> (case, index, slice))
+        (Interval.split precondition n_components))
+    (Property.cases property)
+
 let certify ?(engine = Batched) ?(domain = Box_domain) ~actor ~property
     ~n_components ~history ~state ~cwnd_tcp ~prev_cwnd () =
-  validate ~n_components ~history ~state ~actor;
+  validate ~n_components ~history ~state ~in_dim:(Mlp.in_dim actor) ();
   let ctx =
     make_ctx ~engine ~domain ~actor ~property ~history ~state ~cwnd_tcp
       ~prev_cwnd
   in
-  let jobs =
-    List.concat_map
-      (fun case ->
-        let precondition = Property.precondition_delay property case in
-        List.mapi
-          (fun index slice -> (case, index, slice))
-          (Interval.split precondition n_components))
-      (Property.cases property)
+  summarize property (components_of_jobs ctx (jobs_of_property property n_components))
+
+(* Certification of the distilled piecewise-affine tree.  No abstract
+   engine is involved: every leaf region is an axis-aligned box and its
+   model one affine stage, so intersecting the component's input box with
+   each leaf cell and bounding the affine model per term gives the exact
+   hull of reachable outputs ([Tree.output_interval ~exact:true]) — the
+   verifier distance is exact, not conservative.  [~conservative:true]
+   instead bounds every leaf over the whole input box (what a
+   structure-blind interval engine would compute), for side-by-side
+   comparison; the exact action interval is always a subset of the
+   conservative one, so exact certified rates dominate.  The abstract
+   action is clamped to [-1, 1] exactly as the serving path clamps the
+   concrete prediction. *)
+let certify_tree ?(conservative = false) ~tree ~property ~n_components ~history
+    ~state ~cwnd_tcp ~prev_cwnd () =
+  validate ~what:"Certify.certify_tree" ~n_components ~history ~state
+    ~in_dim:(Canopy_distill.Tree.in_dim tree)
+    ();
+  let clamp = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1. in
+  let step =
+    make_step_ctx ~property ~history ~state ~cwnd_tcp ~prev_cwnd
+      ~concrete_action:(clamp (Canopy_distill.Tree.predict tree state))
   in
-  summarize property (components_of_jobs ctx jobs)
+  let components =
+    List.map
+      (fun (case, index, slice) ->
+        let box = Box.to_intervals (box_of_slice step case slice) in
+        let raw =
+          Canopy_distill.Tree.output_interval ~exact:(not conservative) tree
+            box
+        in
+        finish_component step case index slice (Interval.monotone clamp raw))
+      (jobs_of_property property n_components)
+  in
+  summarize property components
 
 (* Adaptive subdivision (Section 8, future work (ii)): start from a
    coarse split and keep bisecting only the undecided components — the
@@ -242,7 +289,8 @@ let reindex components =
 let certify_adaptive ?(engine = Batched) ?(domain = Box_domain)
     ?(initial_components = 2) ~actor ~property ~max_components ~history
     ~state ~cwnd_tcp ~prev_cwnd () =
-  validate ~n_components:initial_components ~history ~state ~actor;
+  validate ~n_components:initial_components ~history ~state
+    ~in_dim:(Mlp.in_dim actor) ();
   if max_components < initial_components then
     invalid_arg "Certify.certify_adaptive: max_components";
   let ctx =

@@ -87,6 +87,30 @@ val certify :
     rounding (≤1e-9 relative — see DESIGN.md §8). Raises
     [Invalid_argument] on dimension mismatches or [n_components <= 0]. *)
 
+val certify_tree :
+  ?conservative:bool ->
+  tree:Canopy_distill.Tree.t ->
+  property:Property.t ->
+  n_components:int ->
+  history:int ->
+  state:float array ->
+  cwnd_tcp:float ->
+  prev_cwnd:float ->
+  unit ->
+  t
+(** {!certify} for the distilled piecewise-affine tree policy
+    ({!Canopy_distill.Tree}).  No abstract engine runs: each component's
+    input box is intersected with every leaf's split polytope (an
+    axis-aligned cell) and the leaf's single affine stage is bounded
+    term-by-term — tight, so the abstract action interval is the {e exact}
+    hull of the tree's reachable outputs over the box (up to the closed
+    cell boundaries) and the reported distances carry no abstraction
+    slack.  The action interval is clamped to [\[-1, 1\]] exactly as
+    serving clamps the concrete prediction.  With [~conservative:true]
+    the leaf-cell intersection is skipped (every leaf bounded over the
+    whole box), reproducing what a structure-blind interval engine would
+    report; the exact reading always certifies at least as much. *)
+
 val certify_adaptive :
   ?engine:engine ->
   ?domain:domain ->

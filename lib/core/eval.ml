@@ -1,4 +1,3 @@
-open Canopy_nn
 module Agent_env = Canopy_orca.Agent_env
 module Observation = Canopy_orca.Observation
 module Monitor = Canopy_orca.Monitor
@@ -66,7 +65,7 @@ let clamp_action = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
 let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
     ?certificate ?refute_seed ?refute_rng ?shield
     ?(impairments = Canopy_netsim.Env.no_impairments)
-    ?(collect_steps = false) ~actor ~history link =
+    ?(collect_steps = false) ~policy ~history link =
   let delay_noise =
     Option.map
       (fun (seed, mu) -> (Canopy_util.Prng.create seed, mu))
@@ -95,14 +94,14 @@ let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
   in
   let env = Agent_env.create cfg in
   (* Per-step inference goes through the batched scratch-backed path as
-     a 1-row block: [Mlp.forward_eval_into] rows are bit-identical to
-     [Mlp.forward], so this changes no trajectory — it just keeps the
-     whole serving stack (scalar eval and fleet alike) on one code
-     path with no per-step output allocation. *)
-  if Mlp.in_dim actor <> Agent_env.state_dim cfg then
-    invalid_arg "Eval.eval_policy: actor input dim";
-  let xrow = Mat.create ~rows:1 ~cols:(Mlp.in_dim actor) in
-  let yrow = Mat.create_uninit ~rows:1 ~cols:(Mlp.out_dim actor) in
+     a 1-row block: [Policy.predict_rows_into] rows are bit-identical to
+     the scalar forward for both policy kinds, so this changes no
+     trajectory — it just keeps the whole serving stack (scalar eval and
+     fleet alike) on one code path with no per-step output allocation. *)
+  if Policy.in_dim policy <> Agent_env.state_dim cfg then
+    invalid_arg "Eval.eval_policy: policy input dim";
+  let xrow = Mat.create ~rows:1 ~cols:(Policy.in_dim policy) in
+  let yrow = Mat.create_uninit ~rows:1 ~cols:(Policy.out_dim policy) in
   let steps = ref [] in
   let fcc_acc = ref 0. and fcs_acc = ref 0 and nsteps = ref 0 in
   let uncertified_acc = ref 0 and refuted_acc = ref 0 in
@@ -110,7 +109,7 @@ let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
   while not !finished do
     let s = Agent_env.state env in
     Array.blit s 0 (Mat.raw xrow) 0 (Array.length s);
-    Mlp.forward_eval_into ~dst:yrow actor xrow;
+    Policy.predict_rows_into ~dst:yrow policy xrow;
     let action = clamp_action (Mat.raw yrow).(0) in
     let action =
       match shield with
@@ -123,10 +122,18 @@ let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
     let cert =
       Option.map
         (fun (property, n) ->
-          Certify.certify ~engine ~actor ~property ~n_components:n ~history
-            ~state:s
-            ~cwnd_tcp:(Agent_env.cwnd_tcp env)
-            ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) ())
+          match policy with
+          | `Mlp actor ->
+              Certify.certify ~engine ~actor ~property ~n_components:n
+                ~history ~state:s
+                ~cwnd_tcp:(Agent_env.cwnd_tcp env)
+                ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) ()
+          | `Tree tree ->
+              (* exact per-leaf certification: no abstract engine *)
+              Certify.certify_tree ~tree ~property ~n_components:n ~history
+                ~state:s
+                ~cwnd_tcp:(Agent_env.cwnd_tcp env)
+                ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) ())
         certificate
     in
     (match cert with
@@ -134,24 +141,30 @@ let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
         fcc_acc := !fcc_acc +. c.Certify.fcc;
         if c.Certify.fcs then incr fcs_acc;
         (* Counterexample search over the step's uncertified components,
-           separating real violations from abstraction artifacts. *)
-        Option.iter
-          (fun rng ->
-            Array.iter
-              (fun comp ->
-                if not comp.Certify.certified then begin
-                  incr uncertified_acc;
-                  match
-                    Certify.refute ~rng ~actor
-                      ~property:c.Certify.property ~history ~state:s
-                      ~cwnd_tcp:(Agent_env.cwnd_tcp env)
-                      ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) comp
-                  with
-                  | Certify.Violation _ -> incr refuted_acc
-                  | Certify.Unknown -> ()
-                end)
-              c.Certify.components)
-          refute_rng
+           separating real violations from abstraction artifacts.  Only
+           meaningful for the MLP: tree certificates are exact, so an
+           uncertified tree component already is a genuine overlap with
+           the bad region — there is no abstraction slack to refute. *)
+        (match policy with
+        | `Tree _ -> ()
+        | `Mlp actor ->
+            Option.iter
+              (fun rng ->
+                Array.iter
+                  (fun comp ->
+                    if not comp.Certify.certified then begin
+                      incr uncertified_acc;
+                      match
+                        Certify.refute ~rng ~actor
+                          ~property:c.Certify.property ~history ~state:s
+                          ~cwnd_tcp:(Agent_env.cwnd_tcp env)
+                          ~prev_cwnd:(Agent_env.prev_cwnd_enforced env) comp
+                      with
+                      | Certify.Violation _ -> incr refuted_acc
+                      | Certify.Unknown -> ()
+                    end)
+                  c.Certify.components)
+              refute_rng)
     | None -> ());
     incr nsteps;
     let res = Agent_env.step env ~action in
@@ -196,6 +209,8 @@ let eval_policy ?(name = "canopy") ?noise ?(engine = Certify.Batched)
         (match refute_rng with
         | None -> None
         | Some _ when certificate = None -> None
+        | Some _ when (match policy with `Tree _ -> true | `Mlp _ -> false) ->
+            None
         | Some _ ->
             if !uncertified_acc = 0 then Some 0.
             else
@@ -270,7 +285,7 @@ let mean_results group results =
 (* Cross-traffic coexistence on a shared bottleneck *)
 
 type coexist_spec =
-  | Coexist_canopy of Mlp.t
+  | Coexist_canopy of Policy.t
   | Coexist_tcp of string * (unit -> Canopy_cc.Controller.t)
 
 type coexist_flow = {
@@ -348,11 +363,11 @@ let eval_coexist ?(history = 5) ?interval_ms ?arrivals ~flows link =
   let handlers =
     Array.init n (fun i ->
         match specs.(i) with
-        | Coexist_canopy actor ->
-            if Mlp.in_dim actor <> state_dim then
-              invalid_arg "Eval.eval_coexist: actor input dim";
-            if Mlp.out_dim actor <> 1 then
-              invalid_arg "Eval.eval_coexist: actor output dim";
+        | Coexist_canopy policy ->
+            if Policy.in_dim policy <> state_dim then
+              invalid_arg "Eval.eval_coexist: policy input dim";
+            if Policy.out_dim policy <> 1 then
+              invalid_arg "Eval.eval_coexist: policy output dim";
             let st =
               {
                 cc_cubic = Canopy_cc.Cubic.create ();
@@ -373,25 +388,33 @@ let eval_coexist ?(history = 5) ?interval_ms ?arrivals ~flows link =
             tcp.(i) <- Some c;
             Canopy_cc.Controller.handlers c)
   in
-  (* Group Canopy flows by actor (physical equality) so each distinct
-     actor serves all of its flows with a single GEMM per decision tick
-     — with one shared actor, one GEMM serves every Canopy flow. *)
+  (* Group Canopy flows by underlying model (physical equality on the
+     MLP or tree, not on the [Policy.t] wrapper, which callers may
+     allocate per flow) so each distinct model serves all of its flows
+     with a single batched forward per decision tick — with one shared
+     model, one pass serves every Canopy flow. *)
+  let same_model (p : Policy.t) (q : Policy.t) =
+    match (p, q) with
+    | `Mlp a, `Mlp b -> a == b
+    | `Tree a, `Tree b -> a == b
+    | (`Mlp _ | `Tree _), _ -> false
+  in
   let groups =
     let acc = ref [] in
     Array.iteri
       (fun i spec ->
         match spec with
         | Coexist_tcp _ -> ()
-        | Coexist_canopy actor -> (
-            match List.find_opt (fun (a, _) -> a == actor) !acc with
+        | Coexist_canopy policy -> (
+            match List.find_opt (fun (a, _) -> same_model a policy) !acc with
             | Some (_, ids) -> ids := i :: !ids
-            | None -> acc := !acc @ [ (actor, ref [ i ]) ]))
+            | None -> acc := !acc @ [ (policy, ref [ i ]) ]))
       specs;
     List.map
-      (fun (actor, ids) ->
+      (fun (policy, ids) ->
         let ids = Array.of_list (List.rev !ids) in
         let rows = Array.length ids in
-        ( actor,
+        ( policy,
           ids,
           Mat.create ~rows ~cols:state_dim,
           Mat.create_uninit ~rows ~cols:1 ))
@@ -402,7 +425,7 @@ let eval_coexist ?(history = 5) ?interval_ms ?arrivals ~flows link =
      windows; one forward_eval GEMM per actor group. *)
   let decide () =
     List.iter
-      (fun (actor, ids, x, y) ->
+      (fun (policy, ids, x, y) ->
         let raw = Mat.raw x in
         Array.iteri
           (fun row i ->
@@ -416,7 +439,7 @@ let eval_coexist ?(history = 5) ?interval_ms ?arrivals ~flows link =
                 fc
             done)
           ids;
-        Mlp.forward_eval_into ~dst:y actor x;
+        Policy.predict_rows_into ~dst:y policy x;
         let out = Mat.raw y in
         Array.iteri
           (fun row i ->

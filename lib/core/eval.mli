@@ -3,8 +3,6 @@
     (FCC, FCS — Section 6.1) and the empirical ones (utilization, average
     and p95 queueing delay, loss). *)
 
-open Canopy_nn
-
 type result = {
   scheme : string;
   trace : string;
@@ -57,11 +55,12 @@ val eval_policy :
   ?shield:Shield.t ->
   ?impairments:Canopy_netsim.Env.impairments ->
   ?collect_steps:bool ->
-  actor:Mlp.t ->
+  policy:Policy.t ->
   history:int ->
   link ->
   result * step_record list
-(** Run the deterministic policy over the link. [noise (seed, mu)]
+(** Run the deterministic policy — the MLP actor or its distilled tree
+    ([`Mlp] / [`Tree], see {!Policy}) — over the link. [noise (seed, mu)]
     perturbs the observed queueing delay as in Section 6.3;
     [certificate (property, n)] computes an n-component certificate at
     every step (the paper uses n = 50 for evaluation) on the chosen
@@ -75,7 +74,13 @@ val eval_policy :
     [impairments] applies link pathologies (random loss, ACK jitter,
     reordering — the adversarial scenario engine's knobs) to the run,
     default none; [collect_steps] returns the per-step trajectory (with
-    certificates when enabled). *)
+    certificates when enabled).
+
+    Certificates dispatch on the policy kind: [`Mlp] runs the abstract
+    engine ({!Certify.certify}), [`Tree] the exact per-leaf bounds
+    ({!Certify.certify_tree}).  Refutation only applies to [`Mlp] —
+    tree certificates carry no abstraction slack to refute — so
+    [result.refuted] is [None] for trees. *)
 
 val eval_tcp :
   name:string -> (unit -> Canopy_cc.Controller.t) -> link -> result
@@ -100,8 +105,8 @@ val mean_results : string -> result list -> result
     Raises [Invalid_argument] on an empty list. *)
 
 type coexist_spec =
-  | Coexist_canopy of Mlp.t
-      (** a Canopy flow served by this actor (Cubic backbone, Eq. 1
+  | Coexist_canopy of Policy.t
+      (** a Canopy flow served by this policy (Cubic backbone, Eq. 1
           override at every decision tick) *)
   | Coexist_tcp of string * (unit -> Canopy_cc.Controller.t)
       (** a classical flow, e.g. [("cubic", cubic_scheme)] *)
@@ -138,8 +143,8 @@ val eval_coexist :
     experiment. Canopy flows keep the full [Agent_env] machinery
     (Cubic backbone refreshed every millisecond, monitor observation
     and feature-history push per interval) and are all served from a
-    single [Mlp.forward_eval_into] GEMM per decision tick per distinct
-    actor. [arrivals.(i)] delays flow [i]'s first transmission
+    single batched {!Policy.predict_rows_into} pass per decision tick
+    per distinct underlying model. [arrivals.(i)] delays flow [i]'s first transmission
     (staggered competing-flow arrivals; default all flows start at 0).
     Defaults: [history] 5 frames, [interval_ms] =
     [max 20 link.min_rtt_ms] (the [Agent_env] cadence). *)

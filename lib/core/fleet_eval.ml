@@ -1,10 +1,10 @@
 (* Batched policy serving over a [Canopy_orca.Fleet_env]: the decision
    loop that turns N per-flow inferences per tick into one
-   [flows × state_dim] matrix assembly and exactly one
-   [Mlp.forward_eval_into] GEMM. The matrices are allocated once; a
-   steady-state tick allocates nothing on the serving path. *)
+   [flows × state_dim] matrix assembly and exactly one batched
+   [Policy.predict_rows_into] pass (a GEMM for the MLP, a pool-chunked
+   compare chain for the distilled tree). The matrices are allocated
+   once; a steady-state tick allocates nothing on the serving path. *)
 
-open Canopy_nn
 module Fleet = Canopy_netsim.Fleet
 module Fleet_env = Canopy_orca.Fleet_env
 module Mat = Canopy_tensor.Mat
@@ -30,11 +30,13 @@ type result = {
 
 let clamp_action = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
 
-let serve ?on_tick ~actor env =
+let serve ?on_tick ~policy env =
   let n = Fleet_env.flows env in
   let sd = Fleet_env.state_dim env in
-  if Mlp.in_dim actor <> sd then invalid_arg "Fleet_eval.serve: actor in_dim";
-  if Mlp.out_dim actor <> 1 then invalid_arg "Fleet_eval.serve: actor out_dim";
+  if Policy.in_dim policy <> sd then
+    invalid_arg "Fleet_eval.serve: policy in_dim";
+  if Policy.out_dim policy <> 1 then
+    invalid_arg "Fleet_eval.serve: policy out_dim";
   let x = Mat.create ~rows:n ~cols:sd in
   let y = Mat.create_uninit ~rows:n ~cols:1 in
   let actions = Array.make n 0. in
@@ -43,8 +45,8 @@ let serve ?on_tick ~actor env =
   let finished = ref (Fleet_env.finished env) in
   while not !finished do
     Fleet_env.write_states env ~dst:x;
-    (* The whole fleet's decisions in one GEMM. *)
-    Mlp.forward_eval_into ~dst:y actor x;
+    (* The whole fleet's decisions in one batched pass. *)
+    Policy.predict_rows_into ~dst:y policy x;
     let raw = Mat.raw y in
     for i = 0 to n - 1 do
       actions.(i) <- clamp_action raw.(i)
@@ -81,4 +83,5 @@ let serve ?on_tick ~actor env =
     per_flow;
   }
 
-let run ?on_tick ~actor cfgs = serve ?on_tick ~actor (Fleet_env.create cfgs)
+let run ?on_tick ~policy cfgs =
+  serve ?on_tick ~policy (Fleet_env.create cfgs)

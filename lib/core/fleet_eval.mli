@@ -1,8 +1,6 @@
-(** Batched policy serving over a fleet of links: one
-    [Mlp.forward_eval_into] GEMM decides every flow's action each tick,
-    with all serving matrices allocated once up front. *)
-
-open Canopy_nn
+(** Batched policy serving over a fleet of links: one batched
+    {!Policy.predict_rows_into} pass decides every flow's action each
+    tick, with all serving matrices allocated once up front. *)
 
 type flow_result = {
   throughput_mbps : float;
@@ -28,17 +26,18 @@ val serve :
     actions:float array ->
     result:Canopy_orca.Fleet_env.step_result ->
     unit) ->
-  actor:Mlp.t ->
+  policy:Policy.t ->
   Canopy_orca.Fleet_env.t ->
   result
-(** Drive the fleet env to episode end under [actor]. Each decision
+(** Drive the fleet env to episode end under [policy] (MLP actor or
+    distilled tree). Each decision
     tick assembles every flow's state into one [flows × state_dim]
     matrix ([Fleet_env.write_states]), runs exactly one batched forward,
     clamps the raw outputs into [[-1,1]] and steps the whole fleet.
     [on_tick] observes each tick's actions and step result (e.g. to
     record trajectories); the arrays it receives are reused across
     ticks and must be copied if retained. Requires
-    [Mlp.in_dim actor = state_dim] and [out_dim = 1]. *)
+    [Policy.in_dim policy = state_dim] and [out_dim = 1]. *)
 
 val run :
   ?on_tick:
@@ -46,7 +45,7 @@ val run :
     actions:float array ->
     result:Canopy_orca.Fleet_env.step_result ->
     unit) ->
-  actor:Mlp.t ->
+  policy:Policy.t ->
   Canopy_orca.Agent_env.config array ->
   result
 (** [serve] over a freshly created [Fleet_env]. *)

@@ -1,0 +1,28 @@
+module Mlp = Canopy_nn.Mlp
+module Tree = Canopy_distill.Tree
+
+type t = [ `Mlp of Mlp.t | `Tree of Tree.t ]
+
+let in_dim = function
+  | `Mlp m -> Mlp.in_dim m
+  | `Tree tr -> Tree.in_dim tr
+
+let out_dim = function
+  | `Mlp m -> Mlp.out_dim m
+  | `Tree tr -> Tree.out_dim tr
+
+let kind = function `Mlp _ -> "mlp" | `Tree _ -> "tree"
+
+let generation = function
+  | `Mlp m -> Mlp.generation m
+  | `Tree tr -> Tree.generation tr
+
+let predict_rows_into ~dst policy x =
+  match policy with
+  | `Mlp m -> Mlp.forward_eval_into ~dst m x
+  | `Tree tr -> Tree.predict_rows_into ~dst tr x
+
+let predict_row policy row =
+  match policy with
+  | `Mlp m -> (Mlp.forward m row).(0)
+  | `Tree tr -> Tree.predict tr row

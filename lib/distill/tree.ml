@@ -1,0 +1,346 @@
+module Mat = Canopy_tensor.Mat
+module Interval = Canopy_absint.Interval
+module Pool = Canopy_util.Pool
+
+type t = {
+  in_dim : int;
+  feature : int array; (* split feature per node, -1 for leaves *)
+  threshold : float array; (* split threshold per node, 0. for leaves *)
+  left : int array; (* child for x.(feature) < threshold *)
+  right : int array; (* child for x.(feature) >= threshold *)
+  leaf : int array; (* leaf-model index per node, -1 for internal *)
+  coef : float array; (* n_leaves * in_dim, row-major *)
+  bias : float array; (* n_leaves *)
+  generation : int;
+}
+
+let in_dim t = t.in_dim
+let out_dim (_ : t) = 1
+let n_nodes t = Array.length t.feature
+let n_leaves t = Array.length t.bias
+let generation t = t.generation
+
+let gen_counter = Atomic.make 0
+
+let validate ~in_dim ~feature ~threshold ~left ~right ~leaf ~coef ~bias =
+  let n = Array.length feature in
+  let l = Array.length bias in
+  if in_dim <= 0 then invalid_arg "Tree.build: in_dim must be positive";
+  if n = 0 then invalid_arg "Tree.build: empty node array";
+  if
+    Array.length threshold <> n
+    || Array.length left <> n
+    || Array.length right <> n
+    || Array.length leaf <> n
+  then invalid_arg "Tree.build: node array length mismatch";
+  if Array.length coef <> l * in_dim then
+    invalid_arg "Tree.build: coef length mismatch";
+  let seen_leaf = Array.make (max l 1) false in
+  for i = 0 to n - 1 do
+    if feature.(i) >= 0 then begin
+      if feature.(i) >= in_dim then
+        invalid_arg "Tree.build: split feature out of range";
+      if Float.is_nan threshold.(i) then
+        invalid_arg "Tree.build: NaN threshold";
+      (* Children strictly after the parent: guarantees the compare chain
+         terminates and the tree is a DAG rooted at node 0. *)
+      if left.(i) <= i || left.(i) >= n || right.(i) <= i || right.(i) >= n
+      then invalid_arg "Tree.build: child index out of range";
+      if leaf.(i) <> -1 then invalid_arg "Tree.build: internal node with leaf id"
+    end
+    else begin
+      if feature.(i) <> -1 then invalid_arg "Tree.build: bad feature marker";
+      if leaf.(i) < 0 || leaf.(i) >= l then
+        invalid_arg "Tree.build: leaf id out of range";
+      if seen_leaf.(leaf.(i)) then invalid_arg "Tree.build: duplicate leaf id";
+      seen_leaf.(leaf.(i)) <- true
+    end
+  done;
+  for j = 0 to l - 1 do
+    if not seen_leaf.(j) then invalid_arg "Tree.build: unreferenced leaf model"
+  done
+
+let build ~in_dim ~feature ~threshold ~left ~right ~leaf ~coef ~bias =
+  validate ~in_dim ~feature ~threshold ~left ~right ~leaf ~coef ~bias;
+  {
+    in_dim;
+    feature = Array.copy feature;
+    threshold = Array.copy threshold;
+    left = Array.copy left;
+    right = Array.copy right;
+    leaf = Array.copy leaf;
+    coef = Array.copy coef;
+    bias = Array.copy bias;
+    generation = Atomic.fetch_and_add gen_counter 1;
+  }
+
+let constant ~in_dim value =
+  build ~in_dim ~feature:[| -1 |] ~threshold:[| 0. |] ~left:[| 0 |]
+    ~right:[| 0 |] ~leaf:[| 0 |]
+    ~coef:(Array.make in_dim 0.)
+    ~bias:[| value |]
+
+let depth t =
+  let n = n_nodes t in
+  let d = Array.make n 0 in
+  let deepest = ref 0 in
+  (* children always follow parents, so one forward pass suffices *)
+  for i = 0 to n - 1 do
+    if t.feature.(i) >= 0 then begin
+      let c = d.(i) + 1 in
+      if c > d.(t.left.(i)) then d.(t.left.(i)) <- c;
+      if c > d.(t.right.(i)) then d.(t.right.(i)) <- c
+    end
+    else if d.(i) > !deepest then deepest := d.(i)
+  done;
+  !deepest
+
+let node_of ~src ~src_off t =
+  let i = ref 0 in
+  while t.feature.(!i) >= 0 do
+    i :=
+      if src.(src_off + t.feature.(!i)) < t.threshold.(!i) then t.left.(!i)
+      else t.right.(!i)
+  done;
+  !i
+
+let predict_into t ~src ~src_off =
+  let node = node_of ~src ~src_off t in
+  let l = t.leaf.(node) in
+  let base = l * t.in_dim in
+  let acc = ref t.bias.(l) in
+  for j = 0 to t.in_dim - 1 do
+    acc := !acc +. (t.coef.(base + j) *. src.(src_off + j))
+  done;
+  !acc
+
+let predict t x =
+  if Array.length x <> t.in_dim then invalid_arg "Tree.predict: bad input dim";
+  predict_into t ~src:x ~src_off:0
+
+let leaf_of t x =
+  if Array.length x <> t.in_dim then invalid_arg "Tree.leaf_of: bad input dim";
+  t.leaf.(node_of ~src:x ~src_off:0 t)
+
+(* Routing plus one fused multiply-add per input dim: cheap enough that the
+   chunk planner only parallelizes very large batches. *)
+let row_flops t = (2 * t.in_dim) + depth t + 4
+
+let predict_rows_into ~dst t x =
+  if Mat.cols x <> t.in_dim then
+    invalid_arg "Tree.predict_rows_into: bad input dim";
+  if Mat.cols dst <> 1 || Mat.rows dst <> Mat.rows x then
+    invalid_arg "Tree.predict_rows_into: bad output shape";
+  let rows = Mat.rows x in
+  let src = Mat.raw x in
+  let out = Mat.raw dst in
+  let body ~lo ~hi =
+    for i = lo to hi - 1 do
+      out.(i) <- predict_into t ~src ~src_off:(i * t.in_dim)
+    done
+  in
+  match Mat.plan_chunks ~rows ~row_flops:(row_flops t) with
+  | Some chunk -> Pool.parallel_for_chunks ~chunk rows body
+  | None -> body ~lo:0 ~hi:rows
+
+(* ------------------------------------------------------------------ *)
+(* Leaf cells and exact interval bounds                                *)
+
+let leaf_node_index t ~leaf =
+  let found = ref (-1) in
+  for i = 0 to n_nodes t - 1 do
+    if t.leaf.(i) = leaf then found := i
+  done;
+  if !found < 0 then invalid_arg "Tree.leaf_cell: leaf out of range";
+  !found
+
+let leaf_cell t ~leaf =
+  let target = leaf_node_index t ~leaf in
+  let lo = Array.make t.in_dim neg_infinity in
+  let hi = Array.make t.in_dim infinity in
+  (* Walk down from the root, following the unique path to [target].
+     Node indices increase along any path, so [target] is under node [i]
+     iff i <= target and target is reachable; we recompute reachability
+     with a descent that picks whichever child's subtree contains the
+     target node.  Subtrees are contiguous?  Not guaranteed — instead mark
+     ancestors with a reverse pass. *)
+  let n = n_nodes t in
+  let on_path = Array.make n false in
+  on_path.(target) <- true;
+  for i = n - 1 downto 0 do
+    if t.feature.(i) >= 0 && (on_path.(t.left.(i)) || on_path.(t.right.(i)))
+    then on_path.(i) <- true
+  done;
+  let i = ref 0 in
+  while !i <> target do
+    let f = t.feature.(!i) and thr = t.threshold.(!i) in
+    if on_path.(t.left.(!i)) then begin
+      (* closed on both sides: boundary points stay in both cells *)
+      if thr < hi.(f) then hi.(f) <- thr;
+      i := t.left.(!i)
+    end
+    else begin
+      if thr > lo.(f) then lo.(f) <- thr;
+      i := t.right.(!i)
+    end
+  done;
+  Array.init t.in_dim (fun j -> Interval.make lo.(j) hi.(j))
+
+(* Tight bound of [bias + coef . x] over a box: each term's extremum is at
+   an endpoint, accumulated in the same order as [predict_into], so the
+   bound equals the float evaluation at the minimizing/maximizing corner. *)
+let affine_bound t ~leaf box =
+  let base = leaf * t.in_dim in
+  let lo = ref t.bias.(leaf) and hi = ref t.bias.(leaf) in
+  for j = 0 to t.in_dim - 1 do
+    let c = t.coef.(base + j) in
+    (* zero coefficients contribute exactly 0 even over infinite cells
+       (0 * inf would otherwise poison the bound with NaN) *)
+    let a, b =
+      if c = 0. then (0., 0.)
+      else
+        let a = c *. Interval.lo box.(j) and b = c *. Interval.hi box.(j) in
+        if a <= b then (a, b) else (b, a)
+    in
+    lo := !lo +. a;
+    hi := !hi +. b
+  done;
+  Interval.make !lo !hi
+
+let output_interval ?(exact = true) t box =
+  if Array.length box <> t.in_dim then
+    invalid_arg "Tree.output_interval: bad box dim";
+  let acc = ref None in
+  let join iv =
+    acc := Some (match !acc with None -> iv | Some a -> Interval.hull a iv)
+  in
+  for l = 0 to n_leaves t - 1 do
+    if exact then begin
+      let cell = leaf_cell t ~leaf:l in
+      let clipped = Array.make t.in_dim (Interval.of_point 0.) in
+      let reachable = ref true in
+      (try
+         for j = 0 to t.in_dim - 1 do
+           match Interval.intersect box.(j) cell.(j) with
+           | Some iv -> clipped.(j) <- iv
+           | None ->
+               reachable := false;
+               raise Exit
+         done
+       with Exit -> ());
+      if !reachable then join (affine_bound t ~leaf:l clipped)
+    end
+    else join (affine_bound t ~leaf:l box)
+  done;
+  match !acc with
+  | Some iv -> iv
+  | None -> assert false (* cells cover R^in_dim, so some leaf intersects *)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint format: "canopy-tree v1" (hex floats, strict parse)      *)
+
+let magic = "canopy-tree v1"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "in_dim %d\nnodes %d\nleaves %d\n" t.in_dim (n_nodes t)
+       (n_leaves t));
+  for i = 0 to n_nodes t - 1 do
+    if t.feature.(i) >= 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "split %d %h %d %d\n" t.feature.(i) t.threshold.(i)
+           t.left.(i) t.right.(i))
+    else Buffer.add_string buf (Printf.sprintf "leaf %d\n" t.leaf.(i))
+  done;
+  for l = 0 to n_leaves t - 1 do
+    let base = l * t.in_dim in
+    for j = 0 to t.in_dim - 1 do
+      if j > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%h" t.coef.(base + j))
+    done;
+    Buffer.add_string buf (Printf.sprintf " %h\n" t.bias.(l))
+  done;
+  Buffer.contents buf
+
+let parse_float s =
+  match float_of_string_opt s with
+  | Some f when not (Float.is_nan f) -> f
+  | Some _ -> failwith "tree checkpoint: NaN value"
+  | None -> failwith (Printf.sprintf "tree checkpoint: malformed float %S" s)
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "tree checkpoint: malformed int %S" s)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let cursor = ref lines in
+  let next what =
+    match !cursor with
+    | [] -> failwith (Printf.sprintf "tree checkpoint: missing %s" what)
+    | line :: rest ->
+        cursor := rest;
+        line
+  in
+  if next "magic" <> magic then failwith "tree checkpoint: bad magic";
+  let header name =
+    match String.split_on_char ' ' (next name) with
+    | [ key; value ] when key = name -> parse_int value
+    | _ -> failwith (Printf.sprintf "tree checkpoint: expected %s header" name)
+  in
+  let in_dim = header "in_dim" in
+  let n = header "nodes" in
+  let l = header "leaves" in
+  if in_dim <= 0 || n <= 0 || l <= 0 then
+    failwith "tree checkpoint: non-positive dimensions";
+  let feature = Array.make n (-1)
+  and threshold = Array.make n 0.
+  and left = Array.make n 0
+  and right = Array.make n 0
+  and leaf = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    match String.split_on_char ' ' (next "node line") with
+    | [ "split"; f; thr; lc; rc ] ->
+        feature.(i) <- parse_int f;
+        threshold.(i) <- parse_float thr;
+        left.(i) <- parse_int lc;
+        right.(i) <- parse_int rc
+    | [ "leaf"; id ] -> leaf.(i) <- parse_int id
+    | _ -> failwith "tree checkpoint: malformed node line"
+  done;
+  let coef = Array.make (l * in_dim) 0. and bias = Array.make l 0. in
+  for li = 0 to l - 1 do
+    let parts =
+      String.split_on_char ' ' (next "leaf model line")
+      |> List.filter (fun s -> s <> "")
+    in
+    if List.length parts <> in_dim + 1 then
+      failwith "tree checkpoint: wrong leaf model arity";
+    List.iteri
+      (fun j s ->
+        if j < in_dim then coef.((li * in_dim) + j) <- parse_float s
+        else bias.(li) <- parse_float s)
+      parts
+  done;
+  List.iter
+    (fun line ->
+      String.iter
+        (fun c ->
+          if not (c = ' ' || c = '\t' || c = '\r') then
+            failwith "tree checkpoint: trailing garbage")
+        line)
+    !cursor;
+  try build ~in_dim ~feature ~threshold ~left ~right ~leaf ~coef ~bias
+  with Invalid_argument msg -> failwith ("tree checkpoint: " ^ msg)
+
+let save path t = Canopy_util.Atomic_file.write path (to_string t)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -86,25 +86,28 @@ let score_compiled ?refute_rng ~actor ~history ~duration_ms objective
   match objective with
   | Min_utility ->
       let r, _ =
-        Eval.eval_policy ~impairments:c.Space.impairments ~actor ~history link
+        Eval.eval_policy ~impairments:c.Space.impairments ~policy:(`Mlp actor)
+          ~history link
       in
       utility ~min_rtt_ms:c.Space.c_min_rtt_ms r
   | Max_p95_delay ->
       let r, _ =
-        Eval.eval_policy ~impairments:c.Space.impairments ~actor ~history link
+        Eval.eval_policy ~impairments:c.Space.impairments ~policy:(`Mlp actor)
+          ~history link
       in
       -.r.Eval.p95_qdelay_ms
   | Max_violation (property, n) ->
       let r, _ =
         Eval.eval_policy ~impairments:c.Space.impairments
-          ~certificate:(property, n) ?refute_rng ~actor ~history link
+          ~certificate:(property, n) ?refute_rng ~policy:(`Mlp actor) ~history
+          link
       in
       (* Violation pressure = fraction of uncertified components with a
          concrete counterexample; 0 when everything certifies. *)
       -.Option.value ~default:0. r.Eval.refuted
   | Min_jain ->
       let flows =
-        Eval.Coexist_canopy actor
+        Eval.Coexist_canopy (`Mlp actor)
         :: List.init Space.n_cross_flows (fun _ ->
                Eval.Coexist_tcp ("cubic", Eval.cubic_scheme))
       in

@@ -354,7 +354,7 @@ let test_eval_policy_runs () =
   let link = Eval.link ~min_rtt_ms:30 ~bdp:2. small_trace in
   let res, steps =
     Eval.eval_policy ~name:"const" ~collect_steps:true
-      ~actor:(constant_actor 0.) ~history link
+      ~policy:(`Mlp (constant_actor 0.)) ~history link
   in
   check_bool "steps collected" true (List.length steps > 10);
   check_bool "util positive" true (res.Eval.utilization > 0.);
@@ -364,7 +364,7 @@ let test_eval_policy_with_certificate () =
   let link = Eval.link ~min_rtt_ms:30 ~bdp:2. small_trace in
   let res, steps =
     Eval.eval_policy ~certificate:(Property.performance (), 10)
-      ~collect_steps:true ~actor:(constant_actor (-0.9)) ~history link
+      ~collect_steps:true ~policy:(`Mlp (constant_actor (-0.9))) ~history link
   in
   (match (res.Eval.fcc, res.Eval.fcs) with
   | Some fcc, Some fcs ->
@@ -385,7 +385,7 @@ let test_eval_policy_with_certificate () =
 let test_eval_policy_noise_determinism () =
   let link = Eval.link ~min_rtt_ms:30 ~bdp:2. small_trace in
   let run () =
-    fst (Eval.eval_policy ~noise:(9, 0.05) ~actor:(constant_actor 0.2)
+    fst (Eval.eval_policy ~noise:(9, 0.05) ~policy:(`Mlp (constant_actor 0.2))
            ~history link)
   in
   let a = run () and b = run () in

@@ -1,0 +1,469 @@
+(* Tests for the symbolic distillation stack: checkpoint round-trips,
+   exactness/soundness of the per-leaf interval bounds (grid-sampling
+   audit over random boxes), fidelity against the committed fixture
+   actor, bit-equality of batched tree serving across domain counts, and
+   scalar-vs-fleet serving agreement for both policy kinds. *)
+
+module Tree = Canopy_distill.Tree
+module Fit = Canopy_distill.Fit
+module Harvest = Canopy_distill.Harvest
+module Interval = Canopy_absint.Interval
+module Mat = Canopy_tensor.Mat
+module Prng = Canopy_util.Prng
+module Pool = Canopy_util.Pool
+module Agent_env = Canopy_orca.Agent_env
+module Fleet_env = Canopy_orca.Fleet_env
+module Trace = Canopy_trace.Trace
+module Policy = Canopy.Policy
+module Eval = Canopy.Eval
+module Fleet_eval = Canopy.Fleet_eval
+module Certify = Canopy.Certify
+module Property = Canopy.Property
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let bits a = Array.map Int64.bits_of_float a
+let clamp = Canopy_util.Mathx.clamp ~lo:(-1.) ~hi:1.
+
+let fixture name =
+  let local = Filename.concat "fixtures" name in
+  if Sys.file_exists local then local
+  else Filename.concat (Filename.concat "test" "fixtures") name
+
+(* Same helper as test_pool: a fresh default pool of [d] domains for the
+   duration of [f], previous default restored afterwards. *)
+let with_default_pool d f =
+  let saved = Pool.default () in
+  let pool = Pool.create ~domains:d () in
+  Pool.set_default pool;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_default saved;
+      Pool.shutdown pool)
+    (fun () -> f ())
+
+let with_tiny_grain f =
+  let min_flops, saved_chunk = Mat.parallel_grain () in
+  Mat.set_parallel_grain ~min_flops:1 ~chunk_flops:1;
+  Fun.protect
+    ~finally:(fun () ->
+      Mat.set_parallel_grain ~min_flops ~chunk_flops:saved_chunk)
+    f
+
+(* Synthetic regression data with genuine piecewise-affine structure so
+   the fitter has real splits to discover. *)
+let synthetic_data ~rng ~n ~d =
+  let xs = Mat.init ~rows:n ~cols:d (fun _ _ -> Prng.float rng 1.) in
+  let raw = Mat.raw xs in
+  let ys =
+    Array.init n (fun i ->
+        let x0 = raw.(i * d) and x1 = raw.((i * d) + 1) in
+        if x0 < 0.4 then (0.8 *. x0) -. (0.3 *. x1) +. 0.1
+        else (-0.5 *. x0) +. (0.6 *. x1) -. 0.2)
+  in
+  (xs, ys)
+
+let fitted_tree ?(n = 2_000) ?(d = 7) ?(max_leaves = 16) ~seed () =
+  let rng = Prng.create seed in
+  let xs, ys = synthetic_data ~rng ~n ~d in
+  let config = { Fit.default_config with max_leaves; min_samples_leaf = 16 } in
+  (Fit.fit ~config ~xs ~ys (), xs, ys)
+
+(* ------------------------------------------------------------------ *)
+(* Fitting basics *)
+
+let test_fit_improves_on_constant () =
+  let tree, xs, ys = fitted_tree ~seed:3 () in
+  let n = float_of_int (Array.length ys) in
+  let mean = Canopy_util.Mathx.sum ys /. n in
+  let var =
+    Canopy_util.Mathx.sum (Array.map (fun y -> (y -. mean) ** 2.) ys) /. n
+  in
+  let m = Fit.mse tree ~xs ~ys in
+  check_bool "multi-leaf" true (Tree.n_leaves tree > 1);
+  check_bool
+    (Printf.sprintf "mse %.2e well below variance %.2e" m var)
+    true
+    (m < 0.05 *. var)
+
+let test_fit_deterministic () =
+  let t1, _, _ = fitted_tree ~seed:5 () in
+  let t2, _, _ = fitted_tree ~seed:5 () in
+  check_bool "same structure and models" true
+    (Tree.to_string t1 = Tree.to_string t2)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint round-trip *)
+
+let test_checkpoint_roundtrip_bit_exact () =
+  let tree, xs, _ = fitted_tree ~seed:7 () in
+  let path = Filename.temp_file "canopy_tree" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Tree.save path tree;
+      let back = Tree.load path in
+      check_bool "serialization identical" true
+        (Tree.to_string tree = Tree.to_string back);
+      let raw = Mat.raw xs in
+      let d = Tree.in_dim tree in
+      for i = 0 to 99 do
+        let x = Array.sub raw (i * d) d in
+        check_bool "prediction bits identical" true
+          (Int64.bits_of_float (Tree.predict tree x)
+          = Int64.bits_of_float (Tree.predict back x))
+      done)
+
+(* naive substring search so the corruption test needs no regex library *)
+let find_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then invalid_arg "find_sub"
+    else if String.sub haystack i nn = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+(* One valid tiny checkpoint, then targeted corruptions of every layer of
+   the format: magic, counts, node structure, leaf-model arity, float
+   syntax, NaN, truncation, trailing garbage. *)
+let test_checkpoint_rejects_corruption () =
+  let good =
+    "canopy-tree v1\n\
+     in_dim 2\n\
+     nodes 3\n\
+     leaves 2\n\
+     split 0 0x1p-1 1 2\n\
+     leaf 0\n\
+     leaf 1\n\
+     0x1p-1 0x0p+0 0x1p-2\n\
+     0x0p+0 0x1p-3 0x0p+0\n"
+  in
+  let t = Tree.of_string good in
+  check_int "parses: leaves" 2 (Tree.n_leaves t);
+  check_bool "predicts left model" true (Tree.predict t [| 0.; 0. |] = 0.25);
+  let rejects label text =
+    check_bool label true
+      (match Tree.of_string text with
+      | _ -> false
+      | exception Failure _ -> true)
+  in
+  let replace ~bad ~by =
+    let i = find_sub good bad in
+    String.sub good 0 i ^ by
+    ^ String.sub good
+        (i + String.length bad)
+        (String.length good - i - String.length bad)
+  in
+  rejects "bad magic" (replace ~bad:"canopy-tree v1" ~by:"canopy-mlp v1");
+  rejects "truncated" (String.sub good 0 (String.length good / 2));
+  rejects "trailing garbage" (good ^ "extra\n");
+  rejects "malformed float" (replace ~bad:"0x1p-1 0x0p+0" ~by:"0xZp-1 0x0p+0");
+  rejects "nan model" (replace ~bad:"0x1p-3" ~by:"nan");
+  rejects "wrong leaf arity"
+    (replace ~bad:"0x0p+0 0x1p-3 0x0p+0" ~by:"0x0p+0 0x1p-3");
+  rejects "child before parent"
+    (replace ~bad:"split 0 0x1p-1 1 2" ~by:"split 0 0x1p-1 0 2");
+  rejects "bad count" (replace ~bad:"nodes 3" ~by:"nodes 4");
+  rejects "malformed count" (replace ~bad:"in_dim 2" ~by:"in_dim two")
+
+(* ------------------------------------------------------------------ *)
+(* Leaf-bound exactness: sampling audit over random boxes *)
+
+let test_output_interval_sound_and_exact () =
+  let tree, _, _ = fitted_tree ~seed:11 () in
+  let d = Tree.in_dim tree in
+  let rng = Prng.create 13 in
+  for _ = 1 to 10_000 do
+    let center = Array.init d (fun _ -> Prng.float rng 1.) in
+    let radius = 0.25 *. Prng.float rng 1. in
+    let box =
+      Array.init d (fun j ->
+          Interval.make (center.(j) -. radius) (center.(j) +. radius))
+    in
+    let exact = Tree.output_interval ~exact:true tree box in
+    let conservative = Tree.output_interval ~exact:false tree box in
+    (* soundness: every sampled point's prediction lies in the bound *)
+    for _ = 1 to 8 do
+      let x = Array.init d (fun j -> Interval.sample rng box.(j)) in
+      check_bool "sampled prediction inside exact bound" true
+        (Interval.contains exact (Tree.predict tree x))
+    done;
+    (* the exact reading never widens past the conservative one *)
+    check_bool "exact subset of conservative" true
+      (Interval.subset exact conservative)
+  done
+
+(* A degenerate (point) box must produce a degenerate bound that equals
+   the concrete prediction to the bit — the "exact" in exact
+   certification — except on the measure-zero closed cell boundaries,
+   where the hull must still contain the prediction. *)
+let test_point_box_bit_exact () =
+  let tree, _, _ = fitted_tree ~seed:15 () in
+  let d = Tree.in_dim tree in
+  let rng = Prng.create 17 in
+  for _ = 1 to 1_000 do
+    let x = Array.init d (fun _ -> Prng.float rng 1.) in
+    let box = Array.map Interval.of_point x in
+    let iv = Tree.output_interval ~exact:true tree box in
+    let y = Tree.predict tree x in
+    if Interval.is_point iv then begin
+      check_bool "lo bit-equal" true
+        (Int64.bits_of_float (Interval.lo iv) = Int64.bits_of_float y);
+      check_bool "hi bit-equal" true
+        (Int64.bits_of_float (Interval.hi iv) = Int64.bits_of_float y)
+    end
+    else check_bool "hull spans prediction" true (Interval.contains iv y)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Distillation of the committed fixture actor *)
+
+let agent_cfg ~duration_ms i =
+  let mbps = 16. +. (8. *. float_of_int (i mod 3)) in
+  let trace =
+    Trace.constant ~name:(Printf.sprintf "a%d" (i mod 3)) ~duration_ms ~mbps
+  in
+  {
+    (Agent_env.default_config ~trace ~min_rtt_ms:40 ~buffer_pkts:120
+       ~duration_ms)
+    with
+    Agent_env.interval_ms = Some 40;
+  }
+
+let distilled_fixture =
+  lazy
+    (let actor = Canopy.Trainer.load_actor (fixture "actor_h8.ckpt") in
+     let cfgs = Array.init 4 (fun i -> agent_cfg ~duration_ms:2_000 i) in
+     let xs, ys = Harvest.collect ~actor cfgs in
+     let config =
+       { Fit.default_config with max_leaves = 32; min_samples_leaf = 8 }
+     in
+     (actor, Fit.fit ~config ~xs ~ys (), xs, ys))
+
+let test_fidelity_fixture_actor () =
+  let actor, tree, xs, ys = Lazy.force distilled_fixture in
+  let m = Fit.mse tree ~xs ~ys in
+  (* regression bound: the distilled tree reproduces the fixture actor's
+     served actions to a small fraction of the [-1,1] action range *)
+  check_bool (Printf.sprintf "fidelity MSE %.2e below 5e-3" m) true (m < 5e-3);
+  (* and a constant predictor is measurably worse *)
+  let n = float_of_int (Array.length ys) in
+  let mean = Canopy_util.Mathx.sum ys /. n in
+  let var =
+    Canopy_util.Mathx.sum (Array.map (fun y -> (y -. mean) ** 2.) ys) /. n
+  in
+  check_bool "beats the constant predictor" true (m < var);
+  (* utility stays close on a held-out link *)
+  let link =
+    Eval.link ~min_rtt_ms:40 ~bdp:2.
+      (Trace.constant ~name:"held-out" ~duration_ms:4_000 ~mbps:24.)
+  in
+  let mlp_r, _ = Eval.eval_policy ~policy:(`Mlp actor) ~history:5 link in
+  let tree_r, _ = Eval.eval_policy ~policy:(`Tree tree) ~history:5 link in
+  let delta =
+    Float.abs (tree_r.Eval.utilization -. mlp_r.Eval.utilization)
+    /. Float.max 1e-9 mlp_r.Eval.utilization
+  in
+  check_bool
+    (Printf.sprintf "utility delta %.1f%% within 5%%" (100. *. delta))
+    true (delta < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* certify_tree: the exact reading dominates the conservative one *)
+
+let test_certify_tree_exact_dominates () =
+  let _, tree, xs, _ = Lazy.force distilled_fixture in
+  let history = 5 in
+  let raw = Mat.raw xs in
+  let d = Tree.in_dim tree in
+  let rows = Mat.rows xs in
+  List.iter
+    (fun property ->
+      for k = 0 to 9 do
+        let state = Array.sub raw (k * 17 mod rows * d) d in
+        let run conservative =
+          Certify.certify_tree ~conservative ~tree ~property ~n_components:10
+            ~history ~state ~cwnd_tcp:80. ~prev_cwnd:80. ()
+        in
+        let exact = run false and conservative = run true in
+        check_bool "fcc: exact >= conservative" true
+          (exact.Certify.fcc >= conservative.Certify.fcc);
+        check_bool "r_verifier: exact >= conservative" true
+          (exact.Certify.r_verifier >= conservative.Certify.r_verifier);
+        (* per component, the exact action interval is a subset *)
+        Array.iteri
+          (fun i (c : Certify.component) ->
+            check_bool "action subset" true
+              (Interval.subset c.action
+                 conservative.Certify.components.(i).Certify.action))
+          exact.Certify.components
+      done)
+    [ Property.performance (); Property.robustness () ]
+
+(* Sampling audit of certify_tree itself: concrete states drawn from a
+   component's precondition slice must act inside its abstract action
+   interval. *)
+let test_certify_tree_sound () =
+  let _, tree, xs, _ = Lazy.force distilled_fixture in
+  let history = 5 in
+  let d = Tree.in_dim tree in
+  let raw = Mat.raw xs in
+  let rows = Mat.rows xs in
+  let rng = Prng.create 29 in
+  let property = Property.performance () in
+  let delay_idx = Certify.delay_indices ~history in
+  for k = 0 to 19 do
+    let state = Array.sub raw (k * 9 mod rows * d) d in
+    let c =
+      Certify.certify_tree ~tree ~property ~n_components:5 ~history ~state
+        ~cwnd_tcp:80. ~prev_cwnd:80. ()
+    in
+    Array.iter
+      (fun (comp : Certify.component) ->
+        for _ = 1 to 20 do
+          let s = Array.copy state in
+          List.iter
+            (fun idx -> s.(idx) <- Interval.sample rng comp.slice)
+            delay_idx;
+          let a = clamp (Tree.predict tree s) in
+          check_bool "concrete action within abstract bound" true
+            (Interval.contains comp.action a)
+        done)
+      c.Certify.components
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Batched serving: domain-sweep bit-equality *)
+
+let test_predict_rows_domains_bit_identical () =
+  let tree, xs, _ = fitted_tree ~n:4_096 ~seed:21 () in
+  let rows = Mat.rows xs in
+  let run () =
+    with_tiny_grain (fun () ->
+        let dst = Mat.create ~rows ~cols:1 in
+        Tree.predict_rows_into ~dst tree xs;
+        bits (Array.copy (Mat.raw dst)))
+  in
+  let reference = with_default_pool 1 run in
+  (* the batched path agrees with scalar predict row by row *)
+  let raw = Mat.raw xs in
+  let d = Tree.in_dim tree in
+  Array.iteri
+    (fun i b ->
+      check_bool "row equals scalar predict" true
+        (b = Int64.bits_of_float (Tree.predict tree (Array.sub raw (i * d) d))))
+    reference;
+  List.iter
+    (fun dn ->
+      let got = with_default_pool dn run in
+      check_bool (Printf.sprintf "%d domains == sequential" dn) true
+        (got = reference))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Policy variant: scalar and fleet serving cannot drift *)
+
+(* One Agent_env episode served exactly like Eval.eval_policy does it:
+   a 1-row matrix through Policy.predict_rows_into, clamped. *)
+let scalar_trajectory policy cfg =
+  let env = Agent_env.create cfg in
+  let d = Policy.in_dim policy in
+  let xrow = Mat.create ~rows:1 ~cols:d
+  and yrow = Mat.create ~rows:1 ~cols:1 in
+  let acc = ref [] in
+  let fin = ref false in
+  while not !fin do
+    Array.blit (Agent_env.state env) 0 (Mat.raw xrow) 0 d;
+    Policy.predict_rows_into ~dst:yrow policy xrow;
+    let a = clamp (Mat.raw yrow).(0) in
+    let r = Agent_env.step env ~action:a in
+    acc := Int64.bits_of_float r.Agent_env.cwnd_enforced :: !acc;
+    fin := r.Agent_env.finished
+  done;
+  List.rev !acc
+
+let fleet_trajectory policy cfg =
+  let acc = ref [] in
+  let _ =
+    Fleet_eval.run ~policy
+      ~on_tick:(fun ~tick:_ ~actions:_ ~result ->
+        acc := Int64.bits_of_float result.Fleet_env.cwnd_enforced.(0) :: !acc)
+      [| cfg |]
+  in
+  List.rev !acc
+
+(* Mixed decision intervals (the trainer's stratified pool derives them
+   from min-RTT) must harvest as one fleet per interval, not trip
+   Fleet_env's homogeneity check. *)
+let test_harvest_mixed_intervals () =
+  let actor, _, _, _ = Lazy.force distilled_fixture in
+  let with_interval ms i =
+    { (agent_cfg ~duration_ms:1_200 i) with Agent_env.interval_ms = Some ms }
+  in
+  let cfgs = [| with_interval 40 0; with_interval 60 1; with_interval 40 2 |] in
+  let xs, ys = Harvest.collect ~actor cfgs in
+  (* per interval group: flows * (duration / interval) rows *)
+  let expected = (2 * (1_200 / 40)) + (1 * (1_200 / 60)) in
+  check_int "rows across interval groups" expected (Mat.rows xs);
+  check_int "one action per row" expected (Array.length ys);
+  (* group harvests match what each homogeneous sub-pool produces *)
+  let solo_xs, solo_ys = Harvest.collect ~actor [| with_interval 60 1 |] in
+  let sd = Mat.cols xs in
+  let raw = Mat.raw xs and solo_raw = Mat.raw solo_xs in
+  let offset = 2 * (1_200 / 40) in
+  let ok = ref true in
+  for t = 0 to (1_200 / 60) - 1 do
+    (* interval-60 rows sit after the interval-40 group; within the
+       mixed fleet its single flow occupies one row per tick *)
+    for j = 0 to sd - 1 do
+      if
+        Int64.bits_of_float raw.(((offset + t) * sd) + j)
+        <> Int64.bits_of_float solo_raw.((t * sd) + j)
+      then ok := false
+    done;
+    if Int64.bits_of_float ys.(offset + t) <> Int64.bits_of_float solo_ys.(t)
+    then ok := false
+  done;
+  check_bool "mixed-pool group bit-identical to solo harvest" true !ok
+
+let test_scalar_vs_fleet_both_kinds () =
+  let actor, tree, _, _ = Lazy.force distilled_fixture in
+  let cfg = agent_cfg ~duration_ms:1_200 0 in
+  List.iter
+    (fun (label, policy) ->
+      let scalar = scalar_trajectory policy cfg in
+      let fleet = fleet_trajectory policy cfg in
+      check_int (label ^ ": same tick count") (List.length scalar)
+        (List.length fleet);
+      check_bool (label ^ ": cwnd trajectories bit-identical") true
+        (scalar = fleet))
+    [ ("mlp", `Mlp actor); ("tree", `Tree tree) ]
+
+let suite =
+  [
+    ("fit improves on constant", `Quick, test_fit_improves_on_constant);
+    ("fit deterministic", `Quick, test_fit_deterministic);
+    ( "checkpoint round-trip bit-exact",
+      `Quick,
+      test_checkpoint_roundtrip_bit_exact );
+    ( "checkpoint rejects corruption",
+      `Quick,
+      test_checkpoint_rejects_corruption );
+    ( "output interval sound + exact (10k boxes)",
+      `Quick,
+      test_output_interval_sound_and_exact );
+    ("point box bit-exact", `Quick, test_point_box_bit_exact);
+    ("fidelity vs fixture actor", `Quick, test_fidelity_fixture_actor);
+    ( "certify_tree exact dominates conservative",
+      `Quick,
+      test_certify_tree_exact_dominates );
+    ("certify_tree sound (sampled)", `Quick, test_certify_tree_sound);
+    ( "predict_rows_into domain sweep",
+      `Quick,
+      test_predict_rows_domains_bit_identical );
+    ("harvest groups mixed intervals", `Quick, test_harvest_mixed_intervals);
+    ( "scalar vs fleet, both policy kinds",
+      `Quick,
+      test_scalar_vs_fleet_both_kinds );
+  ]

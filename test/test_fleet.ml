@@ -221,7 +221,7 @@ let test_fleet_env_matches_agent_env () =
 let fleet_episode_bits cfgs actor =
   let acc = ref [] in
   let r =
-    Fleet_eval.run ~actor
+    Fleet_eval.run ~policy:(`Mlp actor)
       ~on_tick:(fun ~tick:_ ~actions ~result ->
         acc := bits result.Fleet_env.cwnd_enforced :: bits actions :: !acc)
       cfgs
@@ -276,7 +276,7 @@ let test_fleet_eval_run () =
       ~in_dim:(Agent_env.state_dim cfgs.(0))
       ~hidden:16 ~out_dim:1
   in
-  let r = Fleet_eval.run ~actor cfgs in
+  let r = Fleet_eval.run ~policy:(`Mlp actor) cfgs in
   check_int "flows" 8 r.Fleet_eval.flows;
   check_int "duration" 400 r.Fleet_eval.duration_ms;
   check_int "ticks" (400 / 40) r.Fleet_eval.decision_ticks;
@@ -345,7 +345,7 @@ let test_coexist_canopy_vs_tcp_runs () =
     (fun (name, make) ->
       let r =
         Eval.eval_coexist
-          ~flows:[ Eval.Coexist_canopy actor; Eval.Coexist_tcp (name, make) ]
+          ~flows:[ Eval.Coexist_canopy (`Mlp actor); Eval.Coexist_tcp (name, make) ]
           (coexist_link 3_000)
       in
       check_int (name ^ ": two flows") 2 (Array.length r.Eval.flows);
@@ -411,7 +411,7 @@ let test_coexist_domains_bit_identical () =
   let run () =
     let r =
       Eval.eval_coexist
-        ~flows:[ Eval.Coexist_canopy actor; Eval.Coexist_tcp ("cubic", Eval.cubic_scheme) ]
+        ~flows:[ Eval.Coexist_canopy (`Mlp actor); Eval.Coexist_tcp ("cubic", Eval.cubic_scheme) ]
         (coexist_link 2_000)
     in
     ( bits

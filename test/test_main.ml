@@ -21,6 +21,7 @@ let () =
       ("properties", Test_properties.suite);
       ("analysis", Test_analysis.suite);
       ("scenario", Test_scenario.suite);
+      ("distill", Test_distill.suite);
       ("racecheck", Test_racecheck.suite);
       ("pool", Test_pool.suite);
     ]

@@ -154,8 +154,8 @@ let test_end_to_end_enforcement () =
   let link = Eval.link ~min_rtt_ms:40 ~bdp:6. trace in
   let sh = shield () in
   let _, steps =
-    Eval.eval_policy ~name:"greedy" ~shield:sh ~collect_steps:true ~actor
-      ~history link
+    Eval.eval_policy ~name:"greedy" ~shield:sh ~collect_steps:true
+      ~policy:(`Mlp actor) ~history link
   in
   check_bool "shield intervened" true (Shield.interventions sh > 0);
   let recent = Canopy_util.Ring.create ~capacity:history in
